@@ -1,0 +1,31 @@
+"""Benchmark harness plumbing.
+
+Each benchmark runs one paper experiment once (``benchmark.pedantic`` with a
+single round — these are minutes-scale simulations, not microbenchmarks),
+saves the rendered result table under ``benchmarks/results/``, and registers
+it for the terminal summary so the tables appear in captured output too.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+_RESULTS: list[str] = []
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Persist and queue one experiment's rendered table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    _RESULTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RESULTS:
+        return
+    terminalreporter.write_sep("=", "paper experiment results")
+    for text in _RESULTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,19 @@
+"""Figure 5: synthetic workload elapsed time vs. pages per transaction."""
+
+from conftest import report
+
+from repro.bench.experiments import fig5_synthetic_elapsed
+
+
+def test_fig5_synthetic_elapsed(benchmark):
+    result = benchmark.pedantic(fig5_synthetic_elapsed, rounds=1, iterations=1)
+    report("fig5", result.render())
+    # Shape assertions from the paper: X-FTL fastest, RBJ slowest, at every
+    # validity level and transaction size.
+    by_key = {}
+    for validity, mode, pages, elapsed, _mv in result.rows:
+        by_key[(validity, mode, pages)] = elapsed
+    for validity in ("30%", "50%", "70%"):
+        for pages in (5, 10, 20):
+            assert by_key[(validity, "X-FTL", pages)] < by_key[(validity, "WAL", pages)]
+            assert by_key[(validity, "WAL", pages)] < by_key[(validity, "RBJ", pages)]

@@ -1,0 +1,16 @@
+"""Figure 6: page writes and GC counts inside the SSD vs. GC validity."""
+
+from conftest import report
+
+from repro.bench.experiments import fig6_ftl_activity
+
+
+def test_fig6_ftl_activity(benchmark):
+    result = benchmark.pedantic(fig6_ftl_activity, rounds=1, iterations=1)
+    report("fig6", result.render())
+    writes = {(row[0], row[1]): row[2] for row in result.rows}
+    for validity in ("30%", "50%", "70%"):
+        assert writes[(validity, "X-FTL")] < writes[(validity, "WAL")]
+        assert writes[(validity, "WAL")] < writes[(validity, "RBJ")]
+    # Write counts grow with the carried-over validity ratio for RBJ.
+    assert writes[("70%", "RBJ")] > writes[("30%", "RBJ")]

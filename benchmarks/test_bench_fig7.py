@@ -1,0 +1,13 @@
+"""Figure 7: smartphone workload elapsed times (WAL vs X-FTL)."""
+
+from conftest import report
+
+from repro.bench.experiments import fig7_smartphone
+
+
+def test_fig7_smartphone(benchmark):
+    result = benchmark.pedantic(fig7_smartphone, rounds=1, iterations=1)
+    report("fig7", result.render())
+    for _trace, wal_s, xftl_s, _speedup in result.rows:
+        # Paper: X-FTL 2.4x-3.0x faster; require at least a 1.5x win here.
+        assert xftl_s < wal_s / 1.5

@@ -1,0 +1,19 @@
+"""Figure 8: single-thread FIO IOPS vs fsync interval."""
+
+from conftest import report
+
+from repro.bench.experiments import fig8_fio_single_thread
+
+
+def test_fig8_fio_single_thread(benchmark):
+    result = benchmark.pedantic(fig8_fio_single_thread, rounds=1, iterations=1)
+    report("fig8", result.render())
+    iops = {(row[0], row[1]): row[2] for row in result.rows}
+    for interval in (1, 5, 10, 15, 20):
+        xftl = iops[("X-FTL (journaling off)", interval)]
+        ordered = iops[("ext4 ordered journaling", interval)]
+        full = iops[("ext4 full journaling", interval)]
+        # Paper: X-FTL > ordered > full at every fsync interval.
+        assert xftl > ordered > full
+    # IOPS increase as fsyncs get rarer.
+    assert iops[("X-FTL (journaling off)", 20)] > iops[("X-FTL (journaling off)", 1)]

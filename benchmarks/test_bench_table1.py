@@ -1,0 +1,18 @@
+"""Table 1: host-side and FTL-side I/O counts."""
+
+from conftest import report
+
+from repro.bench.experiments import table1_io_counts
+
+
+def test_table1_io_counts(benchmark):
+    result = benchmark.pedantic(table1_io_counts, rounds=1, iterations=1)
+    report("table1", result.render())
+    counts = {row[0]: row for row in result.rows}
+    # Host-side totals and fsyncs: RBJ > WAL > X-FTL.
+    assert counts["RBJ"][4] > counts["WAL"][4] > counts["X-FTL"][4]
+    assert counts["RBJ"][5] > counts["WAL"][5] >= counts["X-FTL"][5]
+    # FTL-side page writes follow the same order.
+    assert counts["RBJ"][6] > counts["WAL"][6] > counts["X-FTL"][6]
+    # X-FTL writes no journal pages at all.
+    assert counts["X-FTL"][2] == 0

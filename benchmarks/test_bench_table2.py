@@ -1,0 +1,18 @@
+"""Table 2: Android trace characteristics."""
+
+from conftest import report
+
+from repro.bench.experiments import table2_trace_characteristics
+
+
+def test_table2_trace_characteristics(benchmark):
+    result = benchmark.pedantic(table2_trace_characteristics, rounds=1, iterations=1)
+    report("table2", result.render())
+    by_name = {row[0]: row for row in result.rows}
+    # Structural counts are not scaled: files and tables match Table 2.
+    assert by_name["RL Benchmark"][1] == 1 and by_name["RL Benchmark"][2] == 3
+    assert by_name["Gmail"][1] == 2 and by_name["Gmail"][2] == 31
+    assert by_name["Facebook"][1] == 11 and by_name["Facebook"][2] == 72
+    assert by_name["WebBrowser"][1] == 6 and by_name["WebBrowser"][2] == 26
+    # RL Benchmark is by far the most write-heavy trace.
+    assert by_name["RL Benchmark"][6] > by_name["Gmail"][6]

@@ -1,0 +1,18 @@
+"""Tables 3 and 4: TPC-C mixes and throughput."""
+
+from conftest import report
+
+from repro.bench.experiments import table4_tpcc
+
+
+def test_table4_tpcc(benchmark):
+    result = benchmark.pedantic(table4_tpcc, rounds=1, iterations=1)
+    report("table4", result.render())
+    tpm = {row[0]: (row[1], row[2]) for row in result.rows}
+    # Write-heavy mixes: X-FTL wins clearly (paper: 2.3x / 2.5x).
+    assert tpm["write-intensive"][1] > tpm["write-intensive"][0] * 1.5
+    assert tpm["read-intensive"][1] > tpm["read-intensive"][0] * 1.2
+    # Read-only mixes: comparable throughput (paper: parity).
+    for mix in ("selection-only", "join-only"):
+        wal, xftl = tpm[mix]
+        assert 0.8 <= xftl / wal <= 1.25

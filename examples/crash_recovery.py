@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Crash recovery across the three SQLite journal modes (§5.4, Table 5).
+
+For each mode, commits some transactions, injects a power failure in the
+middle of another, remounts the machine, and times the restart — showing
+why X-FTL's recovery (load one tiny table, fold committed entries) beats
+rolling back a journal or replaying a WAL.
+"""
+
+from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.errors import PowerFailure
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def run_mode(mode: Mode) -> None:
+    stack = build_stack(StackConfig(mode=mode, num_blocks=512))
+    db = stack.open_database("test.db")
+    workload = SyntheticWorkload(db, rows=3_000)
+    workload.load()
+    workload.run(transactions=40, updates_per_txn=5)
+
+    # Crash mid-commit.
+    if mode is Mode.RBJ:
+        stack.crash_plan.arm("sqlite.commit.mid")  # journal is hot
+    else:
+        stack.crash_plan.arm("flash.program.after", after=3)
+    try:
+        workload.run(transactions=5, updates_per_txn=10)
+    except PowerFailure:
+        pass
+    stack.crash_plan.disarm_all()
+
+    stack.remount_after_crash()
+    db = stack.open_database("test.db")
+    restart_ms = db.last_recovery_us / 1000.0
+    if mode is Mode.XFTL:
+        restart_ms = stack.ftl.last_xl2p_recovery_us / 1000.0
+    rows = db.execute("SELECT COUNT(*) FROM partsupply")[0][0]
+    print(f"{mode.value:6s} restart: {restart_ms:8.2f} ms   rows intact: {rows}")
+
+
+def main() -> None:
+    print("crash + restart per journal mode (paper: RBJ 20.1 / WAL 153.0 / X-FTL 3.5 ms)\n")
+    for mode in (Mode.RBJ, Mode.WAL, Mode.XFTL):
+        run_mode(mode)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""X-FTL: Transactional FTL for SQLite Databases (SIGMOD 2013) — reproduction.
+
+A full simulated system reproducing the paper: NAND flash chips
+(:mod:`repro.flash`), flash translation layers including X-FTL and two
+related-work baselines (:mod:`repro.ftl`), a SATA-level device model
+(:mod:`repro.device`), an ext4-like journaling file system (:mod:`repro.fs`),
+a SQLite-like SQL engine (:mod:`repro.sqlite`), the paper's workloads
+(:mod:`repro.workloads`) and the benchmark harness regenerating every table
+and figure (:mod:`repro.bench`).
+
+Most users start with :func:`repro.bench.runner.build_stack`, which wires a
+complete machine for one of the paper's configurations::
+
+    from repro.bench.runner import Mode, StackConfig, build_stack
+
+    stack = build_stack(StackConfig(mode=Mode.XFTL))
+    db = stack.open_database("app.db")
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+"""
+
+from repro.errors import (
+    CorruptionError,
+    DatabaseError,
+    DeviceError,
+    FlashError,
+    FsError,
+    FtlError,
+    IntegrityError,
+    PowerFailure,
+    ReproError,
+    SchemaError,
+    SqlError,
+    TransactionError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "FlashError",
+    "FtlError",
+    "TransactionError",
+    "DeviceError",
+    "FsError",
+    "DatabaseError",
+    "SqlError",
+    "SchemaError",
+    "IntegrityError",
+    "CorruptionError",
+    "PowerFailure",
+    "__version__",
+]

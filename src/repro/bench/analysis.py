@@ -1,0 +1,75 @@
+"""Derived metrics over flash statistics.
+
+The paper's conclusion claims X-FTL "halves the amount of data to be
+written to the storage, and doubles the transactional performance and the
+life span of flash storage".  These helpers compute the quantities behind
+that sentence from a :class:`~repro.flash.stats.FlashStats` delta:
+
+- write amplification factor (WAF): total NAND programs per host write;
+- overhead breakdown: GC copyback, mapping-table, X-L2P shares;
+- projected lifespan ratio between two runs (inverse of total programs for
+  the same logical work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.stats import FlashStats
+
+
+@dataclass(frozen=True)
+class WriteAmplification:
+    """Breakdown of one run's NAND write traffic."""
+
+    host_writes: int
+    total_programs: int
+    gc_copyback: int
+    map_writes: int
+    xl2p_writes: int
+
+    @property
+    def waf(self) -> float:
+        """NAND programs per host-requested page write."""
+        if self.host_writes == 0:
+            return 0.0
+        return self.total_programs / self.host_writes
+
+    @property
+    def overhead_programs(self) -> int:
+        return self.total_programs - self.host_writes
+
+    def share(self, component: str) -> float:
+        """Fraction of total programs attributable to one overhead source."""
+        if self.total_programs == 0:
+            return 0.0
+        value = {
+            "host": self.host_writes,
+            "gc": self.gc_copyback,
+            "map": self.map_writes,
+            "xl2p": self.xl2p_writes,
+        }[component]
+        return value / self.total_programs
+
+
+def write_amplification(stats: FlashStats) -> WriteAmplification:
+    """Compute the write-amplification breakdown of a stats delta."""
+    return WriteAmplification(
+        host_writes=stats.host_page_writes,
+        total_programs=stats.page_programs,
+        gc_copyback=stats.gc_copyback_writes,
+        map_writes=stats.map_page_writes,
+        xl2p_writes=stats.xl2p_page_writes,
+    )
+
+
+def lifespan_ratio(baseline: FlashStats, candidate: FlashStats) -> float:
+    """How much longer the candidate run's device lives for the same work.
+
+    Flash endurance is consumed by erases; for equal logical work the ratio
+    of block erases approximates the lifespan improvement (the paper's
+    "doubles the life span" claim compares WAL to X-FTL this way).
+    """
+    if candidate.block_erases == 0:
+        return float("inf")
+    return baseline.block_erases / candidate.block_erases

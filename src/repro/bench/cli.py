@@ -1,0 +1,59 @@
+"""Command-line experiment runner.
+
+Run any of the paper's experiments directly::
+
+    python -m repro.bench.cli fig5 table1 table5
+    python -m repro.bench.cli all
+    REPRO_SCALE=5 python -m repro.bench.cli fig7
+
+Results are printed and appended to ``benchmarks/results/`` when that
+directory exists.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.cli",
+        description="Regenerate tables/figures from the X-FTL paper (SIGMOD 2013).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment names ({', '.join(ALL_EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=None,
+        help="also write each table to this directory as <name>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [name for name in names if name not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    results_dir = pathlib.Path(args.results_dir) if args.results_dir else None
+    for name in names:
+        started = time.time()
+        result = ALL_EXPERIMENTS[name]()
+        text = result.render()
+        print(text)
+        print(f"[{name} finished in {time.time() - started:.1f}s wall]\n")
+        if results_dir is not None:
+            results_dir.mkdir(parents=True, exist_ok=True)
+            (results_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,460 @@
+"""One function per table/figure of the paper's evaluation (§6).
+
+Every function builds fresh simulated machines, runs the workload, and
+returns an :class:`ExperimentResult` with the same rows/series the paper
+reports.  Absolute numbers depend on the simulation's latency profile and
+on the scaled-down workload sizes (see ``DESIGN.md``); the *shape* — which
+mode wins and by roughly what factor — is the reproduction target.
+
+Scale note: the paper runs 1,000 synthetic transactions on a 60,000-row
+table and replays full traces; defaults here are scaled for minutes-level
+runtimes and can be raised with the ``REPRO_SCALE`` environment variable
+(e.g. ``REPRO_SCALE=5`` for paper-sized runs).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.aging import age_device
+from repro.bench.reporting import format_table
+from repro.bench.runner import BenchStack, Mode, StackConfig, build_stack
+from repro.ftl.base import FtlConfig
+from repro.sim.latency import OPENSSD_PROFILE, S830_PROFILE
+from repro.workloads.android import ALL_PROFILES, AndroidTraceGenerator, TraceReplayer
+from repro.workloads.fio import FioBenchmark
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.tpcc import MIXES, TpccConfig, TpccDriver, TpccLoader
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+@dataclass
+class ExperimentResult:
+    """Formatted result of one experiment."""
+
+    name: str
+    headers: list[str]
+    rows: list[list[Any]]
+    notes: str = ""
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        text = format_table(self.headers, self.rows, title=self.name)
+        if self.notes:
+            text += f"\n{self.notes}"
+        return text
+
+
+# --------------------------------------------------------------- shared setup
+
+SQLITE_MODES = (Mode.RBJ, Mode.WAL, Mode.XFTL)
+
+
+def _sqlite_stack(mode: Mode, num_blocks: int = 512) -> BenchStack:
+    return build_stack(
+        StackConfig(
+            mode=mode,
+            num_blocks=num_blocks,
+            pages_per_block=128,
+            ftl=FtlConfig(gc_policy="fifo"),
+        )
+    )
+
+
+def _loaded_synthetic(
+    mode: Mode, rows: int, validity: float | None
+) -> tuple[BenchStack, SyntheticWorkload]:
+    stack = _sqlite_stack(mode)
+    db = stack.open_database("test.db")
+    workload = SyntheticWorkload(db, rows=rows)
+    workload.load()
+    if validity is not None:
+        age_device(stack, validity)
+    return stack, workload
+
+
+# ------------------------------------------------------------------- Figure 5
+
+
+def fig5_synthetic_elapsed(
+    validities: tuple[float, ...] = (0.3, 0.5, 0.7),
+    pages_per_txn: tuple[int, ...] = (1, 5, 10, 20),
+    transactions: int | None = None,
+    rows: int | None = None,
+) -> ExperimentResult:
+    """Figure 5: synthetic workload elapsed time vs. updated pages per txn."""
+    transactions = transactions or int(100 * _scale())
+    rows = rows or int(12_000 * _scale())
+    result_rows = []
+    series: dict[tuple[float, str], list[float]] = {}
+    for validity in validities:
+        for mode in SQLITE_MODES:
+            for pages in pages_per_txn:
+                stack, workload = _loaded_synthetic(mode, rows, validity)
+                run = workload.run(transactions=transactions, updates_per_txn=pages)
+                measured_validity = stack.ftl.gc_mean_valid_ratio()
+                result_rows.append(
+                    [f"{validity:.0%}", mode.value, pages, round(run.elapsed_s, 2),
+                     f"{measured_validity:.0%}"]
+                )
+                series.setdefault((validity, mode.value), []).append(run.elapsed_s)
+    notes = _fig5_ratio_notes(series, validities, pages_per_txn)
+    return ExperimentResult(
+        name=f"Figure 5: synthetic workload ({transactions:,} txns, {rows:,} rows)",
+        headers=["GC validity", "mode", "pages/txn", "elapsed (s)", "measured GC validity"],
+        rows=result_rows,
+        notes=notes,
+        extras={"series": {f"{v}/{m}": e for (v, m), e in series.items()}},
+    )
+
+
+def _fig5_ratio_notes(series, validities, pages) -> str:
+    try:
+        index = pages.index(5)
+        middle = validities[len(validities) // 2]
+        rbj = series[(middle, Mode.RBJ.value)][index]
+        wal = series[(middle, Mode.WAL.value)][index]
+        xftl = series[(middle, Mode.XFTL.value)][index]
+        return (
+            f"At 5 pages/txn, {middle:.0%} validity: X-FTL is {wal / xftl:.1f}x faster "
+            f"than WAL and {rbj / xftl:.1f}x faster than RBJ "
+            "(paper: 3.5x and 11.7x)."
+        )
+    except (ValueError, KeyError, ZeroDivisionError):
+        return ""
+
+
+# ------------------------------------------------------------------- Table 1
+
+
+def table1_io_counts(
+    transactions: int | None = None,
+    rows: int | None = None,
+    validity: float = 0.5,
+    pages_per_txn: int = 5,
+) -> ExperimentResult:
+    """Table 1: host-side and FTL-side I/O counts (5 pages/txn, 50% validity)."""
+    transactions = transactions or int(300 * _scale())
+    rows = rows or int(12_000 * _scale())
+    result_rows = []
+    for mode in SQLITE_MODES:
+        stack, workload = _loaded_synthetic(mode, rows, validity)
+        ftl0 = stack.ftl.stats.snapshot()
+        fs0 = stack.fs.stats.snapshot()
+        workload.run(transactions=transactions, updates_per_txn=pages_per_txn)
+        ftl = stack.ftl.stats.diff(ftl0)
+        fs = stack.fs.stats.diff(fs0)
+        db_writes = fs.data_page_writes
+        journal_writes = fs.journal_page_writes
+        meta_writes = fs.meta_page_writes
+        result_rows.append(
+            [
+                mode.value,
+                db_writes,
+                journal_writes,
+                meta_writes,
+                db_writes + journal_writes + meta_writes,
+                fs.fsync_calls,
+                ftl.page_programs,
+                ftl.page_reads,
+                ftl.gc_invocations,
+                ftl.block_erases,
+            ]
+        )
+    return ExperimentResult(
+        name=(
+            f"Table 1: I/O counts ({transactions:,} txns, {pages_per_txn} pages/txn, "
+            f"{validity:.0%} GC validity)"
+        ),
+        headers=[
+            "mode", "SQLite data", "journal/WAL", "fs metadata", "total host",
+            "fsync calls", "FTL write", "FTL read", "GC", "erase",
+        ],
+        rows=result_rows,
+        notes=(
+            "Paper shape: RBJ >> WAL >> X-FTL in every column; X-FTL roughly "
+            "halves host writes vs WAL and cuts fsyncs to one per transaction."
+        ),
+    )
+
+
+# ------------------------------------------------------------------- Figure 6
+
+
+def fig6_ftl_activity(
+    validities: tuple[float, ...] = (0.3, 0.5, 0.7),
+    transactions: int | None = None,
+    rows: int | None = None,
+    pages_per_txn: int = 5,
+) -> ExperimentResult:
+    """Figure 6: FTL page writes and GC counts vs. GC validity ratio."""
+    transactions = transactions or int(150 * _scale())
+    rows = rows or int(12_000 * _scale())
+    result_rows = []
+    for validity in validities:
+        for mode in SQLITE_MODES:
+            stack, workload = _loaded_synthetic(mode, rows, validity)
+            ftl0 = stack.ftl.stats.snapshot()
+            workload.run(transactions=transactions, updates_per_txn=pages_per_txn)
+            ftl = stack.ftl.stats.diff(ftl0)
+            result_rows.append(
+                [f"{validity:.0%}", mode.value, ftl.page_programs, ftl.gc_invocations]
+            )
+    return ExperimentResult(
+        name=f"Figure 6: I/O activity inside the SSD ({pages_per_txn} pages/txn)",
+        headers=["GC validity", "mode", "page writes", "GC count"],
+        rows=result_rows,
+        notes="Both metrics grow with validity; X-FTL stays far below WAL and RBJ.",
+    )
+
+
+# ------------------------------------------------------------------- Table 2
+
+
+def table2_trace_characteristics(trace_scale: float | None = None) -> ExperimentResult:
+    """Table 2: shape of the four Android traces (generated vs. published)."""
+    trace_scale = trace_scale if trace_scale is not None else 0.05 * _scale()
+    result_rows = []
+    for profile in ALL_PROFILES:
+        ops, stats = AndroidTraceGenerator(profile, scale=trace_scale).generate()
+        result_rows.append(
+            [
+                profile.name,
+                profile.files,
+                profile.tables,
+                stats.queries,
+                stats.selects,
+                stats.joins,
+                stats.inserts,
+                stats.updates,
+                stats.deletes,
+                profile.avg_pages_per_txn,
+                stats.ddl,
+            ]
+        )
+    return ExperimentResult(
+        name=f"Table 2: Android trace characteristics (generated at scale {trace_scale})",
+        headers=[
+            "trace", "#files", "#tables", "#queries", "#select", "#join",
+            "#insert", "#update", "#delete", "avg pages/txn", "#DDL",
+        ],
+        rows=result_rows,
+        notes="Counts scale linearly; published values are scale 1.0.",
+    )
+
+
+# ------------------------------------------------------------------- Figure 7
+
+
+def fig7_smartphone(trace_scale: float | None = None) -> ExperimentResult:
+    """Figure 7: smartphone workload elapsed time, WAL vs X-FTL."""
+    trace_scale = trace_scale if trace_scale is not None else 0.03 * _scale()
+    result_rows = []
+    for profile in ALL_PROFILES:
+        elapsed: dict[str, float] = {}
+        for mode in (Mode.WAL, Mode.XFTL):
+            stack = _sqlite_stack(mode)
+            generator = AndroidTraceGenerator(profile, scale=trace_scale)
+            ops, _stats = generator.generate()
+            replayer = TraceReplayer(stack)
+            elapsed[mode.value] = replayer.replay(ops)
+        speedup = elapsed[Mode.WAL.value] / max(elapsed[Mode.XFTL.value], 1e-9)
+        result_rows.append(
+            [
+                profile.name,
+                round(elapsed[Mode.WAL.value], 2),
+                round(elapsed[Mode.XFTL.value], 2),
+                f"{speedup:.2f}x",
+            ]
+        )
+    return ExperimentResult(
+        name=f"Figure 7: smartphone workloads (trace scale {trace_scale})",
+        headers=["trace", "WAL (s)", "X-FTL (s)", "speedup"],
+        rows=result_rows,
+        notes="Paper: X-FTL 2.4x-3.0x faster than WAL across all four traces.",
+    )
+
+
+# --------------------------------------------------------------- Tables 3 & 4
+
+
+def table4_tpcc(transactions: int | None = None) -> ExperimentResult:
+    """Tables 3+4: TPC-C mixes and their throughput (tpmC), WAL vs X-FTL."""
+    transactions = transactions or int(150 * _scale())
+    mix_rows = [
+        [name] + [f"{weights.get(t, 0)}%" for t in
+                  ("delivery", "order_status", "payment", "stock_level", "new_order",
+                   "selection_only", "join_only")]
+        for name, weights in MIXES.items()
+    ]
+    result_rows = []
+    for mix in MIXES:
+        tpm: dict[str, float] = {}
+        for mode in (Mode.WAL, Mode.XFTL):
+            stack = _sqlite_stack(mode)
+            db = stack.open_database("tpcc.db")
+            config = TpccConfig()
+            TpccLoader(db, config).load()
+            driver = TpccDriver(db, config)
+            run = driver.run(mix, transactions=transactions)
+            tpm[mode.value] = run.tpm
+        ratio = tpm[Mode.XFTL.value] / max(tpm[Mode.WAL.value], 1e-9)
+        result_rows.append(
+            [mix, round(tpm[Mode.WAL.value]), round(tpm[Mode.XFTL.value]), f"{ratio:.2f}x"]
+        )
+    mix_table = format_table(
+        ["workload", "delivery", "order status", "payment", "stock level",
+         "new order", "selection", "join"],
+        mix_rows,
+        title="Table 3: TPC-C workload mixes",
+    )
+    return ExperimentResult(
+        name=f"Table 4: TPC-C throughput in tpmC ({transactions:,} txns per cell)",
+        headers=["workload", "WAL", "X-FTL", "X-FTL/WAL"],
+        rows=result_rows,
+        notes=(
+            mix_table
+            + "\nPaper: 2.3x (write-intensive), 2.5x (read-intensive), "
+            "~1.0x (selection-only and join-only)."
+        ),
+    )
+
+
+# --------------------------------------------------------------- Figures 8 & 9
+
+
+FS_MODES = (Mode.FS_ORDERED, Mode.FS_FULL, Mode.XFTL)
+
+
+def _fio_stack(mode: Mode, profile=OPENSSD_PROFILE, num_blocks: int = 768) -> BenchStack:
+    return build_stack(
+        StackConfig(
+            mode=mode,
+            num_blocks=num_blocks,
+            pages_per_block=128,
+            profile=profile,
+            journal_pages=512,
+        )
+    )
+
+
+def fig8_fio_single_thread(
+    intervals: tuple[int, ...] = (1, 5, 10, 15, 20),
+    runtime_s: float | None = None,
+) -> ExperimentResult:
+    """Figure 8: FIO random-write IOPS vs fsync interval, one thread."""
+    runtime_s = runtime_s or 30.0 * _scale()
+    result_rows = []
+    for mode in FS_MODES:
+        label = {
+            Mode.FS_ORDERED: "ext4 ordered journaling",
+            Mode.FS_FULL: "ext4 full journaling",
+            Mode.XFTL: "X-FTL (journaling off)",
+        }[mode]
+        for interval in intervals:
+            stack = _fio_stack(mode)
+            fio = FioBenchmark(stack, file_pages=32_768)
+            run = fio.run(runtime_s=runtime_s, fsync_interval=interval, threads=1)
+            result_rows.append([label, interval, round(run.iops, 1), run.writes])
+    return ExperimentResult(
+        name=f"Figure 8: FIO single-thread 8KB random-write IOPS ({runtime_s:.0f}s runs)",
+        headers=["configuration", "pages/fsync", "IOPS", "writes"],
+        rows=result_rows,
+        notes=(
+            "Paper: X-FTL beats ordered journaling by 67-99% and full "
+            "journaling by 240-254% across all fsync intervals."
+        ),
+    )
+
+
+def fig9_fio_s830(
+    intervals: tuple[int, ...] = (1, 5, 10, 15, 20),
+    runtime_s: float | None = None,
+) -> ExperimentResult:
+    """Figure 9: 16-thread FIO — S830 journaling modes vs X-FTL on OpenSSD."""
+    runtime_s = runtime_s or 30.0 * _scale()
+    configs = [
+        ("S830 ordered journaling", Mode.FS_ORDERED, S830_PROFILE),
+        ("OpenSSD with X-FTL", Mode.XFTL, OPENSSD_PROFILE),
+        ("S830 full journaling", Mode.FS_FULL, S830_PROFILE),
+    ]
+    result_rows = []
+    for label, mode, profile in configs:
+        for interval in intervals:
+            stack = _fio_stack(mode, profile=profile)
+            fio = FioBenchmark(stack, file_pages=32_768)
+            run = fio.run(runtime_s=runtime_s, fsync_interval=interval, threads=16)
+            result_rows.append([label, interval, round(run.iops, 1)])
+    return ExperimentResult(
+        name=f"Figure 9: FIO 16-thread IOPS, X-FTL vs Samsung S830 ({runtime_s:.0f}s runs)",
+        headers=["configuration", "pages/fsync", "IOPS"],
+        rows=result_rows,
+        notes=(
+            "Paper: X-FTL on the (older) OpenSSD sits between the S830's "
+            "ordered and full journaling modes."
+        ),
+    )
+
+
+# ------------------------------------------------------------------- Table 5
+
+
+def table5_recovery(
+    transactions: int | None = None, rows: int | None = None
+) -> ExperimentResult:
+    """Table 5: SQLite restart time after a mid-workload power failure."""
+    transactions = transactions or int(60 * _scale())
+    rows = rows or int(6_000 * _scale())
+    from repro.errors import PowerFailure
+    from repro.fs.ext4 import Ext4
+
+    result_rows = []
+    for mode in SQLITE_MODES:
+        stack, workload = _loaded_synthetic(mode, rows, validity=None)
+        # For WAL, accumulate committed frames first (the paper's WAL file
+        # is sized to its 1000-frame checkpoint threshold at crash time).
+        workload.run(transactions=transactions, updates_per_txn=5)
+        # Crash mid-commit: for RBJ just after the journal went hot (so
+        # restart must roll back from it); otherwise mid device writes.
+        if mode is Mode.RBJ:
+            stack.crash_plan.arm("sqlite.commit.mid")
+        else:
+            stack.crash_plan.arm("flash.program.after", after=3)
+        try:
+            workload.run(transactions=5, updates_per_txn=10)
+        except PowerFailure:
+            pass
+        stack.crash_plan.disarm_all()
+        stack.remount_after_crash()
+        db = stack.open_database("test.db")
+        sqlite_recovery_ms = db.last_recovery_us / 1000.0
+        if mode is Mode.XFTL:
+            # The paper's X-FTL restart time is the X-L2P load + reflect
+            # step inside the device (§6.4).
+            sqlite_recovery_ms = stack.ftl.last_xl2p_recovery_us / 1000.0
+        count = db.execute("SELECT COUNT(*) FROM partsupply")[0][0]
+        result_rows.append([mode.value, round(sqlite_recovery_ms, 2), count == rows])
+    return ExperimentResult(
+        name="Table 5: restart time after power failure (ms)",
+        headers=["mode", "restart (ms)", "data intact"],
+        rows=result_rows,
+        notes="Paper: rollback 20.1 ms, WAL 153.0 ms, X-FTL 3.5 ms.",
+    )
+
+
+ALL_EXPERIMENTS = {
+    "fig5": fig5_synthetic_elapsed,
+    "table1": table1_io_counts,
+    "fig6": fig6_ftl_activity,
+    "table2": table2_trace_characteristics,
+    "fig7": fig7_smartphone,
+    "table4": table4_tpcc,
+    "fig8": fig8_fio_single_thread,
+    "fig9": fig9_fio_s830,
+    "table5": table5_recovery,
+}

@@ -1,0 +1,38 @@
+"""Plain-text tables for experiment results."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render an aligned text table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,16 @@
+"""Storage device: the SATA-level front-end over an FTL."""
+
+from repro.device.commands import CommandKind, DeviceCounters
+from repro.device.emmc import EmmcDevice
+from repro.device.ssd import StorageDevice
+from repro.device.tracing import DeviceTrace, TraceEvent, TracingDevice
+
+__all__ = [
+    "CommandKind",
+    "DeviceCounters",
+    "StorageDevice",
+    "EmmcDevice",
+    "TracingDevice",
+    "DeviceTrace",
+    "TraceEvent",
+]

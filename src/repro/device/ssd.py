@@ -1,0 +1,135 @@
+"""The storage device: command front-end, bus costs, power state.
+
+``StorageDevice`` wraps an FTL and models the host-visible interface:
+
+- per-command fixed overhead and per-page bus transfer time (the NAND array
+  time itself is charged inside the chip);
+- the extended command set when the FTL is an :class:`~repro.ftl.XFTL`
+  (tagged reads/writes, commit/abort — carried over trim in the prototype);
+- power-off / power-on with FTL recovery, used by crash experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import DeviceError
+from repro.device.commands import DeviceCounters
+from repro.ftl.base import Ftl
+from repro.ftl.xftl import XFTL
+
+
+class StorageDevice:
+    """A SATA-attached SSD built from a flash chip and an FTL."""
+
+    def __init__(self, ftl: Ftl) -> None:
+        self.ftl = ftl
+        self.chip = ftl.chip
+        self.clock = ftl.chip.clock
+        self.profile = ftl.chip.profile
+        self.counters = DeviceCounters()
+        self._on = True
+
+    # --------------------------------------------------------------- state
+
+    @property
+    def page_size(self) -> int:
+        return self.chip.geometry.page_size
+
+    @property
+    def exported_pages(self) -> int:
+        return self.ftl.exported_pages
+
+    @property
+    def supports_transactions(self) -> bool:
+        """Whether the extended (tagged) command set is available."""
+        return isinstance(self.ftl, XFTL)
+
+    @property
+    def is_on(self) -> bool:
+        return self._on
+
+    def power_off(self) -> None:
+        """Cut power: all device DRAM state is lost."""
+        if self._on:
+            self.ftl.power_fail()
+            self._on = False
+
+    def power_on(self) -> None:
+        """Restore power and run FTL mount-time recovery."""
+        if not self._on:
+            self.ftl.remount()
+            self._on = True
+
+    def _check_on(self) -> None:
+        if not self._on:
+            raise DeviceError("device is powered off")
+
+    def _charge(self, transfers: int = 0) -> None:
+        self.clock.advance(
+            self.profile.command_overhead_us + transfers * self.profile.bus_transfer_us
+        )
+
+    # ---------------------------------------------------- standard commands
+
+    def read(self, lpn: int) -> Any:
+        self._check_on()
+        self.counters.reads += 1
+        self._charge(transfers=1)
+        return self.ftl.read(lpn)
+
+    def write(self, lpn: int, data: Any) -> None:
+        self._check_on()
+        self.counters.writes += 1
+        self._charge(transfers=1)
+        self.ftl.write(lpn, data)
+
+    def trim(self, lpn: int) -> None:
+        self._check_on()
+        self.counters.trims += 1
+        self._charge()
+        self.ftl.trim(lpn)
+
+    def flush(self) -> None:
+        """Write barrier: all acknowledged writes + mapping state durable."""
+        self._check_on()
+        self.counters.flushes += 1
+        self._charge()
+        self.ftl.barrier()
+
+    # ---------------------------------------------------- extended commands
+
+    def _require_tx(self) -> XFTL:
+        if not isinstance(self.ftl, XFTL):
+            raise DeviceError("device FTL does not support the extended command set")
+        return self.ftl
+
+    def read_tx(self, tid: int, lpn: int) -> Any:
+        self._check_on()
+        ftl = self._require_tx()
+        self.counters.tagged_reads += 1
+        self._charge(transfers=1)
+        return ftl.read_tx(tid, lpn)
+
+    def write_tx(self, tid: int, lpn: int, data: Any) -> None:
+        self._check_on()
+        ftl = self._require_tx()
+        self.counters.tagged_writes += 1
+        self._charge(transfers=1)
+        ftl.write_tx(tid, lpn, data)
+
+    def commit(self, tid: int) -> None:
+        """commit(t), carried over the trim command's parameter set (§5.2)."""
+        self._check_on()
+        ftl = self._require_tx()
+        self.counters.commits += 1
+        self._charge()
+        ftl.commit(tid)
+
+    def abort(self, tid: int) -> None:
+        """abort(t), carried over the trim command's parameter set (§5.2)."""
+        self._check_on()
+        ftl = self._require_tx()
+        self.counters.aborts += 1
+        self._charge()
+        ftl.abort(tid)

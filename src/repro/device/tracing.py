@@ -1,0 +1,213 @@
+"""Device-level I/O tracing (a blktrace for the simulated stack).
+
+Wrap any :class:`~repro.device.ssd.StorageDevice` in a
+:class:`TracingDevice` and every command is recorded with its simulated
+timestamp and duration.  Traces can be filtered, summarized, or dumped as
+text — the tool used to debug every fsync-pattern discrepancy between this
+reproduction and Figure 1 of the paper.
+
+    device = TracingDevice(StorageDevice(XFTL(chip)))
+    ... run workload ...
+    print(device.trace.summary())
+    for event in device.trace.events_of(CommandKind.COMMIT):
+        print(event)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.device.commands import CommandKind
+from repro.device.ssd import StorageDevice
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced device command."""
+
+    seq: int
+    kind: CommandKind
+    lpn: int | None
+    tid: int | None
+    start_us: float
+    duration_us: float
+
+    def __str__(self) -> str:
+        lpn = "" if self.lpn is None else f" lpn={self.lpn}"
+        tid = "" if self.tid is None else f" tid={self.tid}"
+        return (
+            f"[{self.start_us / 1000.0:10.3f} ms] {self.kind.value:12s}"
+            f"{lpn}{tid} ({self.duration_us:.0f} us)"
+        )
+
+
+class DeviceTrace:
+    """An ordered list of trace events with query helpers."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.capacity = capacity
+        self._events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def append(self, event: TraceEvent) -> None:
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def events_of(self, kind: CommandKind) -> list[TraceEvent]:
+        """All events of one command kind, in order."""
+        return [event for event in self._events if event.kind is kind]
+
+    def events_between(self, start_us: float, end_us: float) -> list[TraceEvent]:
+        """Events whose start time falls in [start_us, end_us)."""
+        return [e for e in self._events if start_us <= e.start_us < end_us]
+
+    def busy_us(self) -> float:
+        """Total device time across all traced commands."""
+        return sum(event.duration_us for event in self._events)
+
+    def summary(self) -> str:
+        """Per-command-kind counts and total time, as a text block."""
+        lines = ["device trace summary:"]
+        for kind in CommandKind:
+            events = self.events_of(kind)
+            if not events:
+                continue
+            total_ms = sum(e.duration_us for e in events) / 1000.0
+            lines.append(f"  {kind.value:12s} {len(events):8d} commands  {total_ms:10.2f} ms")
+        if self.dropped:
+            lines.append(f"  ({self.dropped} events dropped: capacity reached)")
+        return "\n".join(lines)
+
+
+class TracingDevice:
+    """Transparent tracing wrapper around a storage device.
+
+    Exposes the full device interface; every command is timed against the
+    simulated clock and appended to :attr:`trace`.
+    """
+
+    def __init__(self, inner: StorageDevice, capacity: int | None = 100_000) -> None:
+        self.inner = inner
+        self.trace = DeviceTrace(capacity=capacity)
+        self._seq = 0
+
+    # Pass-through attributes commonly used by the fs layer.
+    @property
+    def clock(self):
+        """The shared simulation clock."""
+        return self.inner.clock
+
+    @property
+    def profile(self):
+        """The device's latency profile."""
+        return self.inner.profile
+
+    @property
+    def page_size(self) -> int:
+        """Bytes per logical page."""
+        return self.inner.page_size
+
+    @property
+    def exported_pages(self) -> int:
+        """Logical pages visible to the host."""
+        return self.inner.exported_pages
+
+    @property
+    def supports_transactions(self) -> bool:
+        """Whether the extended command set is available."""
+        return self.inner.supports_transactions
+
+    @property
+    def ftl(self):
+        """The wrapped device's FTL."""
+        return self.inner.ftl
+
+    @property
+    def chip(self):
+        """The wrapped device's flash chip."""
+        return self.inner.chip
+
+    @property
+    def counters(self):
+        """The wrapped device's command counters."""
+        return self.inner.counters
+
+    @property
+    def is_on(self) -> bool:
+        """Whether the device is powered."""
+        return self.inner.is_on
+
+    def power_off(self) -> None:
+        """Cut power on the wrapped device."""
+        self.inner.power_off()
+
+    def power_on(self) -> None:
+        """Restore power on the wrapped device (runs recovery)."""
+        self.inner.power_on()
+
+    # ------------------------------------------------------------ commands
+
+    def _timed(self, kind: CommandKind, lpn: int | None, tid: int | None, call) -> Any:
+        start = self.inner.clock.now_us
+        result = call()
+        self._seq += 1
+        self.trace.append(
+            TraceEvent(
+                seq=self._seq,
+                kind=kind,
+                lpn=lpn,
+                tid=tid,
+                start_us=start,
+                duration_us=self.inner.clock.now_us - start,
+            )
+        )
+        return result
+
+    def read(self, lpn: int) -> Any:
+        """Traced plain read."""
+        return self._timed(CommandKind.READ, lpn, None, lambda: self.inner.read(lpn))
+
+    def write(self, lpn: int, data: Any) -> None:
+        """Traced plain write."""
+        return self._timed(CommandKind.WRITE, lpn, None, lambda: self.inner.write(lpn, data))
+
+    def trim(self, lpn: int) -> None:
+        """Traced trim."""
+        return self._timed(CommandKind.TRIM, lpn, None, lambda: self.inner.trim(lpn))
+
+    def flush(self) -> None:
+        """Traced write barrier."""
+        return self._timed(CommandKind.FLUSH, None, None, self.inner.flush)
+
+    def read_tx(self, tid: int, lpn: int) -> Any:
+        """Traced tagged read."""
+        return self._timed(
+            CommandKind.READ_TX, lpn, tid, lambda: self.inner.read_tx(tid, lpn)
+        )
+
+    def write_tx(self, tid: int, lpn: int, data: Any) -> None:
+        """Traced tagged write."""
+        return self._timed(
+            CommandKind.WRITE_TX, lpn, tid, lambda: self.inner.write_tx(tid, lpn, data)
+        )
+
+    def commit(self, tid: int) -> None:
+        """Traced commit(t)."""
+        return self._timed(CommandKind.COMMIT, None, tid, lambda: self.inner.commit(tid))
+
+    def abort(self, tid: int) -> None:
+        """Traced abort(t)."""
+        return self._timed(CommandKind.ABORT, None, tid, lambda: self.inner.abort(tid))

@@ -1,0 +1,7 @@
+"""NAND flash chip simulation: geometry, raw chip operations, statistics."""
+
+from repro.flash.geometry import FlashGeometry
+from repro.flash.chip import FlashChip, PageState
+from repro.flash.stats import FlashStats
+
+__all__ = ["FlashGeometry", "FlashChip", "PageState", "FlashStats"]

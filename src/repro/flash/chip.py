@@ -1,0 +1,171 @@
+"""Raw NAND flash chip model.
+
+Enforces the physical rules that make copy-on-write FTLs necessary:
+
+- a page can only be programmed when erased (no overwrite in place);
+- pages within a block must be programmed in sequential order (a requirement
+  of MLC NAND and the reason FTLs append into "active" blocks);
+- erasure happens at block granularity and wears the block.
+
+Every page carries a small out-of-band (OOB) area, used by FTLs to store the
+logical page number and other recovery metadata, mirroring how real FTLs
+rebuild mapping state after power loss.
+
+Latency for each operation is charged to the shared simulation clock, and a
+:class:`~repro.sim.crash.CrashPlan` can cut power before/after a program or
+erase — optionally leaving the in-flight page *torn* (detectable garbage),
+which models the non-atomic sector write SQLite worries about (§2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import CorruptionError, FlashError, PowerFailure
+from repro.flash.geometry import FlashGeometry
+from repro.flash.stats import FlashStats
+from repro.sim.clock import SimClock
+from repro.sim.crash import NO_CRASH, CrashPlan
+from repro.sim.latency import OPENSSD_PROFILE, LatencyProfile
+
+
+class PageState(enum.Enum):
+    """Lifecycle of one physical page."""
+
+    ERASED = "erased"
+    PROGRAMMED = "programmed"
+    TORN = "torn"
+
+
+class FlashChip:
+    """One simulated NAND chip.
+
+    Content is stored per physical page as ``bytes`` (or any immutable
+    object; FTL metadata pages store tuples).  The chip knows nothing about
+    logical addresses, validity or mapping — that is the FTL's job.
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry | None = None,
+        clock: SimClock | None = None,
+        profile: LatencyProfile = OPENSSD_PROFILE,
+        crash_plan: CrashPlan | None = None,
+        stats: FlashStats | None = None,
+    ) -> None:
+        self.geometry = geometry or FlashGeometry()
+        self.clock = clock or SimClock()
+        self.profile = profile
+        self.crash_plan = crash_plan if crash_plan is not None else NO_CRASH
+        self.stats = stats or FlashStats()
+
+        total = self.geometry.total_pages
+        self._data: list[Any] = [None] * total
+        self._oob: list[Any] = [None] * total
+        self._state: list[PageState] = [PageState.ERASED] * total
+        # Next programmable page index within each block (sequential rule).
+        self._write_point: list[int] = [0] * self.geometry.num_blocks
+        self.erase_counts: list[int] = [0] * self.geometry.num_blocks
+
+    # ------------------------------------------------------------------ ops
+
+    def program(self, ppn: int, data: Any, oob: Any = None) -> None:
+        """Program one page.
+
+        Raises :class:`FlashError` if the page is not erased or violates the
+        in-block sequential-program rule.  Charges program latency.  If the
+        crash plan fires *during* the program with ``tear_page`` set, the
+        page is left in ``TORN`` state.
+        """
+        self.geometry.check_ppn(ppn)
+        if self._state[ppn] is not PageState.ERASED:
+            raise FlashError(f"program of non-erased page ppn={ppn} ({self._state[ppn].value})")
+        block = ppn // self.geometry.pages_per_block
+        index = ppn % self.geometry.pages_per_block
+        if index != self._write_point[block]:
+            raise FlashError(
+                f"out-of-order program in block {block}: page index {index}, "
+                f"expected {self._write_point[block]}"
+            )
+
+        self.crash_plan.hit("flash.program.before")
+        fired = self.crash_plan.countdown("flash.program.mid")
+        if fired is not None and fired.tear_page:
+            # Power fails mid-program: the page is neither erased nor valid.
+            self._state[ppn] = PageState.TORN
+            self._data[ppn] = None
+            self._oob[ppn] = None
+            self._write_point[block] = index + 1
+            self.stats.page_programs += 1
+            raise PowerFailure(f"power lost mid-program of ppn={ppn} (page torn)")
+        if fired is not None:
+            raise PowerFailure(f"power lost before program of ppn={ppn}")
+
+        self._data[ppn] = data
+        self._oob[ppn] = oob
+        self._state[ppn] = PageState.PROGRAMMED
+        self._write_point[block] = index + 1
+        self.stats.page_programs += 1
+        self.clock.advance(self.profile.page_program_us)
+        self.crash_plan.hit("flash.program.after")
+
+    def read(self, ppn: int) -> Any:
+        """Read one page's data area.  Torn pages raise CorruptionError."""
+        self.geometry.check_ppn(ppn)
+        state = self._state[ppn]
+        if state is PageState.TORN:
+            raise CorruptionError(f"read of torn page ppn={ppn}")
+        if state is PageState.ERASED:
+            raise FlashError(f"read of erased page ppn={ppn}")
+        self.stats.page_reads += 1
+        self.clock.advance(self.profile.page_read_us)
+        return self._data[ppn]
+
+    def read_oob(self, ppn: int) -> Any:
+        """Read one page's out-of-band area (no extra latency: piggybacked)."""
+        self.geometry.check_ppn(ppn)
+        if self._state[ppn] is not PageState.PROGRAMMED:
+            return None
+        return self._oob[ppn]
+
+    def erase(self, block: int) -> None:
+        """Erase one block, resetting all its pages and its write point."""
+        self.geometry.check_block(block)
+        self.crash_plan.hit("flash.erase.before")
+        start = block * self.geometry.pages_per_block
+        end = start + self.geometry.pages_per_block
+        for ppn in range(start, end):
+            self._data[ppn] = None
+            self._oob[ppn] = None
+            self._state[ppn] = PageState.ERASED
+        self._write_point[block] = 0
+        self.erase_counts[block] += 1
+        self.stats.block_erases += 1
+        self.clock.advance(self.profile.block_erase_us)
+
+    # ---------------------------------------------------------- inspection
+
+    def state_of(self, ppn: int) -> PageState:
+        self.geometry.check_ppn(ppn)
+        return self._state[ppn]
+
+    def is_torn(self, ppn: int) -> bool:
+        return self.state_of(ppn) is PageState.TORN
+
+    def block_write_point(self, block: int) -> int:
+        """Next programmable page index in ``block`` (sequential rule)."""
+        self.geometry.check_block(block)
+        return self._write_point[block]
+
+    def block_is_full(self, block: int) -> bool:
+        return self.block_write_point(block) >= self.geometry.pages_per_block
+
+    def peek(self, ppn: int) -> Any:
+        """Read without latency or statistics — for tests and recovery scans.
+
+        Recovery-time full-device scans use :meth:`read`/:meth:`read_oob`;
+        ``peek`` exists so assertions in tests do not perturb counters.
+        """
+        self.geometry.check_ppn(ppn)
+        return self._data[ppn]

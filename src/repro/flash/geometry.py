@@ -1,0 +1,68 @@
+"""Flash chip geometry.
+
+The OpenSSD board in the paper carries Samsung K9LCG08U1M MLC NAND with 8 KB
+pages and 128 pages per block; the default geometry matches that.  The number
+of blocks is configurable so tests can use tiny chips and benchmarks can use
+device-scale ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FlashGeometryError
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Physical layout of one flash chip.
+
+    Attributes:
+        page_size: Bytes per page (data area; out-of-band metadata is
+            modelled separately by the chip).
+        pages_per_block: Pages in one erase block.
+        num_blocks: Erase blocks on the chip.
+    """
+
+    page_size: int = 8192
+    pages_per_block: int = 128
+    num_blocks: int = 256
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0 or self.pages_per_block <= 0 or self.num_blocks <= 0:
+            raise FlashGeometryError(f"non-positive geometry: {self}")
+
+    @property
+    def total_pages(self) -> int:
+        """Total physical pages on the chip."""
+        return self.pages_per_block * self.num_blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Raw capacity in bytes."""
+        return self.total_pages * self.page_size
+
+    def ppn_of(self, block: int, page: int) -> int:
+        """Physical page number of ``page`` within ``block``."""
+        self.check_block(block)
+        if not 0 <= page < self.pages_per_block:
+            raise FlashGeometryError(f"page {page} outside block (0..{self.pages_per_block - 1})")
+        return block * self.pages_per_block + page
+
+    def block_of(self, ppn: int) -> int:
+        """Erase block containing physical page ``ppn``."""
+        self.check_ppn(ppn)
+        return ppn // self.pages_per_block
+
+    def page_index_of(self, ppn: int) -> int:
+        """Index of ``ppn`` within its block."""
+        self.check_ppn(ppn)
+        return ppn % self.pages_per_block
+
+    def check_ppn(self, ppn: int) -> None:
+        if not 0 <= ppn < self.total_pages:
+            raise FlashGeometryError(f"ppn {ppn} outside chip (0..{self.total_pages - 1})")
+
+    def check_block(self, block: int) -> None:
+        if not 0 <= block < self.num_blocks:
+            raise FlashGeometryError(f"block {block} outside chip (0..{self.num_blocks - 1})")

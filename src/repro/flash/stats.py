@@ -1,0 +1,59 @@
+"""Flash and FTL I/O statistics.
+
+The paper's Table 1 and Figure 6 report FTL-side counters (page writes and
+reads including internal copybacks, garbage-collection invocations, block
+erases).  :class:`FlashStats` is the single accumulator both the raw chip and
+the FTL write into, so a benchmark can snapshot/diff it around a workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class FlashStats:
+    """Counters across the flash stack.
+
+    Chip-level (raw NAND operations):
+        page_reads, page_programs, block_erases
+
+    FTL-level breakdown (subsets/causes of the chip-level counts):
+        host_page_writes: programs triggered directly by host write commands
+        host_page_reads: reads triggered directly by host read commands
+        gc_copyback_reads / gc_copyback_writes: valid-page moves during GC
+        gc_invocations: victim blocks garbage-collected
+        map_page_writes: mapping-table (L2P) pages persisted on barriers
+        xl2p_page_writes: X-L2P table pages persisted on transaction commits
+        barriers: flush/barrier commands processed
+        commits / aborts: transactional commands processed (X-FTL only)
+    """
+
+    page_reads: int = 0
+    page_programs: int = 0
+    block_erases: int = 0
+
+    host_page_writes: int = 0
+    host_page_reads: int = 0
+    gc_copyback_reads: int = 0
+    gc_copyback_writes: int = 0
+    gc_invocations: int = 0
+    map_page_writes: int = 0
+    xl2p_page_writes: int = 0
+    barriers: int = 0
+    commits: int = 0
+    aborts: int = 0
+
+    def snapshot(self) -> "FlashStats":
+        """Return an independent copy of the current counters."""
+        return FlashStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def diff(self, earlier: "FlashStats") -> "FlashStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return FlashStats(
+            **{f.name: getattr(self, f.name) - getattr(earlier, f.name) for f in fields(self)}
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view, handy for report tables."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,13 @@
+"""Simulated ext4-like file system.
+
+The file system is the messenger between SQLite and the storage device
+(§5.2): it owns the page cache, block allocation, metadata, and the journal
+(JBD2-style, ordered or full-data mode), and — when running over X-FTL —
+passes transaction ids down via tagged writes and translates fsync/ioctl
+into ``commit(t)`` / ``abort(t)`` commands.
+"""
+
+from repro.fs.ext4 import Ext4, FileHandle, FsStats, JournalMode
+from repro.fs.pagecache import CachedPage, PageCache
+
+__all__ = ["Ext4", "FileHandle", "FsStats", "JournalMode", "PageCache", "CachedPage"]

@@ -1,0 +1,723 @@
+"""ext4-like file system over a simulated storage device.
+
+Implements the parts of ext4 that the paper's experiments exercise:
+
+- inodes with direct + indirect block pointers, a flat root directory,
+  block/inode allocation bitmaps, a superblock;
+- a page cache with force (fsync) and steal (dirty eviction) behaviour;
+- three durability modes (:class:`JournalMode`):
+
+  ``ORDERED``
+      metadata journaling with data-before-metadata ordering — two write
+      barriers per fsync (data, then journal frame + commit page);
+  ``FULL``
+      data journaling — every data page goes through the journal and is
+      later checkpointed home, i.e. written twice;
+  ``XFTL``
+      journaling off, transactions pushed down to the device: file data and
+      metadata writes are tagged with a transaction id, fsync ends with a
+      ``commit(t)``, and an ioctl ``abort(t)`` drops cached dirty pages and
+      rolls back stolen ones inside the device (§5.2);
+  ``NONE``
+      no journaling, no transactions — fast and unsafe (ablation only).
+
+Metadata pages are written with self-describing images so a crashed file
+system can be remounted from the device alone.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.device.ssd import StorageDevice
+from repro.errors import (
+    FileExistsFsError,
+    FileNotFoundFsError,
+    FsError,
+)
+from repro.fs.journal import Jbd2Journal
+from repro.fs.pagecache import PageCache
+
+DIRECT_PTRS = 12
+INODES_PER_PAGE = 32
+TID_MOUNT_GAP = 10_000  # tid headroom reserved across remounts
+
+
+class JournalMode(enum.Enum):
+    """Durability strategy of the file system."""
+
+    ORDERED = "ordered"
+    FULL = "full"
+    XFTL = "xftl"
+    NONE = "none"
+
+
+@dataclass
+class FsStats:
+    """File-system-side I/O accounting (the 'File System' column of Table 1)."""
+
+    data_page_writes: int = 0
+    meta_page_writes: int = 0
+    journal_page_writes: int = 0
+    fsync_calls: int = 0
+    file_creates: int = 0
+    file_deletes: int = 0
+    checkpoints: int = 0
+
+    def snapshot(self) -> "FsStats":
+        return FsStats(**vars(self))
+
+    def diff(self, earlier: "FsStats") -> "FsStats":
+        return FsStats(**{k: v - getattr(earlier, k) for k, v in vars(self).items()})
+
+
+@dataclass
+class Inode:
+    """On-media inode: name, size and block pointers."""
+
+    ino: int
+    name: str
+    size_bytes: int = 0
+    direct: list[int | None] = field(default_factory=lambda: [None] * DIRECT_PTRS)
+    indirect: list[int] = field(default_factory=list)  # lpns of indirect blocks
+
+    def as_record(self) -> tuple:
+        return (self.ino, self.name, self.size_bytes, tuple(self.direct), tuple(self.indirect))
+
+    @classmethod
+    def from_record(cls, record: tuple) -> "Inode":
+        ino, name, size_bytes, direct, indirect = record
+        return cls(
+            ino=ino,
+            name=name,
+            size_bytes=size_bytes,
+            direct=list(direct),
+            indirect=list(indirect),
+        )
+
+
+class Ext4:
+    """The simulated file system (see module docstring)."""
+
+    def __init__(
+        self,
+        device: StorageDevice,
+        mode: JournalMode = JournalMode.ORDERED,
+        journal_pages: int = 256,
+        cache_capacity: int = 4096,
+        max_inodes: int = 128,
+    ) -> None:
+        if mode is JournalMode.XFTL and not device.supports_transactions:
+            raise FsError("XFTL mode requires a device with the extended command set")
+        self.device = device
+        self.mode = mode
+        self.stats = FsStats()
+        self._clock = device.clock
+        self._profile = device.profile
+        self.max_inodes = max_inodes
+
+        # ---- layout ----------------------------------------------------
+        total = device.exported_pages
+        page_size = device.page_size
+        bits_per_page = page_size * 8
+        self.sb_lpn = 0
+        self.bitmap_start = 1
+        self.bitmap_pages = math.ceil(total / bits_per_page)
+        self.itable_start = self.bitmap_start + self.bitmap_pages
+        self.itable_pages = math.ceil(max_inodes / INODES_PER_PAGE)
+        self.dir_lpn = self.itable_start + self.itable_pages
+        self.journal_start = self.dir_lpn + 1
+        self.journal_pages = journal_pages
+        self.data_start = self.journal_start + journal_pages
+        if self.data_start >= total:
+            raise FsError("device too small for this file-system layout")
+        self.data_pages = total - self.data_start
+        self.ptrs_per_page = page_size // 8
+
+        # ---- volatile state ---------------------------------------------
+        self._inodes: dict[int, Inode] = {}
+        self._by_name: dict[str, int] = {}
+        self._free_data: set[int] = set(range(self.data_start, total))
+        self._alloc_cursor = self.data_start  # next-fit allocation pointer
+        self._indirect: dict[int, list[int | None]] = {}
+        self._next_ino = 1
+        self._free_inos: list[int] = []  # reusable inode numbers (unlinked)
+        self._next_tid = 1
+        self._dirty_meta: set[int] = set()
+        self._dirty_data: dict[int, int] = {}  # lpn -> ino
+        self._stolen: dict[int, int] = {}  # lpn -> tid (uncommitted, on device)
+        self.cache = PageCache(cache_capacity, writeback=self._evict_writeback)
+        self.journal: Jbd2Journal | None = None
+        if mode in (JournalMode.ORDERED, JournalMode.FULL):
+            self.journal = self._make_journal()
+
+    # ------------------------------------------------------------- factory
+
+    @classmethod
+    def mkfs(cls, device: StorageDevice, mode: JournalMode = JournalMode.ORDERED, **kwargs) -> "Ext4":
+        """Create a fresh file system and persist its empty metadata."""
+        fs = cls(device, mode=mode, **kwargs)
+        fs._dirty_meta.add(fs.sb_lpn)
+        fs._dirty_meta.update(range(fs.bitmap_start, fs.bitmap_start + fs.bitmap_pages))
+        fs._dirty_meta.update(range(fs.itable_start, fs.itable_start + fs.itable_pages))
+        fs._dirty_meta.add(fs.dir_lpn)
+        for lpn in sorted(fs._dirty_meta):
+            fs._write_meta_home(lpn)
+        fs._dirty_meta.clear()
+        device.flush()
+        return fs
+
+    @classmethod
+    def mount(cls, device: StorageDevice, mode: JournalMode = JournalMode.ORDERED, **kwargs) -> "Ext4":
+        """Mount an existing file system, replaying the journal if needed."""
+        fs = cls(device, mode=mode, **kwargs)
+        if fs.journal is not None:
+            retired, max_txid, home_writes = Jbd2Journal.replay(
+                fs.journal_start, fs.journal_pages, device.read
+            )
+            for lpn, image in home_writes:
+                fs._device_write_meta_raw(lpn, image)
+            if home_writes:
+                device.flush()
+            fs.journal.restore_position(retired, max_txid)
+        fs._load_metadata()
+        return fs
+
+    def _make_journal(self) -> Jbd2Journal:
+        return Jbd2Journal(
+            region_start=self.journal_start,
+            region_pages=self.journal_pages,
+            write_page=self._device_write_journal,
+            read_page=self.device.read,
+            barrier=self.device.flush,
+            write_home=self._journal_write_home,
+        )
+
+    # ------------------------------------------------------------ file API
+
+    def create(self, name: str) -> "FileHandle":
+        """Create an empty file; metadata becomes dirty (journaled later)."""
+        if name in self._by_name:
+            raise FileExistsFsError(name)
+        if len(self._inodes) >= self.max_inodes:
+            raise FsError("out of inodes")
+        self._charge_syscall()
+        if self._free_inos:
+            ino = self._free_inos.pop()
+        else:
+            ino = self._next_ino
+            self._next_ino += 1
+        inode = Inode(ino=ino, name=name)
+        self._inodes[ino] = inode
+        self._by_name[name] = ino
+        self._mark_meta_dirty_for_inode(ino)
+        self._dirty_meta.add(self.dir_lpn)
+        self._dirty_meta.add(self.sb_lpn)
+        self.stats.file_creates += 1
+        return FileHandle(self, inode)
+
+    def open(self, name: str) -> "FileHandle":
+        self._charge_syscall()
+        ino = self._by_name.get(name)
+        if ino is None:
+            raise FileNotFoundFsError(name)
+        return FileHandle(self, self._inodes[ino])
+
+    def exists(self, name: str) -> bool:
+        return name in self._by_name
+
+    def unlink(self, name: str) -> None:
+        """Delete a file: free its blocks (with device trim) and its inode."""
+        self._charge_syscall()
+        ino = self._by_name.pop(name, None)
+        if ino is None:
+            raise FileNotFoundFsError(name)
+        inode = self._inodes.pop(ino)
+        for lpn in self._block_lpns(inode):
+            self._release_block(lpn)
+        for ind_lpn in inode.indirect:
+            self._indirect.pop(ind_lpn, None)
+            self._release_block(ind_lpn)
+        self._mark_meta_dirty_for_inode(ino)
+        self._dirty_meta.add(self.dir_lpn)
+        self._free_inos.append(ino)
+        self.stats.file_deletes += 1
+
+    def listdir(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def allocation_frontier(self) -> int:
+        """Lowest lpn above every block this file system has ever allocated.
+
+        Device-aging utilities place cold filler above this point so they
+        never clobber live file contents; the file system is still free to
+        grow into (and overwrite) the filler region later.
+        """
+        return max(self._alloc_cursor, self.data_start)
+
+    # ---------------------------------------------------------- tid / sync
+
+    def begin_tx(self) -> int:
+        """Allocate a transaction id (tids are managed by the fs, §5.2)."""
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
+    def fsync(self, handle: "FileHandle", tid: int | None = None) -> None:
+        """Force the file's dirty data (and all dirty metadata) durable.
+
+        In XFTL mode this ends with a ``commit(tid)`` on the device —
+        making every page the transaction wrote (whether force-written now
+        or stolen earlier) atomically durable.
+        """
+        self.stats.fsync_calls += 1
+        self._clock.advance(self._profile.host_fsync_us)
+        dirty = self._drain_dirty_data(handle.inode.ino)
+        if self.mode is JournalMode.ORDERED:
+            self._fsync_ordered(dirty)
+        elif self.mode is JournalMode.FULL:
+            self._fsync_full(dirty)
+        elif self.mode is JournalMode.XFTL:
+            self._fsync_xftl(dirty, tid)
+        else:
+            self._fsync_none(dirty)
+
+    def fsync_group(self, handles: list["FileHandle"], tid: int) -> None:
+        """Atomically force several files' dirty data under one transaction.
+
+        This is the §4.3 multi-file case: where stock SQLite needs a master
+        journal to make updates spanning database files atomic, X-FTL just
+        tags every page of every file with the same tid and issues a single
+        ``commit(t)``.  Only meaningful in XFTL mode.
+        """
+        if self.mode is not JournalMode.XFTL:
+            raise FsError("fsync_group requires XFTL mode")
+        self.stats.fsync_calls += 1
+        self._clock.advance(self._profile.host_fsync_us)
+        dirty: list[tuple[int, Any]] = []
+        for handle in handles:
+            dirty.extend(self._drain_dirty_data(handle.inode.ino))
+        self._fsync_xftl(dirty, tid)
+
+    def sync_metadata(self, tid: int | None = None) -> None:
+        """Directory-style fsync: flush only metadata (after create/unlink)."""
+        self.stats.fsync_calls += 1
+        self._clock.advance(self._profile.host_fsync_us)
+        if self.mode is JournalMode.ORDERED or self.mode is JournalMode.FULL:
+            self._journal_metadata()
+        elif self.mode is JournalMode.XFTL:
+            self._fsync_xftl([], tid)
+        else:
+            for lpn in sorted(self._dirty_meta):
+                self._write_meta_home(lpn)
+            self._dirty_meta.clear()
+            self.device.flush()
+
+    def ioctl_abort(self, tid: int) -> None:
+        """Abort a transaction (the new ioctl request type, §5.1).
+
+        Cached dirty pages of the transaction are dropped; changes already
+        stolen to the device are rolled back by the device's abort command.
+        """
+        self._charge_syscall()
+        for lpn in self.cache.drop_tid(tid):
+            self._dirty_data.pop(lpn, None)
+        if self.mode is JournalMode.XFTL:
+            self.device.abort(tid)
+        for lpn in [lpn for lpn, owner in self._stolen.items() if owner == tid]:
+            del self._stolen[lpn]
+
+    # ----------------------------------------------------- fsync mode paths
+
+    def _fsync_ordered(self, dirty: list[tuple[int, Any]]) -> None:
+        """Data home first, then the metadata journal frame.
+
+        The journal's pre-commit-record barrier orders the data writes and
+        the frame body before the commit page, so ordered mode costs exactly
+        two barriers per fsync (§6.3.4) — no separate data barrier.
+        """
+        for lpn, data in dirty:
+            self._device_write_data(lpn, data)
+        if dirty and not self._dirty_meta:
+            # No metadata to journal: the data itself still needs a barrier.
+            self.device.flush()
+            return
+        self._journal_metadata()
+
+    def _fsync_full(self, dirty: list[tuple[int, Any]]) -> None:
+        """Everything through the journal: data is written twice overall."""
+        records = [(lpn, data) for lpn, data in dirty]
+        records.extend(self._render_dirty_meta())
+        if records:
+            assert self.journal is not None
+            self.journal.commit(records)
+            self.stats.journal_page_writes += len(records) + 2
+        self._dirty_meta.clear()
+
+    def _fsync_xftl(self, dirty: list[tuple[int, Any]], tid: int | None) -> None:
+        """Tagged writes + commit(t): one barrier-equivalent per fsync.
+
+        If any tagged write fails (e.g. the device's X-L2P table is full),
+        the affected pages are dropped from the cache: their cached images
+        are uncommitted, and the caller is expected to abort ``tid``.
+        """
+        if tid is None:
+            tid = self.begin_tx()
+        try:
+            for lpn, data in dirty:
+                self._device_write_data(lpn, data, tid=tid)
+            for lpn, image in self._render_dirty_meta():
+                self._device_write_meta_raw(lpn, image, tid=tid)
+        except BaseException:
+            for lpn, _data in dirty:
+                self.cache.drop(lpn)
+            raise
+        self._dirty_meta.clear()
+        self.device.commit(tid)
+        for lpn in [lpn for lpn, owner in self._stolen.items() if owner == tid]:
+            del self._stolen[lpn]
+
+    def _fsync_none(self, dirty: list[tuple[int, Any]]) -> None:
+        for lpn, data in dirty:
+            self._device_write_data(lpn, data)
+        for lpn in sorted(self._dirty_meta):
+            self._write_meta_home(lpn)
+        self._dirty_meta.clear()
+        self.device.flush()
+
+    def _journal_metadata(self) -> None:
+        records = self._render_dirty_meta()
+        if records:
+            assert self.journal is not None
+            self.journal.commit(records)
+            self.stats.journal_page_writes += len(records) + 2
+        else:
+            self.device.flush()  # nothing to journal, still a durability point
+        self._dirty_meta.clear()
+
+    def _drain_dirty_data(self, ino: int) -> list[tuple[int, Any]]:
+        lpns = sorted(lpn for lpn, owner in self._dirty_data.items() if owner == ino)
+        out: list[tuple[int, Any]] = []
+        for lpn in lpns:
+            page = self.cache.peek(lpn)
+            if page is not None and page.dirty:
+                out.append((lpn, page.data))
+                self.cache.mark_clean(lpn)
+            del self._dirty_data[lpn]
+        return out
+
+    # --------------------------------------------------------- device plumb
+
+    def _charge_syscall(self) -> None:
+        self._clock.advance(self._profile.host_syscall_us)
+
+    def _device_write_data(self, lpn: int, data: Any, tid: int | None = None) -> None:
+        self.stats.data_page_writes += 1
+        if tid is not None:
+            self.device.write_tx(tid, lpn, data)
+        else:
+            self.device.write(lpn, data)
+
+    def _device_write_meta_raw(self, lpn: int, image: Any, tid: int | None = None) -> None:
+        self.stats.meta_page_writes += 1
+        if tid is not None:
+            self.device.write_tx(tid, lpn, image)
+        else:
+            self.device.write(lpn, image)
+
+    def _device_write_journal(self, lpn: int, image: Any) -> None:
+        self.stats.journal_page_writes += 1
+        self.device.write(lpn, image)
+
+    def _journal_write_home(self, lpn: int, image: Any) -> None:
+        """Checkpoint write-back: journaled image to its home location."""
+        if self.data_start <= lpn:
+            self.stats.data_page_writes += 1
+            self.device.write(lpn, image)
+        else:
+            self._device_write_meta_raw(lpn, image)
+
+    def _write_meta_home(self, lpn: int) -> None:
+        self._device_write_meta_raw(lpn, self._render_meta(lpn))
+
+    # ------------------------------------------------------- block plumbing
+
+    def _block_lpns(self, inode: Inode) -> Iterator[int]:
+        for lpn in inode.direct:
+            if lpn is not None:
+                yield lpn
+        for ind_lpn in inode.indirect:
+            for lpn in self._indirect.get(ind_lpn, []):
+                if lpn is not None:
+                    yield lpn
+
+    def _lookup_block(self, inode: Inode, index: int) -> int | None:
+        if index < DIRECT_PTRS:
+            return inode.direct[index]
+        index -= DIRECT_PTRS
+        ind_slot, offset = divmod(index, self.ptrs_per_page)
+        if ind_slot >= len(inode.indirect):
+            return None
+        ptrs = self._indirect[inode.indirect[ind_slot]]
+        return ptrs[offset]
+
+    def _ensure_block(self, inode: Inode, index: int) -> int:
+        """Return the lpn for file page ``index``, allocating if needed."""
+        existing = self._lookup_block(inode, index)
+        if existing is not None:
+            return existing
+        lpn = self._allocate_block()
+        if index < DIRECT_PTRS:
+            inode.direct[index] = lpn
+        else:
+            rel = index - DIRECT_PTRS
+            ind_slot, offset = divmod(rel, self.ptrs_per_page)
+            while ind_slot >= len(inode.indirect):
+                ind_lpn = self._allocate_block()
+                inode.indirect.append(ind_lpn)
+                self._indirect[ind_lpn] = [None] * self.ptrs_per_page
+            ind_lpn = inode.indirect[ind_slot]
+            self._indirect[ind_lpn][offset] = lpn
+            self._dirty_meta.add(ind_lpn)
+        self._mark_meta_dirty_for_inode(inode.ino)
+        page_size = self.device.page_size
+        inode.size_bytes = max(inode.size_bytes, (index + 1) * page_size)
+        return lpn
+
+    def _allocate_block(self) -> int:
+        """Next-fit block allocation (O(1) amortized over the data region)."""
+        if not self._free_data:
+            raise FsError("file system out of space")
+        total = self.device.exported_pages
+        span = total - self.data_start
+        cursor = self._alloc_cursor
+        for _ in range(span):
+            if cursor >= total:
+                cursor = self.data_start
+            if cursor in self._free_data:
+                self._free_data.remove(cursor)
+                self._alloc_cursor = cursor + 1
+                self._dirty_meta.add(self._bitmap_lpn_for(cursor))
+                return cursor
+            cursor += 1
+        raise FsError("file system out of space")  # pragma: no cover - guarded above
+
+    def _release_block(self, lpn: int) -> None:
+        self._free_data.add(lpn)
+        self._dirty_meta.add(self._bitmap_lpn_for(lpn))
+        self._dirty_data.pop(lpn, None)
+        self._stolen.pop(lpn, None)
+        self.cache.drop(lpn)
+        self.device.trim(lpn)
+
+    def _bitmap_lpn_for(self, lpn: int) -> int:
+        bits_per_page = self.device.page_size * 8
+        return self.bitmap_start + lpn // bits_per_page
+
+    def _mark_meta_dirty_for_inode(self, ino: int) -> None:
+        self._dirty_meta.add(self.itable_start + (ino - 1) // INODES_PER_PAGE)
+
+    # ------------------------------------------------------- metadata pages
+
+    def _render_meta(self, lpn: int) -> Any:
+        """Self-describing image for a metadata page."""
+        if lpn == self.sb_lpn:
+            return ("sb", self._next_ino, self._next_tid)
+        if self.bitmap_start <= lpn < self.bitmap_start + self.bitmap_pages:
+            # Bitmap images carry no payload: mount reconstructs allocation
+            # from the inodes (like e2fsck would).  The page write itself is
+            # what matters for the I/O accounting.
+            index = lpn - self.bitmap_start
+            return ("bitmap", index)
+        if self.itable_start <= lpn < self.itable_start + self.itable_pages:
+            index = lpn - self.itable_start
+            lo_ino = index * INODES_PER_PAGE + 1
+            hi_ino = lo_ino + INODES_PER_PAGE
+            records = tuple(
+                inode.as_record()
+                for ino, inode in sorted(self._inodes.items())
+                if lo_ino <= ino < hi_ino
+            )
+            return ("itable", index, records)
+        if lpn == self.dir_lpn:
+            return ("dir", tuple(sorted(self._by_name.items())))
+        if lpn in self._indirect:
+            return ("ind", lpn, tuple(self._indirect[lpn]))
+        raise FsError(f"lpn {lpn} is not a metadata page")
+
+    def _render_dirty_meta(self) -> list[tuple[int, Any]]:
+        return [(lpn, self._render_meta(lpn)) for lpn in sorted(self._dirty_meta)]
+
+    def _load_metadata(self) -> None:
+        """Rebuild in-memory metadata from on-device images (mount path)."""
+        sb = self.device.read(self.sb_lpn)
+        if not sb or sb[0] != "sb":
+            raise FsError("no file system found (bad superblock)")
+        self._next_ino = sb[1]
+        self._next_tid = sb[2] + TID_MOUNT_GAP
+        self._inodes = {}
+        self._by_name = {}
+        for index in range(self.itable_pages):
+            image = self.device.read(self.itable_start + index)
+            if not image:
+                continue
+            for record in image[2]:
+                inode = Inode.from_record(record)
+                self._inodes[inode.ino] = inode
+        dir_image = self.device.read(self.dir_lpn)
+        if dir_image:
+            self._by_name = dict(dir_image[1])
+        # Drop inodes with no directory entry (unlinked but itable page stale).
+        live = set(self._by_name.values())
+        self._inodes = {ino: inode for ino, inode in self._inodes.items() if ino in live}
+        self._free_inos = [ino for ino in range(1, self._next_ino) if ino not in live]
+        # Indirect blocks.
+        self._indirect = {}
+        used: set[int] = set()
+        for inode in self._inodes.values():
+            for ind_lpn in inode.indirect:
+                image = self.device.read(ind_lpn)
+                if image and image[0] == "ind":
+                    self._indirect[ind_lpn] = list(image[2])
+                else:
+                    self._indirect[ind_lpn] = [None] * self.ptrs_per_page
+                used.add(ind_lpn)
+        for inode in self._inodes.values():
+            used.update(self._block_lpns(inode))
+        total = self.device.exported_pages
+        self._free_data = set(range(self.data_start, total)) - used
+
+    # ------------------------------------------------------------ data path
+
+    def read_lpn(self, lpn: int) -> Any:
+        """Read one file data page through cache/journal/device layers."""
+        page = self.cache.get(lpn)
+        if page is not None:
+            return page.data
+        self._charge_syscall()
+        if self.journal is not None:
+            pending = self.journal.pending_image(lpn)
+            if pending is not None:
+                self.cache.put(lpn, pending)
+                return pending
+        if lpn in self._stolen:
+            # An uncommitted (stolen) copy is on the device.  Plain readers
+            # get the committed copy, and it must not be cached: the cache
+            # would go stale the moment the stealing transaction commits.
+            return self.device.read(lpn)
+        data = self.device.read(lpn)
+        if data is not None:
+            self.cache.put(lpn, data)
+        return data
+
+    def write_lpn(self, lpn: int, data: Any, ino: int, tid: int | None) -> None:
+        """Buffer one file data page write in the cache (dirty)."""
+        self._charge_syscall()
+        self.cache.put(lpn, data, dirty=True, tid=tid)
+        self._dirty_data[lpn] = ino
+
+    def _evict_writeback(self, lpn: int, data: Any, tid: int | None) -> None:
+        """Steal path: a dirty page leaves the cache before any fsync."""
+        self._dirty_data.pop(lpn, None)
+        if self.mode is JournalMode.XFTL and tid is not None:
+            self._device_write_data(lpn, data, tid=tid)
+            self._stolen[lpn] = tid
+        elif self.mode is JournalMode.FULL:
+            assert self.journal is not None
+            self.journal.commit([(lpn, data)])
+            self.stats.journal_page_writes += 3
+        else:
+            self._device_write_data(lpn, data)
+
+
+class FileHandle:
+    """Page-granular file handle (SQLite reads/writes whole pages)."""
+
+    def __init__(self, fs: Ext4, inode: Inode) -> None:
+        self.fs = fs
+        self.inode = inode
+
+    @property
+    def name(self) -> str:
+        return self.inode.name
+
+    @property
+    def size_bytes(self) -> int:
+        return self.inode.size_bytes
+
+    @property
+    def n_pages(self) -> int:
+        return math.ceil(self.inode.size_bytes / self.fs.device.page_size)
+
+    def read_page(self, index: int) -> Any:
+        """Read file page ``index``; None if unallocated (sparse read)."""
+        lpn = self.fs._lookup_block(self.inode, index)
+        if lpn is None:
+            return None
+        return self.fs.read_lpn(lpn)
+
+    def write_page(self, index: int, data: Any, tid: int | None = None) -> None:
+        """Buffer a page write; ``tid`` tags it for XFTL-mode transactions."""
+        lpn = self.fs._ensure_block(self.inode, index)
+        self.fs.write_lpn(lpn, data, self.inode.ino, tid)
+
+    def read_page_tx(self, index: int, tid: int) -> Any:
+        """Tagged read: transaction ``tid`` sees its own stolen writes.
+
+        Pages that were never stolen read through the shared cache like any
+        committed data.  Stolen (uncommitted, on-device) pages bypass the
+        cache — other readers must keep seeing the committed copy.
+        """
+        fs = self.fs
+        lpn = fs._lookup_block(self.inode, index)
+        if lpn is None:
+            return None
+        stolen_tid = fs._stolen.get(lpn)
+        if stolen_tid is None:
+            return fs.read_lpn(lpn)
+        page = fs.cache.peek(lpn)
+        if page is not None:
+            return page.data
+        fs._charge_syscall()
+        if stolen_tid == tid and fs.mode is JournalMode.XFTL:
+            return fs.device.read_tx(tid, lpn)
+        return fs.device.read(lpn)  # someone else's steal: committed copy
+
+    def fallocate(self, n_pages: int) -> None:
+        """Preallocate blocks for the first ``n_pages`` pages (no data I/O).
+
+        Like ``fallocate(2)``: the blocks are reserved and the metadata
+        updated, but nothing is written to them — FIO lays its test file
+        out this way before measuring, so allocation work stays out of the
+        measured loop.
+        """
+        fs = self.fs
+        fs._charge_syscall()
+        for index in range(n_pages):
+            fs._ensure_block(self.inode, index)
+
+    def truncate(self, n_pages: int = 0) -> None:
+        """Shrink the file to ``n_pages`` pages, freeing the rest."""
+        fs = self.fs
+        fs._charge_syscall()
+        inode = self.inode
+        for index in range(n_pages, self.n_pages):
+            lpn = fs._lookup_block(inode, index)
+            if lpn is None:
+                continue
+            if index < DIRECT_PTRS:
+                inode.direct[index] = None
+            else:
+                rel = index - DIRECT_PTRS
+                ind_slot, offset = divmod(rel, fs.ptrs_per_page)
+                fs._indirect[inode.indirect[ind_slot]][offset] = None
+                fs._dirty_meta.add(inode.indirect[ind_slot])
+            fs._release_block(lpn)
+        inode.size_bytes = min(inode.size_bytes, n_pages * fs.device.page_size)
+        fs._mark_meta_dirty_for_inode(inode.ino)
+
+    def fsync(self, tid: int | None = None) -> None:
+        self.fs.fsync(self, tid=tid)

@@ -1,0 +1,139 @@
+"""File-system page cache.
+
+Models the kernel page cache: reads and writes go through cached pages;
+dirty pages are written back on fsync (force) or on eviction under memory
+pressure (steal).  Each dirty page remembers the transaction id that last
+dirtied it, so that the X-FTL mode can tag the eventual device write and so
+that an aborting transaction can drop exactly its own cached changes (§5.2).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass
+class CachedPage:
+    """One page-cache slot, keyed by device lpn."""
+
+    lpn: int
+    data: Any
+    dirty: bool = False
+    tid: int | None = None
+
+
+class PageCache:
+    """LRU page cache with dirty write-back on eviction.
+
+    ``writeback`` is called as ``writeback(lpn, data, tid)`` when a dirty
+    page is evicted (the *steal* path).  Clean pages are evicted silently.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        writeback: Callable[[int, Any, int | None], None],
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self._writeback = writeback
+        self._pages: OrderedDict[int, CachedPage] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._pages
+
+    def get(self, lpn: int) -> CachedPage | None:
+        """Look up a page, refreshing its LRU position."""
+        page = self._pages.get(lpn)
+        if page is None:
+            self.misses += 1
+            return None
+        self._pages.move_to_end(lpn)
+        self.hits += 1
+        return page
+
+    def peek(self, lpn: int) -> CachedPage | None:
+        """Look up without touching LRU order or hit statistics."""
+        return self._pages.get(lpn)
+
+    def put(self, lpn: int, data: Any, dirty: bool = False, tid: int | None = None) -> CachedPage:
+        """Insert or update a page, evicting LRU pages beyond capacity."""
+        page = self._pages.get(lpn)
+        if page is None:
+            page = CachedPage(lpn=lpn, data=data, dirty=dirty, tid=tid)
+            self._pages[lpn] = page
+        else:
+            page.data = data
+            if dirty:
+                page.dirty = True
+                page.tid = tid
+            self._pages.move_to_end(lpn)
+        self._evict_to_capacity()
+        return page
+
+    def mark_clean(self, lpn: int) -> None:
+        page = self._pages.get(lpn)
+        if page is not None:
+            page.dirty = False
+            page.tid = None
+
+    def drop(self, lpn: int) -> None:
+        """Remove a page without write-back (used by abort)."""
+        self._pages.pop(lpn, None)
+
+    def drop_tid(self, tid: int) -> list[int]:
+        """Drop every dirty page belonging to ``tid``; return their lpns.
+
+        This is how an aborting transaction's cached (not-yet-stolen)
+        changes are undone (§5.2).
+        """
+        doomed = [lpn for lpn, page in self._pages.items() if page.dirty and page.tid == tid]
+        for lpn in doomed:
+            del self._pages[lpn]
+        return doomed
+
+    def dirty_pages(self, lpns: set[int] | None = None) -> list[CachedPage]:
+        """Dirty pages, optionally restricted to a set of lpns, in LRU order."""
+        return [
+            page
+            for page in self._pages.values()
+            if page.dirty and (lpns is None or page.lpn in lpns)
+        ]
+
+    def flush_page(self, lpn: int) -> None:
+        """Force write-back of one dirty page (stays cached, now clean)."""
+        page = self._pages.get(lpn)
+        if page is not None and page.dirty:
+            self._writeback(page.lpn, page.data, page.tid)
+            page.dirty = False
+            page.tid = None
+
+    def invalidate_all(self) -> None:
+        """Drop everything (crash simulation: cache contents are volatile)."""
+        self._pages.clear()
+
+    def _evict_to_capacity(self) -> None:
+        while len(self._pages) > self.capacity:
+            victim_lpn = self._pick_eviction_victim()
+            page = self._pages.pop(victim_lpn)
+            self.evictions += 1
+            if page.dirty:
+                self.dirty_evictions += 1
+                self._writeback(page.lpn, page.data, page.tid)
+
+    def _pick_eviction_victim(self) -> int:
+        """Prefer the least-recently-used clean page; else LRU dirty (steal)."""
+        for lpn, page in self._pages.items():
+            if not page.dirty:
+                return lpn
+        return next(iter(self._pages))

@@ -1,0 +1,32 @@
+"""Flash translation layers.
+
+- :class:`~repro.ftl.pagemap.PageMappingFTL` — the baseline page-mapped FTL
+  of the OpenSSD board: L2P table, greedy garbage collection, mapping-table
+  persistence on write barriers.
+- :class:`~repro.ftl.xftl.XFTL` — the paper's contribution: a transactional
+  FTL layering an X-L2P table over the page-mapped FTL (tagged reads/writes,
+  commit/abort commands, GC pinning, cheap crash recovery).
+- :class:`~repro.ftl.atomic.AtomicWriteFTL` — Park et al.'s per-call atomic
+  multi-page write (related-work baseline, §3.3).
+- :class:`~repro.ftl.txflash.TxFlashFTL` — TxFlash-style cyclic-commit
+  per-call atomic group writes (related-work baseline, §3.3).
+"""
+
+from repro.ftl.base import Ftl, FtlConfig
+from repro.ftl.pagemap import PageMappingFTL
+from repro.ftl.xftl import XFTL
+from repro.ftl.xl2p import TxStatus, XL2PEntry, XL2PTable
+from repro.ftl.atomic import AtomicWriteFTL
+from repro.ftl.txflash import TxFlashFTL
+
+__all__ = [
+    "Ftl",
+    "FtlConfig",
+    "PageMappingFTL",
+    "XFTL",
+    "TxStatus",
+    "XL2PEntry",
+    "XL2PTable",
+    "AtomicWriteFTL",
+    "TxFlashFTL",
+]

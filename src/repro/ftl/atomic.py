@@ -1,0 +1,130 @@
+"""Atomic-write FTL (Park et al., ISCE 2005) — related-work baseline (§3.3).
+
+Supports atomic propagation of the pages named in a *single* write call,
+``write_atomic([(lpn, data), ...])``: all pages are programmed copy-on-write,
+then a commit record naming the group is programmed; only then are the
+mappings published.  Recovery discards groups without a commit record.
+
+Limitation reproduced on purpose: atomicity is per call.  Pages stolen from
+the buffer pool at different times (SQLite's steal policy) land in different
+calls and are *not* atomic as a group — this is the contrast X-FTL draws.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import FtlError
+from repro.flash.chip import FlashChip
+from repro.ftl.base import FtlConfig
+from repro.ftl.pagemap import OOB_DATA, OWNER_L2P, PageMappingFTL
+
+OOB_COMMIT_RECORD = "commit-record"
+OWNER_COMMIT_RECORD = "commit-record"
+
+
+class AtomicWriteFTL(PageMappingFTL):
+    """Per-call atomic multi-page writes via commit records."""
+
+    def __init__(self, chip: FlashChip, config: FtlConfig | None = None) -> None:
+        super().__init__(chip, config)
+        self._group_seq = 0
+        self._live_commit_records: dict[int, int] = {}  # group id -> record ppn
+
+    def write_atomic(self, pages: Sequence[tuple[int, Any]]) -> None:
+        """Atomically write a group of pages: data pages, then a commit record.
+
+        The mapping update is deferred until the commit record is durable, so
+        a crash anywhere inside the call leaves all old copies current.
+        """
+        self._check_power()
+        if not pages:
+            return
+        self._group_seq += 1
+        group = self._group_seq
+        staged: list[tuple[int, int]] = []
+        lpns = tuple(lpn for lpn, _data in pages)
+        for lpn, data in pages:
+            self._check_lpn(lpn)
+            self._seq += 1
+            # Tag with the group id in the tid slot: recovery treats a group
+            # as committed only if its commit record exists.
+            ppn = self._program(data, (OOB_DATA, lpn, self._seq, ("group", group)))
+            staged.append((lpn, ppn))
+            self.stats.host_page_writes += 1
+        # Commit record makes the group durable/atomic.
+        self._seq += 1
+        record_ppn = self._program(
+            ("commit-record", group, lpns), (OOB_COMMIT_RECORD, group, self._seq, None)
+        )
+        self._set_owner(record_ppn, (OWNER_COMMIT_RECORD, group))
+        self._live_commit_records[group] = record_ppn
+        self.stats.map_page_writes += 1
+        # Publish mappings now that the record is durable.
+        for lpn, ppn in staged:
+            old = self._l2p.get(lpn)
+            if old is not None:
+                self._invalidate(old)
+            self._l2p[lpn] = ppn
+            self._set_owner(ppn, (OWNER_L2P, lpn))
+            self._mark_dirty(lpn)
+
+    def barrier(self) -> None:
+        """Checkpoint the map, after which old commit records are prunable.
+
+        A commit record must stay valid until the mappings it guards are
+        durable in the map checkpoint; pruning earlier would un-commit the
+        group on recovery.
+        """
+        super().barrier()
+        for group, ppn in list(self._live_commit_records.items()):
+            if ppn in self._owner:
+                self._invalidate(ppn)
+            del self._live_commit_records[group]
+
+    # ------------------------------------------------- GC/recovery plumbing
+
+    def _gc_oob_extra(self, owner: tuple, old_ppn: int) -> tuple:
+        if owner[0] == OWNER_COMMIT_RECORD:
+            return (OOB_COMMIT_RECORD, owner[1], self._seq, None)
+        return super()._gc_oob_extra(owner, old_ppn)
+
+    def _apply_relocation_extra(self, owner: tuple, old_ppn: int, new_ppn: int) -> None:
+        if owner[0] == OWNER_COMMIT_RECORD:
+            group = owner[1]
+            if self._live_commit_records.get(group) == old_ppn:
+                self._live_commit_records[group] = new_ppn
+            return
+        super()._apply_relocation_extra(owner, old_ppn, new_ppn)
+
+    def power_fail(self) -> None:
+        super().power_fail()
+        self._live_commit_records = {}
+
+    def remount(self) -> None:
+        """Standard recovery, then apply groups whose commit record survived."""
+        super().remount()
+        # Find surviving commit records and replay their groups in order.
+        committed: dict[int, int] = {}
+        staged: dict[int, list[tuple[int, int, int]]] = {}
+        for seq, kind, key, tid, ppn in self._scan_oob(min_seq=self._root.seq + 1):
+            if kind == OOB_COMMIT_RECORD:
+                committed[key] = ppn
+            elif kind == OOB_DATA and isinstance(tid, tuple) and tid[0] == "group":
+                staged.setdefault(tid[1], []).append((seq, key, ppn))
+        for group in sorted(committed):
+            for seq, lpn, ppn in sorted(staged.get(group, [])):
+                self._remap_for_recovery(lpn, ppn)
+            self._set_owner_raw(committed[group], (OWNER_COMMIT_RECORD, group))
+            self._live_commit_records[group] = committed[group]
+            if group > self._group_seq:
+                self._group_seq = group
+        self._rebuild_space_state()
+
+    def _replay_applies(self, tid) -> bool:
+        # Group-tagged writes are handled in remount(); untagged ones apply.
+        return tid is None
+
+
+class FtlMisuseError(FtlError):
+    """Raised when the per-call API is used where group semantics are needed."""

@@ -1,0 +1,98 @@
+"""FTL interface and shared configuration."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+from repro.flash.chip import FlashChip
+from repro.flash.stats import FlashStats
+
+
+@dataclass(frozen=True)
+class FtlConfig:
+    """Tunables shared by the FTL implementations.
+
+    Attributes:
+        overprovision: Fraction of raw capacity hidden from the host and
+            used as GC headroom (consumer SSDs: ~7-15%).
+        gc_free_block_threshold: GC starts when the free-block pool drops
+            to this size.
+        map_entries_per_page: L2P entries stored per on-flash mapping page.
+            OpenSSD-class firmware persists the map in small per-bank chunks,
+            so the effective chunk is far below the 2048 8-byte entries that
+            would fit in an 8 KB page.
+        barrier_meta_pages: Fixed number of firmware metadata pages (misc
+            block: write points, erase counts, ...) persisted on every write
+            barrier, on top of dirty map pages.  This fixed cost is why host
+            fsyncs are expensive on the unmodified FTL.
+        xl2p_capacity: Maximum entries in the X-L2P table (paper: 500-1000).
+        xl2p_entry_bytes: Size of one X-L2P entry (paper: 16 bytes).
+        map_checkpoint_interval: In X-FTL, the L2P map is checkpointed
+            lazily after this many committed transactions (the commit itself
+            flushes only the tiny X-L2P table).
+        gc_policy: Victim selection. ``"greedy"`` picks the block with the
+            fewest valid pages; ``"fifo"`` rotates through blocks in
+            allocation-age order (wear-leveling-style), which makes the
+            carried-over valid ratio follow the device's aged state — the
+            behaviour the paper controls in §6.3.1.
+        detect_write_conflicts: If set, X-FTL rejects a tagged write to a
+            logical page another active transaction has already written —
+            the isolation guarantee TxFlash offers (§3.3).  Off by default:
+            the paper's X-FTL leaves isolation to the host (SQLite locks at
+            file granularity, so conflicts cannot arise in its deployment).
+    """
+
+    overprovision: float = 0.12
+    gc_free_block_threshold: int = 3
+    gc_policy: str = "greedy"
+    detect_write_conflicts: bool = False
+    map_entries_per_page: int = 256
+    barrier_meta_pages: int = 2
+    xl2p_capacity: int = 1000
+    xl2p_entry_bytes: int = 16
+    map_checkpoint_interval: int = 64
+
+
+class Ftl(abc.ABC):
+    """Abstract flash translation layer.
+
+    All FTLs expose a logical page space of :attr:`exported_pages` pages and
+    translate host reads/writes into chip operations.  Implementations share
+    the chip's :class:`~repro.flash.stats.FlashStats` accumulator.
+    """
+
+    def __init__(self, chip: FlashChip, config: FtlConfig | None = None) -> None:
+        self.chip = chip
+        self.config = config or FtlConfig()
+        self.stats: FlashStats = chip.stats
+
+    @property
+    @abc.abstractmethod
+    def exported_pages(self) -> int:
+        """Logical pages visible to the host."""
+
+    @abc.abstractmethod
+    def read(self, lpn: int) -> Any:
+        """Read the committed content of logical page ``lpn``."""
+
+    @abc.abstractmethod
+    def write(self, lpn: int, data: Any) -> None:
+        """Write logical page ``lpn`` (non-transactional)."""
+
+    @abc.abstractmethod
+    def trim(self, lpn: int) -> None:
+        """Discard logical page ``lpn`` (its physical copy becomes invalid)."""
+
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Write barrier / flush: make all acknowledged state durable."""
+
+    @abc.abstractmethod
+    def power_fail(self) -> None:
+        """Drop all volatile (DRAM) state, as if power was cut."""
+
+    @abc.abstractmethod
+    def remount(self) -> None:
+        """Rebuild volatile state from flash after :meth:`power_fail`."""

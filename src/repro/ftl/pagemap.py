@@ -1,0 +1,585 @@
+"""Page-mapped FTL with greedy garbage collection.
+
+This models the OpenSSD board's stock firmware (§5.3, §6.1):
+
+- a page-granularity L2P mapping table held in controller DRAM;
+- host writes are appended copy-on-write into an *active* block; the old
+  physical copy of the logical page becomes invalid;
+- when the free-block pool runs low, a greedy garbage collector picks the
+  block with the fewest valid pages, copies its valid pages into the active
+  block and erases it;
+- a *write barrier* (the device-level effect of a host fsync / FUA) persists
+  all dirty mapping-table chunks plus a fixed set of firmware metadata pages
+  to flash.  This is the hidden cost that makes fsync-heavy hosts slow on
+  the stock FTL, and the cost that X-FTL's commit command avoids.
+
+Durability model
+----------------
+Each programmed page carries OOB metadata ``(kind, lpn, seq, tid)``.  A tiny
+*root record* — modelling the FTL's reserved meta block, which the paper
+assumes is updated atomically — points at the persisted map pages and stores
+the sequence number as of the last barrier.  Remounting after power loss
+loads the map pages from the root, then scans block OOB areas and replays
+committed writes with newer sequence numbers.  Torn pages (power cut mid
+program) are detected and skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import CorruptionError, FlashError, FtlError, OutOfSpaceError
+from repro.flash.chip import FlashChip, PageState
+from repro.ftl.base import Ftl, FtlConfig
+
+# Owner kinds for physical pages (what structure keeps this page alive).
+OWNER_L2P = "l2p"
+OWNER_MAP = "map"
+OWNER_META = "meta"
+OWNER_XL2P_DATA = "xl2p"  # uncommitted transactional data (used by XFTL)
+OWNER_XL2P_TABLE = "xl2p-table"  # persisted X-L2P table page (used by XFTL)
+OWNER_RETIRED = "retired"  # superseded page still pinned by the durable root
+
+# OOB kinds.
+OOB_DATA = "data"
+OOB_MAP = "map"
+OOB_META = "meta"
+OOB_XL2P_TABLE = "xl2p-table"
+
+
+@dataclass
+class RootRecord:
+    """The atomically-updated meta-block contents.
+
+    Survives power loss by construction (the paper assumes the meta-block
+    pointer update is atomic, §5.3).  Everything else in DRAM is volatile.
+    """
+
+    map_dir: dict[int, int] = field(default_factory=dict)  # segment -> ppn
+    meta_dir: dict[int, int] = field(default_factory=dict)  # meta slot -> ppn
+    seq: int = 0
+    # Used by XFTL: physical pages of the persisted X-L2P table, and the set
+    # of tids committed since the last full map checkpoint.
+    xl2p_ppns: tuple[int, ...] = ()
+    committed_tids: frozenset[int] = frozenset()
+
+    def clone(self) -> "RootRecord":
+        return RootRecord(
+            map_dir=dict(self.map_dir),
+            meta_dir=dict(self.meta_dir),
+            seq=self.seq,
+            xl2p_ppns=tuple(self.xl2p_ppns),
+            committed_tids=frozenset(self.committed_tids),
+        )
+
+
+class PageMappingFTL(Ftl):
+    """Stock page-mapped FTL (see module docstring)."""
+
+    def __init__(self, chip: FlashChip, config: FtlConfig | None = None) -> None:
+        super().__init__(chip, config)
+        geo = chip.geometry
+        reserve = max(2, int(geo.num_blocks * self.config.overprovision))
+        if geo.num_blocks - reserve < 1:
+            raise FtlError("chip too small for overprovisioning reserve")
+        self._exported_pages = (geo.num_blocks - reserve) * geo.pages_per_block
+
+        self._powered = True
+        # Volatile (DRAM) state.
+        self._l2p: dict[int, int] = {}
+        self._owner: dict[int, tuple] = {}
+        self._valid_count: list[int] = [0] * geo.num_blocks
+        self._free_blocks: list[int] = list(range(geo.num_blocks))
+        self._alloc_order: list[int] = []  # blocks in allocation-age order
+        self._active_block: int | None = None
+        self._seq = 0
+        self._dirty_segments: set[int] = set()
+        self._map_dir: dict[int, int] = {}
+        self._meta_dir: dict[int, int] = {}
+        # Durable root (atomic meta block).
+        self._root = RootRecord()
+        self._pending_retired: set[int] = set()
+        self._gc_valid_ratios: list[float] = []
+
+    # ------------------------------------------------------------ interface
+
+    @property
+    def exported_pages(self) -> int:
+        return self._exported_pages
+
+    @property
+    def powered(self) -> bool:
+        return self._powered
+
+    def read(self, lpn: int) -> Any:
+        self._check_power()
+        self._check_lpn(lpn)
+        ppn = self._l2p.get(lpn)
+        if ppn is None:
+            return None  # unwritten logical page reads as zeros
+        self.stats.host_page_reads += 1
+        return self.chip.read(ppn)
+
+    def write(self, lpn: int, data: Any) -> None:
+        self._check_power()
+        self._check_lpn(lpn)
+        self._seq += 1
+        ppn = self._program(data, (OOB_DATA, lpn, self._seq, None))
+        old = self._l2p.get(lpn)
+        if old is not None:
+            self._invalidate(old)
+        self._l2p[lpn] = ppn
+        self._set_owner(ppn, (OWNER_L2P, lpn))
+        self._mark_dirty(lpn)
+        self.stats.host_page_writes += 1
+
+    def trim(self, lpn: int) -> None:
+        self._check_power()
+        self._check_lpn(lpn)
+        old = self._l2p.pop(lpn, None)
+        if old is not None:
+            self._invalidate(old)
+            self._mark_dirty(lpn)
+
+    def barrier(self) -> None:
+        """Persist dirty map chunks + firmware metadata (fsync cost center).
+
+        Superseded map/meta pages are *retired* rather than invalidated
+        immediately: they stay valid (GC-pinned) until the new root record
+        is published, so a crash mid-barrier still finds every page the old
+        root references.
+        """
+        self._check_power()
+        self.stats.barriers += 1
+        self.chip.clock.advance(self.chip.profile.barrier_overhead_us)
+        self._flush_map()
+        self._flush_meta()
+        self._publish_root()
+        for ppn in list(self._pending_retired):
+            self._invalidate(ppn)
+        self._pending_retired.clear()
+
+    # ------------------------------------------------------------- power
+
+    def power_fail(self) -> None:
+        """Drop all DRAM state.  The chip (and the root record) persist."""
+        self._powered = False
+        self._l2p = {}
+        self._owner = {}
+        self._valid_count = [0] * self.chip.geometry.num_blocks
+        self._free_blocks = []
+        self._alloc_order = []
+        self._active_block = None
+        self._dirty_segments = set()
+        self._map_dir = {}
+        self._meta_dir = {}
+        self._pending_retired = set()
+        self._seq = 0
+
+    def remount(self) -> None:
+        """Rebuild DRAM state from the root record plus an OOB scan."""
+        if self._powered:
+            raise FtlError("remount on a powered FTL")
+        self._powered = True
+        root = self._root
+        self._map_dir = dict(root.map_dir)
+        self._meta_dir = dict(root.meta_dir)
+        self._seq = root.seq
+
+        # 1. Load the persisted map pages.
+        self._l2p = {}
+        self._owner = {}
+        for segment, ppn in self._map_dir.items():
+            entries = self.chip.read(ppn)
+            self._set_owner_raw(ppn, (OWNER_MAP, segment))
+            for lpn, data_ppn in entries:
+                self._l2p[lpn] = data_ppn
+        for slot, ppn in self._meta_dir.items():
+            self._set_owner_raw(ppn, (OWNER_META, slot))
+        for lpn, ppn in self._l2p.items():
+            self._set_owner_raw(ppn, (OWNER_L2P, lpn))
+
+        # 2. Replay newer writes found in OOB areas, in sequence order.
+        replay = sorted(self._scan_oob(min_seq=root.seq + 1), key=lambda e: e[0])
+        for seq, kind, lpn, tid, ppn in replay:
+            if seq > self._seq:
+                self._seq = seq  # never reuse sequence numbers after a crash
+            if kind != OOB_DATA:
+                continue
+            if not self._replay_applies(tid):
+                continue
+            self._remap_for_recovery(lpn, ppn)
+
+        self._finish_remount()
+
+        # 3. Rebuild validity counts and the free pool from ownership.
+        self._rebuild_space_state()
+        self._dirty_segments = set()
+
+    def _remap_for_recovery(self, lpn: int, ppn: int) -> None:
+        """Point ``lpn`` at ``ppn`` during recovery.
+
+        The previous mapping may be stale — a persisted map chunk can name a
+        physical page that was since erased and reused by a *different*
+        logical page — so its owner is only dropped when it really belongs
+        to this lpn.
+        """
+        old = self._l2p.get(lpn)
+        if old is not None and old != ppn and self._owner.get(old) == (OWNER_L2P, lpn):
+            self._drop_owner(old)
+        self._l2p[lpn] = ppn
+        self._set_owner_raw(ppn, (OWNER_L2P, lpn))
+
+    def _replay_applies(self, tid: int | None) -> bool:
+        """Whether an OOB data entry with this tid survives recovery.
+
+        The stock FTL has no transactions: only untagged writes exist.
+        XFTL overrides this to consult the durable committed-tid set.
+        """
+        return tid is None
+
+    def _finish_remount(self) -> None:
+        """Hook for subclasses (XFTL reloads the X-L2P table here)."""
+
+    # ------------------------------------------------------------ internals
+
+    def _check_power(self) -> None:
+        if not self._powered:
+            raise FtlError("FTL is powered off")
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self._exported_pages:
+            raise FtlError(f"lpn {lpn} outside exported space (0..{self._exported_pages - 1})")
+
+    def _mark_dirty(self, lpn: int) -> None:
+        self._dirty_segments.add(lpn // self.config.map_entries_per_page)
+
+    def _set_owner(self, ppn: int, owner: tuple) -> None:
+        if ppn in self._owner:
+            raise FtlError(f"ppn {ppn} already owned by {self._owner[ppn]}")
+        self._set_owner_raw(ppn, owner)
+
+    def _set_owner_raw(self, ppn: int, owner: tuple) -> None:
+        existing = self._owner.get(ppn)
+        if existing is None:
+            self._valid_count[ppn // self.chip.geometry.pages_per_block] += 1
+        self._owner[ppn] = owner
+
+    def _drop_owner(self, ppn: int) -> None:
+        if self._owner.pop(ppn, None) is not None:
+            self._valid_count[ppn // self.chip.geometry.pages_per_block] -= 1
+
+    def _invalidate(self, ppn: int) -> None:
+        self._drop_owner(ppn)
+
+    # -------- space management ----------------------------------------
+
+    def _program(self, data: Any, oob: tuple) -> int:
+        """Append one page into the active block, garbage-collecting if needed."""
+        block = self._ensure_active_block()
+        ppn = self.chip.geometry.ppn_of(block, self.chip.block_write_point(block))
+        self.chip.program(ppn, data, oob)
+        if self.chip.block_is_full(block):
+            self._active_block = None
+        return ppn
+
+    def _ensure_active_block(self) -> int:
+        if self._active_block is not None and not self.chip.block_is_full(self._active_block):
+            return self._active_block
+        if len(self._free_blocks) <= self.config.gc_free_block_threshold:
+            self._garbage_collect()
+        if not self._free_blocks:
+            raise OutOfSpaceError("no free blocks")
+        self._active_block = self._free_blocks.pop()
+        self._alloc_order.append(self._active_block)
+        return self._active_block
+
+    def _garbage_collect(self) -> None:
+        """Greedy GC: reclaim victims until the free pool is above threshold."""
+        target = self.config.gc_free_block_threshold + 1
+        guard = self.chip.geometry.num_blocks * 2
+        while len(self._free_blocks) < target:
+            guard -= 1
+            if guard < 0:
+                raise OutOfSpaceError("garbage collection cannot make progress")
+            victim = self._pick_victim()
+            if victim is None:
+                if self._free_blocks:
+                    return  # nothing reclaimable; live with what we have
+                raise OutOfSpaceError("no GC victim and no free blocks")
+            self._collect_block(victim)
+
+    def _pick_victim(self) -> int | None:
+        if self.config.gc_policy == "fifo":
+            victim = self._pick_victim_fifo()
+            if victim is not None:
+                return victim
+        return self._pick_victim_greedy()
+
+    def _pick_victim_fifo(self) -> int | None:
+        """Oldest reclaimable block in allocation order (wear-rotation)."""
+        geo = self.chip.geometry
+        for block in self._alloc_order:
+            if block == self._active_block:
+                continue
+            used = self.chip.block_write_point(block)
+            if used == 0:
+                continue
+            if self._valid_count[block] < used or used == geo.pages_per_block:
+                if self._valid_count[block] < geo.pages_per_block:
+                    return block
+        return None
+
+    def _pick_victim_greedy(self) -> int | None:
+        """Block with the fewest valid pages among written, non-active blocks."""
+        geo = self.chip.geometry
+        best = None
+        best_valid = None
+        for block in range(geo.num_blocks):
+            if block == self._active_block:
+                continue
+            used = self.chip.block_write_point(block)
+            if used == 0:
+                continue  # free or erased
+            valid = self._valid_count[block]
+            if valid >= used and used < geo.pages_per_block:
+                continue  # partially-written block with nothing reclaimable
+            if best_valid is None or valid < best_valid:
+                best, best_valid = block, valid
+        if best is not None and best_valid == self.chip.geometry.pages_per_block:
+            return None  # all blocks fully valid: nothing to reclaim
+        return best
+
+    def _collect_block(self, victim: int) -> None:
+        geo = self.chip.geometry
+        used = self.chip.block_write_point(victim)
+        valid_before = self._valid_count[victim]
+        self.stats.gc_invocations += 1
+        self._gc_valid_ratios.append(valid_before / geo.pages_per_block)
+
+        start = victim * geo.pages_per_block
+        for ppn in range(start, start + used):
+            owner = self._owner.get(ppn)
+            if owner is None:
+                continue
+            data = self.chip.read(ppn)
+            self.stats.gc_copyback_reads += 1
+            new_ppn = self._program_for_gc(data, self._gc_oob(owner, ppn))
+            self.stats.gc_copyback_writes += 1
+            self._drop_owner(ppn)
+            self._set_owner_raw(new_ppn, owner)
+            self._apply_relocation(owner, ppn, new_ppn)
+        self.chip.erase(victim)
+        self._free_blocks.append(victim)
+        try:
+            self._alloc_order.remove(victim)
+        except ValueError:
+            pass
+
+    def _program_for_gc(self, data: Any, oob: tuple) -> int:
+        """Program during GC, drawing directly on the free pool (no recursion)."""
+        if self._active_block is None or self.chip.block_is_full(self._active_block):
+            if not self._free_blocks:
+                raise OutOfSpaceError("GC ran out of headroom blocks")
+            self._active_block = self._free_blocks.pop()
+            self._alloc_order.append(self._active_block)
+        block = self._active_block
+        ppn = self.chip.geometry.ppn_of(block, self.chip.block_write_point(block))
+        self.chip.program(ppn, data, oob)
+        if self.chip.block_is_full(block):
+            self._active_block = None
+        return ppn
+
+    def _gc_oob(self, owner: tuple, old_ppn: int) -> tuple:
+        """OOB metadata for a GC-relocated page."""
+        kind = owner[0]
+        self._seq += 1
+        if kind == OWNER_L2P:
+            # Committed data: replayable by anyone (tid=None).
+            return (OOB_DATA, owner[1], self._seq, None)
+        if kind == OWNER_MAP:
+            return (OOB_MAP, owner[1], self._seq, None)
+        if kind == OWNER_META:
+            return (OOB_META, owner[1], self._seq, None)
+        if kind == OWNER_RETIRED:
+            retired_kind = owner[1]
+            oob_kind = {OWNER_MAP: OOB_MAP, OWNER_META: OOB_META}.get(retired_kind, OOB_META)
+            return (oob_kind, owner[2] if isinstance(owner[2], int) else 0, self._seq, None)
+        # Subclass owners (X-L2P) are handled by _gc_oob_extra.
+        return self._gc_oob_extra(owner, old_ppn)
+
+    def _gc_oob_extra(self, owner: tuple, old_ppn: int) -> tuple:
+        raise FtlError(f"unknown page owner {owner!r}")
+
+    def _apply_relocation(self, owner: tuple, old_ppn: int, new_ppn: int) -> None:
+        """Point the owning structure(s) at the relocated physical page."""
+        kind = owner[0]
+        if kind == OWNER_L2P:
+            self._l2p[owner[1]] = new_ppn
+        elif kind == OWNER_MAP:
+            self._map_dir[owner[1]] = new_ppn
+            if self._root.map_dir.get(owner[1]) == old_ppn:
+                self._root.map_dir[owner[1]] = new_ppn  # atomic meta update
+        elif kind == OWNER_META:
+            self._meta_dir[owner[1]] = new_ppn
+            if self._root.meta_dir.get(owner[1]) == old_ppn:
+                self._root.meta_dir[owner[1]] = new_ppn
+        elif kind == OWNER_RETIRED:
+            self._pending_retired.discard(old_ppn)
+            self._pending_retired.add(new_ppn)
+            self._relocate_root_reference(owner[1], owner[2], old_ppn, new_ppn)
+        else:
+            self._apply_relocation_extra(owner, old_ppn, new_ppn)
+
+    def _relocate_root_reference(
+        self, kind: str, key: object, old_ppn: int, new_ppn: int
+    ) -> None:
+        """Keep the durable root pointing at a relocated retired page."""
+        if kind == OWNER_MAP and self._root.map_dir.get(key) == old_ppn:
+            self._root.map_dir[key] = new_ppn
+        elif kind == OWNER_META and self._root.meta_dir.get(key) == old_ppn:
+            self._root.meta_dir[key] = new_ppn
+        elif kind == OWNER_XL2P_TABLE and old_ppn in self._root.xl2p_ppns:
+            self._root.xl2p_ppns = tuple(
+                new_ppn if p == old_ppn else p for p in self._root.xl2p_ppns
+            )
+
+    def _apply_relocation_extra(self, owner: tuple, old_ppn: int, new_ppn: int) -> None:
+        raise FtlError(f"unknown page owner {owner!r}")
+
+    # -------- map persistence ------------------------------------------
+
+    def _segment_entries(self, segment: int) -> tuple:
+        per = self.config.map_entries_per_page
+        lo, hi = segment * per, (segment + 1) * per
+        return tuple(
+            (lpn, ppn) for lpn, ppn in self._l2p.items() if lo <= lpn < hi
+        )
+
+    def _retire(self, ppn: int, kind: str, key: object) -> None:
+        """Keep a superseded root-referenced page valid until root publish."""
+        self._drop_owner(ppn)
+        self._set_owner_raw(ppn, (OWNER_RETIRED, kind, key))
+        self._pending_retired.add(ppn)
+
+    def _flush_map(self) -> None:
+        for segment in sorted(self._dirty_segments):
+            self.chip.crash_plan.hit("ftl.barrier.mid")
+            entries = self._segment_entries(segment)
+            self._seq += 1
+            ppn = self._program(entries, (OOB_MAP, segment, self._seq, None))
+            old = self._map_dir.get(segment)
+            if old is not None and old in self._owner:
+                self._retire(old, OWNER_MAP, segment)
+            self._map_dir[segment] = ppn
+            self._set_owner(ppn, (OWNER_MAP, segment))
+            self.stats.map_page_writes += 1
+        self._dirty_segments.clear()
+
+    def _flush_meta(self) -> None:
+        """Firmware misc metadata (write points, erase counts, ...)."""
+        for slot in range(self.config.barrier_meta_pages):
+            self._seq += 1
+            ppn = self._program(("meta", slot), (OOB_META, slot, self._seq, None))
+            old = self._meta_dir.get(slot)
+            if old is not None and old in self._owner:
+                self._retire(old, OWNER_META, slot)
+            self._meta_dir[slot] = ppn
+            self._set_owner(ppn, (OWNER_META, slot))
+            self.stats.map_page_writes += 1
+
+    def _publish_root(self) -> None:
+        """Atomically update the meta block (assumed atomic, §5.3)."""
+        self._root = RootRecord(
+            map_dir=dict(self._map_dir),
+            meta_dir=dict(self._meta_dir),
+            seq=self._seq,
+            xl2p_ppns=self._root.xl2p_ppns,
+            committed_tids=self._root.committed_tids,
+        )
+
+    # -------- recovery helpers ------------------------------------------
+
+    def _scan_oob(self, min_seq: int) -> Iterator[tuple[int, str, int, int | None, int]]:
+        """Yield ``(seq, kind, lpn, tid, ppn)`` for programmed pages with seq >= min_seq."""
+        geo = self.chip.geometry
+        for ppn in range(geo.total_pages):
+            if self.chip.state_of(ppn) is not PageState.PROGRAMMED:
+                continue
+            oob = self.chip.read_oob(ppn)
+            if not oob:
+                continue
+            kind, lpn, seq, tid = oob
+            if seq >= min_seq:
+                yield (seq, kind, lpn, tid, ppn)
+
+    def _rebuild_space_state(self) -> None:
+        geo = self.chip.geometry
+        self._valid_count = [0] * geo.num_blocks
+        for ppn in self._owner:
+            self._valid_count[ppn // geo.pages_per_block] += 1
+        self._free_blocks = [
+            block for block in range(geo.num_blocks) if self.chip.block_write_point(block) == 0
+        ]
+        # Allocation-age order is volatile; approximate by block number.
+        self._alloc_order = [
+            block for block in range(geo.num_blocks) if self.chip.block_write_point(block) > 0
+        ]
+        self._active_block = None
+        # Resume appending into the fullest partially-written block, if any.
+        partials = [
+            block
+            for block in range(geo.num_blocks)
+            if 0 < self.chip.block_write_point(block) < geo.pages_per_block
+        ]
+        if partials:
+            self._active_block = max(partials, key=self.chip.block_write_point)
+
+    # -------- inspection --------------------------------------------------
+
+    def mapped_ppn(self, lpn: int) -> int | None:
+        """Current physical page of ``lpn`` in the committed L2P view."""
+        return self._l2p.get(lpn)
+
+    def free_block_count(self) -> int:
+        return len(self._free_blocks)
+
+    def utilization(self) -> float:
+        """Fraction of raw flash pages currently holding valid data."""
+        return len(self._owner) / self.chip.geometry.total_pages
+
+    def wear_stats(self) -> dict[str, float]:
+        """Erase-count distribution across blocks (wear levelling view)."""
+        counts = self.chip.erase_counts
+        total = sum(counts)
+        n = len(counts)
+        mean = total / n
+        variance = sum((c - mean) ** 2 for c in counts) / n
+        return {
+            "total_erases": float(total),
+            "mean": mean,
+            "max": float(max(counts)),
+            "min": float(min(counts)),
+            "stddev": variance**0.5,
+        }
+
+    def gc_mean_valid_ratio(self) -> float:
+        """Average fraction of valid pages carried over per GC (Fig. 5/6 knob)."""
+        if not self._gc_valid_ratios:
+            return 0.0
+        return sum(self._gc_valid_ratios) / len(self._gc_valid_ratios)
+
+    def check_invariants(self) -> None:
+        """Internal consistency checks used by tests (not by benchmarks)."""
+        geo = self.chip.geometry
+        counts = [0] * geo.num_blocks
+        for ppn, owner in self._owner.items():
+            counts[ppn // geo.pages_per_block] += 1
+            if self.chip.state_of(ppn) is not PageState.PROGRAMMED:
+                raise FlashError(f"owned page {ppn} ({owner}) is not programmed")
+        if counts != self._valid_count:
+            raise FtlError("valid-count accounting out of sync")
+        for lpn, ppn in self._l2p.items():
+            if self._owner.get(ppn) != (OWNER_L2P, lpn):
+                raise FtlError(f"l2p[{lpn}]={ppn} not owned by l2p")

@@ -1,0 +1,269 @@
+"""X-FTL: the transactional flash translation layer (§4, §5).
+
+Extends the stock page-mapped FTL with the paper's four extra commands:
+
+``write_tx(tid, lpn, data)``
+    Copy-on-write the page as usual, but record the new physical address in
+    the X-L2P table instead of the main L2P table.  The committed copy stays
+    readable; the uncommitted copy is pinned against garbage collection.
+
+``read_tx(tid, lpn)``
+    Return the transaction's own uncommitted copy if it has one, otherwise
+    the committed copy (snapshot read, §4.2).
+
+``commit(tid)``
+    Mark the transaction's entries committed, flush the (tiny) X-L2P table
+    copy-on-write to flash — one or two page programs — atomically update
+    the meta-block root, then fold the entries into L2P in DRAM.  This is
+    the entire durable cost of a commit; the large L2P map is checkpointed
+    lazily.  (Figure 4.)
+
+``abort(tid)``
+    Drop the transaction's entries; its new physical pages become invalid
+    and the old committed copies remain current.  No flash writes required:
+    recovery discards any transaction that is not durably committed.
+
+Recovery (§5.4): on remount, the inherited FTL recovery restores L2P from
+the last checkpoint plus the OOB replay — where a tid-tagged data write is
+applied only if its tid is in the durable committed set.  Then the persisted
+X-L2P table is loaded and its committed entries are reflected into L2P,
+which is idempotent.  Active (uncommitted) entries are simply discarded,
+which *is* the rollback.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import TransactionError
+from repro.flash.chip import FlashChip, PageState
+from repro.ftl.base import FtlConfig
+from repro.ftl.pagemap import (
+    OOB_DATA,
+    OOB_XL2P_TABLE,
+    OWNER_L2P,
+    OWNER_XL2P_DATA,
+    OWNER_XL2P_TABLE,
+    PageMappingFTL,
+)
+from repro.ftl.xl2p import TxStatus, XL2PTable
+
+
+class XFTL(PageMappingFTL):
+    """Transactional FTL over a page-mapped base (see module docstring)."""
+
+    def __init__(self, chip: FlashChip, config: FtlConfig | None = None) -> None:
+        super().__init__(chip, config)
+        self.xl2p = XL2PTable(
+            capacity=self.config.xl2p_capacity,
+            entry_bytes=self.config.xl2p_entry_bytes,
+        )
+        self._xl2p_page_ppns: list[int] = []
+        self._commits_since_checkpoint = 0
+        self._committed_tids: set[int] = set()
+        self._writers_by_lpn: dict[int, int] = {}  # conflict detection only
+        self.last_xl2p_recovery_us = 0.0
+
+    # ------------------------------------------------------ transactional IO
+
+    def write_tx(self, tid: int, lpn: int, data: Any) -> None:
+        """Tagged write: new copy goes to X-L2P, committed copy untouched."""
+        if tid is None:
+            raise TransactionError("write_tx requires a transaction id")
+        self._check_power()
+        self._check_lpn(lpn)
+        if self.config.detect_write_conflicts:
+            holder = self._writers_by_lpn.get(lpn)
+            if holder is not None and holder != tid:
+                raise TransactionError(
+                    f"write-write conflict on lpn {lpn}: held by tid {holder}"
+                )
+            self._writers_by_lpn[lpn] = tid
+        self._seq += 1
+        ppn = self._program(data, (OOB_DATA, lpn, self._seq, tid))
+        previous = self.xl2p.put(tid, lpn, ppn)
+        if previous is not None:
+            # The transaction rewrote its own uncommitted copy.
+            self._invalidate(previous.new_ppn)
+        self._set_owner(ppn, (OWNER_XL2P_DATA, tid, lpn))
+        self.stats.host_page_writes += 1
+
+    def read_tx(self, tid: int, lpn: int) -> Any:
+        """Tagged read: the transaction sees its own writes, else committed."""
+        self._check_power()
+        self._check_lpn(lpn)
+        entry = self.xl2p.get(tid, lpn)
+        if entry is None:
+            return self.read(lpn)
+        self.stats.host_page_reads += 1
+        return self.chip.read(entry.new_ppn)
+
+    def commit(self, tid: int) -> None:
+        """Durably commit ``tid`` (Figure 4). Cheap: flushes only the X-L2P."""
+        self._check_power()
+        entries = self.xl2p.entries_of(tid)
+        # Step 1: status active -> committed (DRAM).
+        self.xl2p.set_status(tid, TxStatus.COMMITTED)
+        self.chip.crash_plan.hit("xftl.commit.before-flush")
+        # Step 2+3: CoW-flush the X-L2P table, atomically repoint the root.
+        self._committed_tids.add(tid)
+        self._flush_xl2p()
+        self.chip.crash_plan.hit("xftl.commit.after-flush")
+        # Step 4: remap the LPNs in the main L2P table (DRAM; idempotent).
+        for entry in entries:
+            old = self._l2p.get(entry.lpn)
+            if old is not None:
+                self._invalidate(old)
+            self._drop_owner(entry.new_ppn)
+            self._l2p[entry.lpn] = entry.new_ppn
+            self._set_owner(entry.new_ppn, (OWNER_L2P, entry.lpn))
+            self._mark_dirty(entry.lpn)
+        self.xl2p.remove_tid(tid)
+        self._release_write_locks(tid)
+        self.stats.commits += 1
+        self._commits_since_checkpoint += 1
+        if self._commits_since_checkpoint >= self.config.map_checkpoint_interval:
+            self._checkpoint_map()
+
+    def abort(self, tid: int) -> None:
+        """Roll back ``tid``: drop its entries, invalidate its new pages."""
+        self._check_power()
+        self.xl2p.set_status(tid, TxStatus.ABORTED)
+        for entry in self.xl2p.remove_tid(tid):
+            self._invalidate(entry.new_ppn)
+        self._release_write_locks(tid)
+        self.stats.aborts += 1
+
+    # ------------------------------------------------------------ internals
+
+    def _release_write_locks(self, tid: int) -> None:
+        """Forget conflict-detection holds of a finished transaction."""
+        if self.config.detect_write_conflicts:
+            for lpn in [l for l, t in self._writers_by_lpn.items() if t == tid]:
+                del self._writers_by_lpn[lpn]
+
+    def _flush_xl2p(self) -> None:
+        """Write the whole X-L2P table copy-on-write and republish the root."""
+        images = self.xl2p.serialize(self.chip.geometry.page_size)
+        new_ppns: list[int] = []
+        for index, image in enumerate(images):
+            self._seq += 1
+            ppn = self._program(image, (OOB_XL2P_TABLE, index, self._seq, None))
+            self._set_owner(ppn, (OWNER_XL2P_TABLE, index))
+            new_ppns.append(ppn)
+            self.stats.xl2p_page_writes += 1
+        for old in self._xl2p_page_ppns:
+            if old in self._owner:
+                self._retire(old, OWNER_XL2P_TABLE, None)
+        self._xl2p_page_ppns = new_ppns
+        # Atomic meta-block update: new X-L2P location + committed tid set.
+        self._root.xl2p_ppns = tuple(new_ppns)
+        self._root.committed_tids = frozenset(self._committed_tids)
+        for ppn in list(self._pending_retired):
+            self._invalidate(ppn)
+        self._pending_retired.clear()
+
+    def _checkpoint_map(self) -> None:
+        """Lazy L2P checkpoint: bounds OOB replay and prunes committed tids."""
+        self.barrier()
+        self._committed_tids.clear()
+        self._root.committed_tids = frozenset()
+        self._commits_since_checkpoint = 0
+
+    # ------------------------------------------------- GC integration hooks
+
+    def _gc_oob_extra(self, owner: tuple, old_ppn: int) -> tuple:
+        kind = owner[0]
+        if kind == OWNER_XL2P_DATA:
+            # Uncommitted data keeps its tid so recovery can judge it.
+            _, tid, lpn = owner
+            return (OOB_DATA, lpn, self._seq, tid)
+        if kind == OWNER_XL2P_TABLE:
+            return (OOB_XL2P_TABLE, owner[1], self._seq, None)
+        return super()._gc_oob_extra(owner, old_ppn)
+
+    def _apply_relocation_extra(self, owner: tuple, old_ppn: int, new_ppn: int) -> None:
+        kind = owner[0]
+        if kind == OWNER_XL2P_DATA:
+            _, tid, lpn = owner
+            self.xl2p.update_ppn(tid, lpn, new_ppn)
+            return
+        if kind == OWNER_XL2P_TABLE:
+            index = owner[1]
+            if index < len(self._xl2p_page_ppns) and self._xl2p_page_ppns[index] == old_ppn:
+                self._xl2p_page_ppns[index] = new_ppn
+            if old_ppn in self._root.xl2p_ppns:
+                self._root.xl2p_ppns = tuple(
+                    new_ppn if p == old_ppn else p for p in self._root.xl2p_ppns
+                )
+            return
+        super()._apply_relocation_extra(owner, old_ppn, new_ppn)
+
+    # ------------------------------------------------------------- recovery
+
+    def _replay_applies(self, tid: int | None) -> bool:
+        """OOB replay rule: untagged writes and durably committed tids apply."""
+        return tid is None or tid in self._root.committed_tids
+
+    def power_fail(self) -> None:
+        super().power_fail()
+        self.xl2p = XL2PTable(
+            capacity=self.config.xl2p_capacity,
+            entry_bytes=self.config.xl2p_entry_bytes,
+        )
+        self._xl2p_page_ppns = []
+        self._committed_tids = set()
+        self._commits_since_checkpoint = 0
+        self._writers_by_lpn = {}
+
+    def _finish_remount(self) -> None:
+        """Load the persisted X-L2P and reflect committed entries (§5.4).
+
+        The measured duration is recorded in :attr:`last_xl2p_recovery_us`
+        — this is the "X-FTL mode restart time" of Table 5.
+        """
+        t0 = self.chip.clock.now_us
+        self._committed_tids = set(self._root.committed_tids)
+        images = []
+        for index, ppn in enumerate(self._root.xl2p_ppns):
+            images.append(self.chip.read(ppn))
+            self._set_owner_raw(ppn, (OWNER_XL2P_TABLE, index))
+        self._xl2p_page_ppns = list(self._root.xl2p_ppns)
+        if images:
+            durable = XL2PTable.deserialize(
+                images,
+                capacity=self.config.xl2p_capacity,
+                entry_bytes=self.config.xl2p_entry_bytes,
+            )
+            self._reflect_committed(durable)
+        # Active/aborted entries are discarded: that *is* the rollback.
+        self.xl2p = XL2PTable(
+            capacity=self.config.xl2p_capacity,
+            entry_bytes=self.config.xl2p_entry_bytes,
+        )
+        self.last_xl2p_recovery_us = self.chip.clock.now_us - t0
+
+    def _reflect_committed(self, durable: XL2PTable) -> None:
+        """Idempotently fold durably-committed X-L2P entries into L2P."""
+        for tid in durable.active_tids():
+            for entry in durable.entries_of(tid):
+                if entry.status is not TxStatus.COMMITTED:
+                    continue
+                if self.chip.state_of(entry.new_ppn) is not PageState.PROGRAMMED:
+                    continue  # stale entry: page was since relocated/erased
+                oob = self.chip.read_oob(entry.new_ppn)
+                if not oob or oob[0] != OOB_DATA or oob[1] != entry.lpn:
+                    continue  # physical page reused for something else
+                current = self._l2p.get(entry.lpn)
+                if current == entry.new_ppn:
+                    continue  # already reflected (idempotent)
+                current_seq = self._oob_seq(current)
+                if current_seq is not None and current_seq >= oob[2]:
+                    continue  # a newer write superseded this entry
+                self._remap_for_recovery(entry.lpn, entry.new_ppn)
+
+    def _oob_seq(self, ppn: int | None) -> int | None:
+        if ppn is None:
+            return None
+        oob = self.chip.read_oob(ppn)
+        return oob[2] if oob else None

@@ -1,0 +1,148 @@
+"""The transactional logical-to-physical mapping table (X-L2P, §4.2, §5.3).
+
+One entry per (transaction, logical page) pair that the transaction has
+updated: ``(tid, lpn, new_ppn, status)``.  Entries are 16 bytes in the paper;
+the whole table is 500-1000 entries (8-16 KB), small enough to be flushed
+copy-on-write to flash in one or two page programs at every commit.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import TransactionError
+
+
+class TxStatus(enum.Enum):
+    """Status of an updater transaction, as tracked by the X-L2P table."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class XL2PEntry:
+    """One X-L2P row: transaction ``tid`` rewrote ``lpn`` at ``new_ppn``."""
+
+    tid: int
+    lpn: int
+    new_ppn: int
+    status: TxStatus = TxStatus.ACTIVE
+
+    def as_record(self) -> tuple[int, int, int, str]:
+        """Serialized row as stored in a flushed X-L2P flash page."""
+        return (self.tid, self.lpn, self.new_ppn, self.status.value)
+
+    @classmethod
+    def from_record(cls, record: tuple[int, int, int, str]) -> "XL2PEntry":
+        tid, lpn, new_ppn, status = record
+        return cls(tid=tid, lpn=lpn, new_ppn=new_ppn, status=TxStatus(status))
+
+
+class XL2PTable:
+    """In-DRAM X-L2P table with capacity accounting.
+
+    The table is indexed by ``(tid, lpn)``; a transaction updating the same
+    page twice reuses its entry (only the newest uncommitted copy matters,
+    §5.3).  Physical sizing (how many flash pages a flush takes) follows the
+    configured entry size and capacity.
+    """
+
+    def __init__(self, capacity: int = 1000, entry_bytes: int = 16) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.entry_bytes = entry_bytes
+        self._entries: dict[tuple[int, int], XL2PEntry] = {}
+        self._by_tid: dict[int, set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._entries
+
+    def get(self, tid: int, lpn: int) -> XL2PEntry | None:
+        return self._entries.get((tid, lpn))
+
+    def put(self, tid: int, lpn: int, new_ppn: int) -> XL2PEntry | None:
+        """Insert or update the entry for ``(tid, lpn)``.
+
+        Returns the *previous* entry (so the caller can invalidate the
+        superseded uncommitted physical page), or ``None`` for a first write.
+        Raises :class:`TransactionError` when the table is full.
+        """
+        key = (tid, lpn)
+        previous = self._entries.get(key)
+        if previous is None and len(self._entries) >= self.capacity:
+            raise TransactionError(
+                f"X-L2P table full ({self.capacity} entries); commit or abort first"
+            )
+        entry = XL2PEntry(tid=tid, lpn=lpn, new_ppn=new_ppn)
+        self._entries[key] = entry
+        self._by_tid.setdefault(tid, set()).add(lpn)
+        return previous
+
+    def entries_of(self, tid: int) -> list[XL2PEntry]:
+        """All entries belonging to transaction ``tid`` (possibly empty)."""
+        lpns = self._by_tid.get(tid, set())
+        return [self._entries[(tid, lpn)] for lpn in sorted(lpns)]
+
+    def set_status(self, tid: int, status: TxStatus) -> None:
+        for entry in self.entries_of(tid):
+            entry.status = status
+
+    def remove_tid(self, tid: int) -> list[XL2PEntry]:
+        """Drop and return all of ``tid``'s entries (post commit/abort)."""
+        lpns = self._by_tid.pop(tid, set())
+        return [self._entries.pop((tid, lpn)) for lpn in sorted(lpns)]
+
+    def active_tids(self) -> set[int]:
+        return set(self._by_tid)
+
+    def update_ppn(self, tid: int, lpn: int, new_ppn: int) -> None:
+        """Repoint an entry after garbage collection relocated its page."""
+        entry = self._entries.get((tid, lpn))
+        if entry is None:
+            raise TransactionError(f"no X-L2P entry for tid={tid} lpn={lpn}")
+        entry.new_ppn = new_ppn
+
+    # --------------------------------------------------------- persistence
+
+    def flush_page_count(self, page_size: int) -> int:
+        """Flash pages needed to persist the whole table copy-on-write.
+
+        The paper flushes the *entire configured table* (8 or 16 KB) at each
+        commit, not just the occupied prefix, so sizing follows capacity.
+        """
+        return max(1, math.ceil(self.capacity * self.entry_bytes / page_size))
+
+    def serialize(self, page_size: int) -> list[tuple]:
+        """Split the table's rows across ``flush_page_count`` page images."""
+        records = [entry.as_record() for entry in self._entries.values()]
+        pages = self.flush_page_count(page_size)
+        per_page = max(1, math.ceil(len(records) / pages)) if records else 1
+        images: list[tuple] = []
+        for index in range(pages):
+            chunk = records[index * per_page : (index + 1) * per_page]
+            images.append(("xl2p", index, tuple(chunk)))
+        return images
+
+    @classmethod
+    def deserialize(
+        cls, images: list[tuple], capacity: int, entry_bytes: int
+    ) -> "XL2PTable":
+        """Rebuild a table from flushed page images (recovery path)."""
+        table = cls(capacity=capacity, entry_bytes=entry_bytes)
+        for image in images:
+            tag, _index, records = image
+            if tag != "xl2p":
+                raise TransactionError(f"not an X-L2P page image: {tag!r}")
+            for record in records:
+                entry = XL2PEntry.from_record(record)
+                table._entries[(entry.tid, entry.lpn)] = entry
+                table._by_tid.setdefault(entry.tid, set()).add(entry.lpn)
+        return table

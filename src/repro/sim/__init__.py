@@ -1,0 +1,14 @@
+"""Simulation substrate: virtual clock, latency profiles, RNG, crash points."""
+
+from repro.sim.clock import SimClock
+from repro.sim.crash import CrashPlan, CrashPoint
+from repro.sim.latency import LatencyProfile, OPENSSD_PROFILE, S830_PROFILE
+
+__all__ = [
+    "SimClock",
+    "CrashPlan",
+    "CrashPoint",
+    "LatencyProfile",
+    "OPENSSD_PROFILE",
+    "S830_PROFILE",
+]

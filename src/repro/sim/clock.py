@@ -1,0 +1,69 @@
+"""A virtual clock for latency-faithful simulation.
+
+All elapsed-time results in this reproduction come from a :class:`SimClock`
+rather than wall time: every flash operation, bus transfer and host-side
+overhead charges its latency to the clock, so experiment elapsed times are
+deterministic and independent of the speed of the machine running the
+simulation.
+
+Times are kept in *microseconds* as floats (flash latencies are naturally
+expressed in microseconds; experiments report seconds or milliseconds).
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonically advancing virtual clock.
+
+    The clock only ever moves forward.  Components call :meth:`advance` with
+    the latency of the operation they just performed.  ``busy_us`` breakdowns
+    can be tracked by callers; the clock itself only knows total time.
+    """
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now_us / 1_000.0
+
+    @property
+    def now_s(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now_us / 1_000_000.0
+
+    def advance(self, delta_us: float) -> float:
+        """Advance the clock by ``delta_us`` microseconds and return the new time.
+
+        Negative deltas are rejected: simulated time never rewinds.
+        """
+        if delta_us < 0:
+            raise ValueError(f"cannot advance clock by negative time: {delta_us}")
+        self._now_us += delta_us
+        return self._now_us
+
+    def advance_to(self, when_us: float) -> float:
+        """Advance the clock to an absolute time, if it is in the future.
+
+        Used when modelling overlapping work (e.g. multiple FIO threads
+        keeping a device busy): the clock jumps to the completion time of the
+        latest finishing operation.  Times in the past are a no-op rather
+        than an error, which makes ``advance_to(max(completions))`` safe.
+        """
+        if when_us > self._now_us:
+            self._now_us = when_us
+        return self._now_us
+
+    def elapsed_since(self, t0_us: float) -> float:
+        """Microseconds elapsed since an earlier reading of this clock."""
+        return self._now_us - t0_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now_us={self._now_us:.3f})"

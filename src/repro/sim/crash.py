@@ -1,0 +1,108 @@
+"""Crash-point injection.
+
+Recovery experiments (Table 5) and crash-consistency tests need to cut power
+at precise points inside the storage stack.  Components that perform
+persistent-state transitions call :meth:`CrashPlan.hit` with a named crash
+point; if the plan has armed that point (optionally "after N occurrences"),
+a :class:`~repro.errors.PowerFailure` is raised, the device marks itself
+powered off, and in-flight page programs can be left *torn*.
+
+Crash point names used across the stack (a component may add more):
+
+- ``flash.program.before`` / ``flash.program.after`` — around a NAND program
+- ``flash.erase.before`` — before a block erase
+- ``ftl.barrier.mid`` — between mapping pages of a barrier flush
+- ``xftl.commit.before-flush`` / ``xftl.commit.after-flush`` — around the
+  X-L2P copy-on-write flush that is the commit point
+- ``fs.fsync.mid`` — between the data writes and the journal commit record
+- ``sqlite.commit.mid`` — between journal sync and database-file writes
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PowerFailure
+
+
+@dataclass
+class CrashPoint:
+    """A single armed crash point.
+
+    Attributes:
+        name: The crash-point label to match.
+        after: Fire on the ``after``-th time this label is hit (1-based).
+        tear_page: If the crash interrupts a NAND program, whether the page
+            being programmed should be left torn (half-written).
+    """
+
+    name: str
+    after: int = 1
+    tear_page: bool = False
+    hits: int = field(default=0, init=False)
+
+    def matches(self, name: str) -> bool:
+        return self.name == name
+
+
+class CrashPlan:
+    """Collects armed crash points and fires :class:`PowerFailure`.
+
+    A plan is shared by every component in one simulated machine.  A plan
+    with no armed points costs a single attribute check per hit, so it is
+    cheap enough to leave enabled in benchmarks.
+    """
+
+    def __init__(self, points: list[CrashPoint] | None = None) -> None:
+        self._points: list[CrashPoint] = list(points or [])
+        self.fired: CrashPoint | None = None
+
+    def arm(self, name: str, after: int = 1, tear_page: bool = False) -> CrashPoint:
+        """Arm a crash point; returns it so tests can inspect hit counts."""
+        point = CrashPoint(name=name, after=after, tear_page=tear_page)
+        self._points.append(point)
+        return point
+
+    def disarm_all(self) -> None:
+        self._points.clear()
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._points)
+
+    def hit(self, name: str) -> None:
+        """Record that execution reached crash point ``name``.
+
+        Raises :class:`PowerFailure` if an armed point's occurrence count is
+        reached.  Once a plan has fired it never fires again (the machine is
+        already down; recovery runs with the same plan object).
+        """
+        if not self._points or self.fired is not None:
+            return
+        for point in self._points:
+            if point.matches(name):
+                point.hits += 1
+                if point.hits >= point.after:
+                    self.fired = point
+                    raise PowerFailure(f"crash point {name!r} fired (hit #{point.hits})")
+
+    def countdown(self, name: str) -> CrashPoint | None:
+        """Count one occurrence of ``name``; return the point if it fires now.
+
+        Unlike :meth:`hit`, this does not raise — the caller applies its own
+        side effects (e.g. leaving the in-flight page torn) before raising
+        :class:`PowerFailure` itself.
+        """
+        if not self._points or self.fired is not None:
+            return None
+        for point in self._points:
+            if point.matches(name):
+                point.hits += 1
+                if point.hits >= point.after:
+                    self.fired = point
+                    return point
+        return None
+
+
+NO_CRASH = CrashPlan()
+"""A shared, never-firing plan for components created without one."""

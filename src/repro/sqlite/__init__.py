@@ -1,0 +1,20 @@
+"""A SQLite-like embedded transactional database engine.
+
+Reproduces the parts of SQLite 3.7.10 that the paper's experiments exercise:
+a pager with a steal/force buffer pool, B-trees for tables and indexes on
+8 KB pages, the three journal modes (rollback journal, write-ahead log, and
+OFF-on-X-FTL), crash recovery for each mode, and a small SQL dialect
+(CREATE/DROP/INSERT/SELECT with joins/UPDATE/DELETE/BEGIN/COMMIT/ROLLBACK).
+"""
+
+from repro.sqlite.database import Connection, SqliteJournalMode
+from repro.sqlite.multifile import MultiFileTransaction
+from repro.sqlite.records import decode_record, encode_record
+
+__all__ = [
+    "Connection",
+    "SqliteJournalMode",
+    "MultiFileTransaction",
+    "encode_record",
+    "decode_record",
+]

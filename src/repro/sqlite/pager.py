@@ -1,0 +1,570 @@
+"""The pager: SQLite's buffer pool and journal-mode machinery.
+
+Implements the I/O behaviour of Figure 1 for the three modes the paper
+compares:
+
+``ROLLBACK`` (RBJ)
+    A journal file is created when a transaction first writes and deleted
+    when it ends.  The *original* content of every page about to change is
+    appended to the journal.  Commit = fsync(journal data), write header,
+    fsync(journal header), write dirty pages to the database file,
+    fsync(db), delete journal (+ metadata sync) — three-plus fsyncs.
+
+``WAL``
+    New page images are appended to a shared write-ahead log; a commit
+    frame marker ends each transaction, followed by one fsync.  Readers
+    must consult the WAL index before the database file.  A checkpoint
+    copies committed frames home every ``checkpoint_interval`` frames
+    (SQLite default: 1000).
+
+``OFF`` (X-FTL)
+    Journaling is off.  Page writes go straight to the database file,
+    tagged with a transaction id the file system assigned; commit is a
+    single fsync (which the fs turns into ``commit(t)``); rollback is the
+    new abort ioctl (§5.1).  Atomicity and durability are the device's
+    problem.
+
+The buffer pool is managed with the *steal* and *force* policies (§2.1):
+dirty pages may spill to the database file before commit (steal), and all
+dirty pages are force-written at commit (force).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import CorruptionError, DatabaseError
+from repro.fs.ext4 import Ext4, FileHandle
+
+
+class SqliteJournalMode(enum.Enum):
+    """SQLite journal modes compared in the paper."""
+
+    ROLLBACK = "rollback"
+    WAL = "wal"
+    OFF = "off"  # journaling off; transactional device (X-FTL) underneath
+
+
+@dataclass
+class _Entry:
+    page: Any
+    dirty: bool = False
+
+
+@dataclass
+class DbHeader:
+    """Page 0 of the database file."""
+
+    page_count: int = 1
+    freelist: list[int] = None  # type: ignore[assignment]
+    schema_cookie: int = 0
+
+    def __post_init__(self) -> None:
+        if self.freelist is None:
+            self.freelist = []
+
+    def to_image(self) -> tuple:
+        return ("dbheader", self.page_count, tuple(self.freelist), self.schema_cookie)
+
+    @classmethod
+    def from_image(cls, image: tuple) -> "DbHeader":
+        _tag, page_count, freelist, cookie = image
+        return cls(page_count=page_count, freelist=list(freelist), schema_cookie=cookie)
+
+
+class Pager:
+    """Buffer pool + journal machinery over one database file."""
+
+    def __init__(
+        self,
+        fs: Ext4,
+        name: str,
+        mode: SqliteJournalMode,
+        page_decoder: Callable[[tuple], Any],
+        cache_pages: int = 512,
+        checkpoint_interval: int = 1000,
+    ) -> None:
+        self.fs = fs
+        self.name = name
+        self.mode = mode
+        self._decode = page_decoder
+        self.cache_pages = cache_pages
+        self.checkpoint_interval = checkpoint_interval
+
+        self._cache: OrderedDict[int, _Entry] = OrderedDict()
+        self.in_txn = False
+        self._tid: int | None = None  # X-FTL transaction id (OFF mode)
+        self._journal: FileHandle | None = None
+        self._journaled: dict[int, tuple | None] = {}  # pno -> original image
+        self._txn_counter = 0
+        self._txn_wrote = False
+
+        # WAL state.  The index maps pno -> WAL frame slot; page content is
+        # read back *from the WAL file* — the extra lookup/read the paper
+        # blames for WAL's read overhead (§6.3.3).
+        self._wal: FileHandle | None = None
+        self._wal_index: dict[int, int] = {}  # committed frames: pno -> slot
+        self._wal_frames = 0  # frames written (committed + uncommitted)
+        self._wal_committed_frames = 0
+        self._txn_frames: list[tuple[int, int]] = []  # spilled: (pno, slot)
+
+        created = not fs.exists(name)
+        self.file: FileHandle = fs.create(name) if created else fs.open(name)
+        self.last_recovery_us = 0.0
+        if created:
+            self.header = DbHeader()
+            self._bootstrap()
+        else:
+            self.header = DbHeader()  # replaced by recovery/open below
+            self.last_recovery_us = self.recover()
+
+    # ----------------------------------------------------------- bootstrap
+
+    def _bootstrap(self) -> None:
+        """Persist an empty database (header only)."""
+        self.file.write_page(0, self.header.to_image())
+        self.fs.fsync(self.file)
+        if self.mode is SqliteJournalMode.WAL:
+            self._ensure_wal()
+
+    def recover(self) -> float:
+        """Mode-specific crash recovery when opening an existing database.
+
+        Returns the simulated recovery time in microseconds (Table 5).
+        """
+        t0 = self.fs.device.clock.now_us
+        if self.mode is SqliteJournalMode.ROLLBACK:
+            self._recover_rollback()
+        elif self.mode is SqliteJournalMode.WAL:
+            self._recover_wal()
+        # OFF mode: nothing to do — the device already guarantees atomicity.
+        header_image = self.file.read_page(0)
+        if header_image is None:
+            raise DatabaseError(f"database {self.name!r} has no header page")
+        self.header = DbHeader.from_image(header_image)
+        return self.fs.device.clock.now_us - t0
+
+    # ------------------------------------------------------------ txn API
+
+    def begin(self, tid: int | None = None) -> None:
+        """Start a transaction.
+
+        ``tid`` lets a multi-file coordinator (§4.3) make several databases
+        share one device transaction; only meaningful in OFF mode.
+        """
+        if self.in_txn:
+            raise DatabaseError("transaction already active")
+        if tid is not None and self.mode is not SqliteJournalMode.OFF:
+            raise DatabaseError("external tids are only supported in OFF mode")
+        self.in_txn = True
+        self._journaled = {}
+        self._txn_frames = []
+        self._txn_wrote = False
+        if self.mode is SqliteJournalMode.OFF:
+            self._tid = tid if tid is not None else self.fs.begin_tx()
+        # ROLLBACK mode creates its journal file lazily, on the first page
+        # modification — read-only transactions never touch the journal
+        # (SQLite defers journal creation the same way).
+
+    def commit(self) -> None:
+        """Commit: force dirty pages out per the journal mode's protocol."""
+        if not self.in_txn:
+            raise DatabaseError("no active transaction")
+        dirty = [(pno, entry) for pno, entry in self._cache.items() if entry.dirty]
+        if self.mode is SqliteJournalMode.ROLLBACK:
+            self._commit_rollback(dirty)
+        elif self.mode is SqliteJournalMode.WAL:
+            self._commit_wal(dirty)
+        else:
+            self._commit_off(dirty)
+        for _pno, entry in dirty:
+            entry.dirty = False
+        self._end_txn()
+
+    def rollback(self) -> None:
+        """Abort: drop cached changes and undo stolen writes."""
+        if not self.in_txn:
+            raise DatabaseError("no active transaction")
+        # Drop all uncommitted in-memory changes.
+        for pno in [pno for pno, entry in self._cache.items() if entry.dirty]:
+            del self._cache[pno]
+        if self.mode is SqliteJournalMode.ROLLBACK:
+            self._rollback_journal()
+        elif self.mode is SqliteJournalMode.WAL:
+            self._txn_frames = []
+            self._wal_frames = self._wal_committed_frames
+        else:
+            assert self._tid is not None
+            self.fs.ioctl_abort(self._tid)
+        self.header = self._read_header_from_disk()
+        self._end_txn()
+
+    def _end_txn(self) -> None:
+        self.in_txn = False
+        self._tid = None
+        self._journaled = {}
+        self._txn_frames = []
+
+    # --------------------------------------------------------- page access
+
+    def get(self, pno: int) -> Any:
+        """Fetch a page object (deserializing from storage on miss)."""
+        entry = self._cache.get(pno)
+        if entry is not None:
+            self._cache.move_to_end(pno)
+            return entry.page
+        image = self._read_page_image(pno)
+        if image is None:
+            raise DatabaseError(f"page {pno} does not exist in {self.name!r}")
+        page = self._decode(image)
+        self._cache[pno] = _Entry(page=page, dirty=False)
+        self._enforce_capacity()
+        return page
+
+    def put_new(self, pno: int, page: Any) -> None:
+        """Install a freshly allocated page object."""
+        self._cache[pno] = _Entry(page=page, dirty=False)
+        self.mark_dirty(pno, page)
+
+    def mark_dirty(self, pno: int, page: Any) -> None:
+        """Declare that ``page`` (at ``pno``) was modified by this txn."""
+        if not self.in_txn:
+            raise DatabaseError("page modified outside a transaction")
+        if self.mode is SqliteJournalMode.ROLLBACK and pno not in self._journaled:
+            self._journal_original(pno)
+        entry = self._cache.get(pno)
+        if entry is None:
+            entry = _Entry(page=page)
+            self._cache[pno] = entry
+        entry.page = page
+        entry.dirty = True
+        self._txn_wrote = True
+        self._cache.move_to_end(pno)
+        self._enforce_capacity()
+
+    def allocate(self) -> int:
+        """Allocate a page number (from the freelist or by growing the file)."""
+        self.mark_dirty_header()
+        if self.header.freelist:
+            return self.header.freelist.pop()
+        pno = self.header.page_count
+        self.header.page_count += 1
+        if self.mode is SqliteJournalMode.ROLLBACK and pno not in self._journaled:
+            self._journaled[pno] = None  # new page: nothing to restore
+        return pno
+
+    def free(self, pno: int) -> None:
+        """Return a page to the freelist."""
+        self.mark_dirty_header()
+        self.header.freelist.append(pno)
+        self._cache.pop(pno, None)
+
+    def mark_dirty_header(self) -> None:
+        """Declare the database header (page 0) modified by this txn."""
+        if not self.in_txn:
+            raise DatabaseError("page modified outside a transaction")
+        if self.mode is SqliteJournalMode.ROLLBACK and 0 not in self._journaled:
+            self._journal_original(0)
+        entry = self._cache.get(0)
+        if entry is None:
+            self._cache[0] = _Entry(page=self.header, dirty=True)
+        else:
+            entry.page = self.header
+            entry.dirty = True
+
+    @property
+    def page_count(self) -> int:
+        """Pages in the database file (including the header page)."""
+        return self.header.page_count
+
+    # -------------------------------------------------------------- reading
+
+    def _read_page_image(self, pno: int) -> tuple | None:
+        """Storage-level read honouring the WAL (newest committed frame wins)."""
+        if self.mode is SqliteJournalMode.WAL:
+            slot = self._wal_index.get(pno)
+            if slot is not None:
+                assert self._wal is not None
+                frame = self._wal.read_page(slot)
+                return frame[2]
+        if self.mode is SqliteJournalMode.OFF and self._tid is not None:
+            # Tagged read: this transaction must see its own stolen writes.
+            return self.file.read_page_tx(pno, self._tid)
+        return self.file.read_page(pno)
+
+    def _read_header_from_disk(self) -> DbHeader:
+        image = self._read_page_image(0)
+        if image is None:
+            return DbHeader()
+        return DbHeader.from_image(image)
+
+    # ------------------------------------------------------- steal eviction
+
+    def _enforce_capacity(self) -> None:
+        """Evict clean LRU pages; spill (steal) LRU dirty pages when needed.
+
+        A stolen page is written to storage *uncommitted* — legal because
+        rollback can restore it (journal original / WAL reset / device
+        abort).  The object stays cached so in-flight operations never see
+        stale copies; it becomes evictable once clean.
+        """
+        while len(self._cache) > self.cache_pages:
+            victim = None
+            for pno, entry in self._cache.items():
+                if not entry.dirty and pno != 0:
+                    victim = pno
+                    break
+            if victim is not None:
+                del self._cache[victim]
+                continue
+            stolen = self._steal_one()
+            if not stolen:
+                return  # everything pinned: allow temporary over-capacity
+
+    def _steal_one(self) -> bool:
+        for pno, entry in self._cache.items():
+            if entry.dirty and pno != 0:
+                self._spill_page(pno, entry)
+                return True
+        return False
+
+    def _spill_page(self, pno: int, entry: _Entry) -> None:
+        image = entry.page.to_image()
+        if self.mode is SqliteJournalMode.ROLLBACK:
+            # The original must be durable in the journal before the db file
+            # is overwritten with uncommitted data.
+            self._sync_journal()
+            self.file.write_page(pno, image)
+        elif self.mode is SqliteJournalMode.WAL:
+            slot = self._append_wal_frame(pno, image, commit_size=0)
+            self._txn_frames.append((pno, slot))
+        else:
+            self.file.write_page(pno, image, tid=self._tid)
+        entry.dirty = False
+
+    # ----------------------------------------------------- ROLLBACK journal
+
+    @property
+    def journal_name(self) -> str:
+        """File name of the rollback journal for this database."""
+        return f"{self.name}-journal"
+
+    def _open_journal(self) -> None:
+        self._journal = self.fs.create(self.journal_name)
+        self.fs.sync_metadata()  # journal file must exist durably
+        self._journal_pages_written = 0
+
+    def _journal_original(self, pno: int) -> None:
+        """Append the pre-transaction image of ``pno`` to the rollback journal."""
+        if self._journal is None:
+            self._open_journal()
+        assert self._journal is not None
+        original = self.file.read_page(pno)
+        self._journaled[pno] = original
+        if original is None:
+            return  # brand-new page: nothing to restore on rollback
+        slot = len([v for v in self._journaled.values() if v is not None])
+        self._journal.write_page(slot, ("jorig", pno, original))
+
+    def _sync_journal(self) -> None:
+        assert self._journal is not None
+        self.fs.fsync(self._journal)
+
+    def _commit_rollback(self, dirty: list[tuple[int, _Entry]]) -> None:
+        if self._journal is None:
+            # Read-only, or only brand-new pages were written: no originals
+            # to protect.  Force dirty pages and sync the database file.
+            if dirty:
+                for pno, entry in dirty:
+                    self.file.write_page(pno, entry.page.to_image())
+                self.fs.fsync(self.file)
+            return
+        # 1. Journal data pages durable.
+        self.fs.fsync(self._journal)
+        # 2. Journal header (page 0 of the journal) + separate fsync: the
+        #    header is what marks the journal "hot" (valid for rollback).
+        count = len([v for v in self._journaled.values() if v is not None])
+        self._txn_counter += 1
+        self._journal.write_page(0, ("jhdr", count, self._txn_counter))
+        self.fs.fsync(self._journal)
+        # The journal is now "hot": a crash from here until the journal is
+        # deleted must roll the database back from it.
+        self.fs.device.chip.crash_plan.hit("sqlite.commit.mid")
+        # 3. Force dirty pages into the database file, one more fsync.
+        for pno, entry in dirty:
+            self.file.write_page(pno, entry.page.to_image())
+        self.fs.fsync(self.file)
+        # 4. Transaction complete: delete the journal (atomic, §2.1).
+        self.fs.unlink(self.journal_name)
+        self.fs.sync_metadata()
+        self._journal = None
+
+    def _rollback_journal(self) -> None:
+        """Undo stolen writes from the journal, then drop the journal."""
+        restores = [(pno, img) for pno, img in self._journaled.items() if img is not None]
+        stolen_possible = any(True for _ in restores)
+        if stolen_possible:
+            for pno, image in restores:
+                self.file.write_page(pno, image)
+            self.fs.fsync(self.file)
+        if self._journal is not None:
+            self.fs.unlink(self.journal_name)
+            self.fs.sync_metadata()
+            self._journal = None
+
+    def _recover_rollback(self) -> None:
+        """Hot-journal recovery: restore originals, delete the journal."""
+        if not self.fs.exists(self.journal_name):
+            return
+        journal = self.fs.open(self.journal_name)
+        try:
+            header = journal.read_page(0)
+        except CorruptionError:
+            header = None  # torn header write: the journal never went hot
+        if header is not None and header[0] == "jhdr":
+            count = header[1]
+            for slot in range(1, count + 1):
+                try:
+                    record = journal.read_page(slot)
+                except CorruptionError:
+                    break  # torn journal page: stop replay here
+                if record is None or record[0] != "jorig":
+                    break
+                _tag, pno, original = record
+                if original is not None:
+                    self.file.write_page(pno, original)
+            self.fs.fsync(self.file)
+        # Cold (headerless) journals mean the transaction never committed
+        # its journal: the database file was not yet touched.  Either way
+        # the journal is deleted now.
+        self.fs.unlink(self.journal_name)
+        self.fs.sync_metadata()
+
+    # -------------------------------------------------------------- WAL
+
+    @property
+    def wal_name(self) -> str:
+        """File name of the write-ahead log for this database."""
+        return f"{self.name}-wal"
+
+    def _ensure_wal(self) -> None:
+        if self._wal is None:
+            if self.fs.exists(self.wal_name):
+                self._wal = self.fs.open(self.wal_name)
+            else:
+                self._wal = self.fs.create(self.wal_name)
+                self.fs.sync_metadata()
+
+    def _append_wal_frame(self, pno: int, image: tuple, commit_size: int) -> int:
+        self._ensure_wal()
+        assert self._wal is not None
+        slot = self._wal_frames
+        self._wal.write_page(slot, ("frame", pno, image, commit_size))
+        self._wal_frames += 1
+        return slot
+
+    def _commit_wal(self, dirty: list[tuple[int, _Entry]]) -> None:
+        new_images = [(pno, entry.page.to_image()) for pno, entry in dirty]
+        if not self._txn_frames and not new_images:
+            return  # read-only transaction: nothing to log
+        slots: dict[int, int] = dict(self._txn_frames)
+        if new_images:
+            for index, (pno, image) in enumerate(new_images):
+                is_last = index == len(new_images) - 1
+                slots[pno] = self._append_wal_frame(
+                    pno, image, self.header.page_count if is_last else 0
+                )
+        else:
+            # Everything was spilled earlier; re-log the last frame with the
+            # commit marker so the transaction becomes visible.
+            pno = self._txn_frames[-1][0]
+            frame = self._wal.read_page(self._txn_frames[-1][1])
+            slots[pno] = self._append_wal_frame(pno, frame[2], self.header.page_count)
+        assert self._wal is not None
+        self.fs.fsync(self._wal)
+        self._wal_index.update(slots)
+        self._wal_committed_frames = self._wal_frames
+        if self._wal_committed_frames >= self.checkpoint_interval:
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Copy committed WAL content into the database file; reset the WAL."""
+        if not self._wal_index:
+            return
+        assert self._wal is not None
+        for pno, slot in sorted(self._wal_index.items()):
+            frame = self._wal.read_page(slot)
+            self.file.write_page(pno, frame[2])
+        self.fs.fsync(self.file)
+        assert self._wal is not None
+        self._wal.truncate(0)
+        self.fs.sync_metadata()
+        self._wal_index = {}
+        self._wal_frames = 0
+        self._wal_committed_frames = 0
+
+    def _recover_wal(self) -> None:
+        """Rebuild the WAL index from committed frames, then checkpoint.
+
+        The paper measures WAL restart as copying committed frames home
+        (§6.4), which is exactly a recovery checkpoint.
+        """
+        if not self.fs.exists(self.wal_name):
+            self._ensure_wal()
+            return
+        self._wal = self.fs.open(self.wal_name)
+        pending: dict[int, int] = {}
+        frames = 0
+        for slot in range(self._wal.n_pages):
+            try:
+                record = self._wal.read_page(slot)
+            except CorruptionError:
+                break  # torn frame: it and everything after never committed
+            if record is None or record[0] != "frame":
+                break
+            _tag, pno, _image, commit_size = record
+            frames += 1
+            pending[pno] = slot
+            if commit_size:
+                self._wal_index.update(pending)
+                pending = {}
+        self._wal_frames = frames
+        self._wal_committed_frames = frames - len(pending)
+        self.checkpoint()
+
+    # ------------------------------------------------------------ OFF mode
+
+    def _commit_off(self, dirty: list[tuple[int, _Entry]]) -> None:
+        assert self._tid is not None
+        if not dirty and not self._txn_wrote:
+            return  # read-only transaction: no fsync, no device commit
+        for pno, entry in dirty:
+            self.file.write_page(pno, entry.page.to_image(), tid=self._tid)
+        self.fs.fsync(self.file, tid=self._tid)
+
+    def stage_for_group_commit(self) -> None:
+        """Multi-file commit, phase 1: push this database's dirty pages into
+        the file-system cache tagged with the shared tid (OFF mode only).
+
+        The coordinator then issues one ``fsync_group``/``commit(t)`` for
+        all participating databases, and each pager finishes locally with
+        :meth:`finish_group_commit`.
+        """
+        if self.mode is not SqliteJournalMode.OFF:
+            raise DatabaseError("group commit requires OFF mode")
+        if not self.in_txn:
+            raise DatabaseError("no active transaction")
+        assert self._tid is not None
+        for pno, entry in self._cache.items():
+            if entry.dirty:
+                self.file.write_page(pno, entry.page.to_image(), tid=self._tid)
+                entry.dirty = False
+
+    def finish_group_commit(self) -> None:
+        """Multi-file commit, phase 2: close the local transaction state."""
+        if not self.in_txn:
+            raise DatabaseError("no active transaction")
+        self._end_txn()

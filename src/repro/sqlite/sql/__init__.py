@@ -1,0 +1,6 @@
+"""SQL dialect: tokenizer, AST, parser, and the plan/execute engine."""
+
+from repro.sqlite.sql.parser import parse
+from repro.sqlite.sql.tokenizer import tokenize, Token
+
+__all__ = ["parse", "tokenize", "Token"]

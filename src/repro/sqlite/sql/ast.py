@@ -1,0 +1,250 @@
+"""SQL abstract syntax tree nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+# ----------------------------------------------------------------- expressions
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value."""
+
+    value: Any  # None | int | float | str | bytes
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A '?' placeholder, numbered left to right from 0."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference (``t.col`` or ``col``)."""
+
+    table: str | None
+    column: str
+
+
+@dataclass(frozen=True)
+class Unary:
+    """Unary operator application (- or NOT)."""
+
+    op: str  # "-" | "NOT"
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    """Binary operator application (comparison, arithmetic, AND/OR, LIKE)."""
+
+    op: str  # comparison, arithmetic, AND, OR, LIKE
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class InList:
+    """``expr [NOT] IN (items...)``."""
+
+    operand: "Expr"
+    items: tuple["Expr", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between:
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: "Expr"
+    low: "Expr"
+    high: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``expr IS [NOT] NULL``."""
+
+    operand: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate call: COUNT/SUM/MIN/MAX/AVG, COUNT(*) when argument is None."""
+
+    func: str  # COUNT | SUM | MIN | MAX | AVG
+    argument: "Expr | None"  # None for COUNT(*)
+    distinct: bool = False
+
+
+Expr = Literal | Parameter | ColumnRef | Unary | Binary | InList | Between | IsNull | Aggregate
+
+
+# ------------------------------------------------------------------ statements
+
+
+@dataclass
+class SelectItem:
+    """One projection item: an expression, bare '*', or 't.*'."""
+
+    expr: Expr | None  # None means bare '*'
+    alias: str | None = None
+    star_table: str | None = None  # 't.*'
+
+
+@dataclass
+class TableRef:
+    """A FROM-clause table with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class Join:
+    """An INNER JOIN with its ON condition."""
+
+    table: TableRef
+    on: Expr
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY term."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class Select:
+    """A SELECT statement."""
+
+    items: list[SelectItem]
+    source: TableRef | None
+    joins: list[Join] = field(default_factory=list)
+    where: Expr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Expr | None = None
+    offset: Expr | None = None
+    distinct: bool = False
+
+
+@dataclass
+class Insert:
+    """An INSERT ... VALUES statement (possibly multi-row)."""
+
+    table: str
+    columns: list[str] | None
+    rows: list[list[Expr]]
+
+
+@dataclass
+class Update:
+    """An UPDATE ... SET statement."""
+
+    table: str
+    assignments: list[tuple[str, Expr]]
+    where: Expr | None = None
+
+
+@dataclass
+class Delete:
+    """A DELETE FROM statement."""
+
+    table: str
+    where: Expr | None = None
+
+
+@dataclass
+class ColumnDef:
+    """One column definition inside CREATE TABLE."""
+
+    name: str
+    type: str
+    primary_key: bool = False
+
+
+@dataclass
+class CreateTable:
+    """A CREATE TABLE statement (original SQL kept for the catalog)."""
+
+    name: str
+    columns: list[ColumnDef]
+    if_not_exists: bool = False
+    sql: str = ""
+
+
+@dataclass
+class CreateIndex:
+    """A CREATE [UNIQUE] INDEX statement."""
+
+    name: str
+    table: str
+    columns: list[str]
+    unique: bool = False
+    if_not_exists: bool = False
+    sql: str = ""
+
+
+@dataclass
+class DropTable:
+    """A DROP TABLE statement."""
+
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class DropIndex:
+    """A DROP INDEX statement."""
+
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class Begin:
+    """BEGIN [TRANSACTION]."""
+
+    pass
+
+
+@dataclass
+class Commit:
+    """COMMIT [TRANSACTION]."""
+
+    pass
+
+
+@dataclass
+class Rollback:
+    """ROLLBACK [TRANSACTION]."""
+
+    pass
+
+
+Statement = (
+    Select
+    | Insert
+    | Update
+    | Delete
+    | CreateTable
+    | CreateIndex
+    | DropTable
+    | DropIndex
+    | Begin
+    | Commit
+    | Rollback
+)

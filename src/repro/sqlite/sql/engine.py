@@ -1,0 +1,457 @@
+"""Query planning and execution.
+
+The planner mirrors SQLite's at the level that matters for the paper's
+workloads: point/range access through the rowid or a secondary index when a
+WHERE conjunct allows it, full table scans otherwise, and nested-loop joins
+(the paper notes SQLite uses nested loops and never materializes temporary
+files for joins, §6.3.3).  Aggregates (COUNT/SUM/MIN/MAX/AVG without GROUP
+BY), ORDER BY, LIMIT/OFFSET and DISTINCT cover the TPC-C transactions and
+the Android traces.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.errors import SqlError
+from repro.sqlite.records import SqlValue, key_sort_tuple
+from repro.sqlite.schema import Table
+from repro.sqlite.sql import ast
+from repro.sqlite.table import TableStore
+
+Row = tuple[SqlValue, ...]
+# An evaluation environment: binding name -> (rowid, row values).
+Env = dict[str, tuple[int, Row]]
+
+
+# ----------------------------------------------------------- value semantics
+
+
+def sql_truth(value: Any) -> bool:
+    """SQL WHERE truthiness: NULL and 0 are not true."""
+    if value is None:
+        return False
+    if isinstance(value, (int, float)):
+        return value != 0
+    return bool(value)
+
+
+def sql_compare(left: SqlValue, right: SqlValue) -> int | None:
+    """Three-valued comparison; None when either side is NULL."""
+    if left is None or right is None:
+        return None
+    key_left = key_sort_tuple((left,))
+    key_right = key_sort_tuple((right,))
+    if key_left < key_right:
+        return -1
+    if key_left > key_right:
+        return 1
+    return 0
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+    out = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE | re.DOTALL)
+
+
+# -------------------------------------------------------- expression compiler
+
+
+class ExprCompiler:
+    """Compiles AST expressions into closures over an Env.
+
+    Column references are resolved once at compile time against the list of
+    visible table bindings; ``rowid`` (or an INTEGER PRIMARY KEY alias) maps
+    to the row's rowid.
+    """
+
+    def __init__(self, bindings: list[tuple[str, Table]], params: Sequence[SqlValue]):
+        """``bindings`` are the visible (alias, table) pairs; ``params`` bind '?'."""
+        self.bindings = bindings
+        self.params = params
+
+    def resolve_column(self, ref: ast.ColumnRef) -> tuple[str, int | None]:
+        """Returns (binding, column_index); column_index None means rowid."""
+        candidates = []
+        for binding, table in self.bindings:
+            if ref.table is not None and ref.table != binding:
+                continue
+            if ref.column.lower() == "rowid":
+                candidates.append((binding, None))
+                continue
+            try:
+                position = table.column_index(ref.column)
+            except Exception:
+                continue
+            if table.rowid_alias == position:
+                candidates.append((binding, None))
+            else:
+                candidates.append((binding, position))
+        if not candidates:
+            raise SqlError(f"no such column: {ref.table + '.' if ref.table else ''}{ref.column}")
+        if len(candidates) > 1:
+            raise SqlError(f"ambiguous column: {ref.column}")
+        return candidates[0]
+
+    def compile(self, expr: ast.Expr) -> Callable[[Env], SqlValue]:
+        """Compile ``expr`` into a closure evaluated against an Env."""
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            return lambda env: value
+        if isinstance(expr, ast.Parameter):
+            if expr.index >= len(self.params):
+                raise SqlError(
+                    f"statement requires at least {expr.index + 1} parameters, "
+                    f"got {len(self.params)}"
+                )
+            value = self.params[expr.index]
+            return lambda env: value
+        if isinstance(expr, ast.ColumnRef):
+            binding, position = self.resolve_column(expr)
+            if position is None:
+                return lambda env: env[binding][0]
+            return lambda env: env[binding][1][position]
+        if isinstance(expr, ast.Unary):
+            operand = self.compile(expr.operand)
+            if expr.op == "-":
+                return lambda env: None if (v := operand(env)) is None else -v
+            if expr.op == "NOT":
+                return lambda env: (
+                    None if (v := operand(env)) is None else int(not sql_truth(v))
+                )
+            raise SqlError(f"unknown unary operator {expr.op}")
+        if isinstance(expr, ast.Binary):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.IsNull):
+            operand = self.compile(expr.operand)
+            if expr.negated:
+                return lambda env: int(operand(env) is not None)
+            return lambda env: int(operand(env) is None)
+        if isinstance(expr, ast.InList):
+            operand = self.compile(expr.operand)
+            items = [self.compile(item) for item in expr.items]
+            negated = expr.negated
+
+            def run_in(env: Env) -> SqlValue:
+                value = operand(env)
+                if value is None:
+                    return None
+                hit = any(sql_compare(value, item(env)) == 0 for item in items)
+                return int(hit != negated)
+
+            return run_in
+        if isinstance(expr, ast.Between):
+            operand = self.compile(expr.operand)
+            low = self.compile(expr.low)
+            high = self.compile(expr.high)
+            negated = expr.negated
+
+            def run_between(env: Env) -> SqlValue:
+                value = operand(env)
+                low_cmp = sql_compare(value, low(env))
+                high_cmp = sql_compare(value, high(env))
+                if low_cmp is None or high_cmp is None:
+                    return None
+                hit = low_cmp >= 0 and high_cmp <= 0
+                return int(hit != negated)
+
+            return run_between
+        if isinstance(expr, ast.Aggregate):
+            raise SqlError("aggregate used outside of a SELECT list")
+        raise SqlError(f"cannot compile expression {expr!r}")
+
+    def _compile_binary(self, expr: ast.Binary) -> Callable[[Env], SqlValue]:
+        op = expr.op
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        if op == "AND":
+            return lambda env: int(sql_truth(left(env)) and sql_truth(right(env)))
+        if op == "OR":
+            return lambda env: int(sql_truth(left(env)) or sql_truth(right(env)))
+        if op in ("=", "!=", "<", "<=", ">", ">="):
+
+            def run_cmp(env: Env) -> SqlValue:
+                result = sql_compare(left(env), right(env))
+                if result is None:
+                    return None
+                if op == "=":
+                    return int(result == 0)
+                if op == "!=":
+                    return int(result != 0)
+                if op == "<":
+                    return int(result < 0)
+                if op == "<=":
+                    return int(result <= 0)
+                if op == ">":
+                    return int(result > 0)
+                return int(result >= 0)
+
+            return run_cmp
+        if op in ("+", "-", "*", "/", "%"):
+
+            def run_arith(env: Env) -> SqlValue:
+                a, b = left(env), right(env)
+                if a is None or b is None:
+                    return None
+                if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+                    raise SqlError(f"arithmetic on non-numeric values: {a!r} {op} {b!r}")
+                if op == "+":
+                    return a + b
+                if op == "-":
+                    return a - b
+                if op == "*":
+                    return a * b
+                if op == "/":
+                    if b == 0:
+                        return None  # SQLite: division by zero yields NULL
+                    result = a / b
+                    return int(result) if isinstance(a, int) and isinstance(b, int) else result
+                if b == 0:
+                    return None
+                return a % b
+
+            return run_arith
+        if op == "LIKE":
+
+            def run_like(env: Env) -> SqlValue:
+                value, pattern = left(env), right(env)
+                if value is None or pattern is None:
+                    return None
+                if not isinstance(value, str) or not isinstance(pattern, str):
+                    return 0
+                return int(bool(_like_to_regex(pattern).match(value)))
+
+            return run_like
+        raise SqlError(f"unknown binary operator {op}")
+
+
+# ------------------------------------------------------------------ planning
+
+
+def split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    """Flatten a WHERE tree into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def expr_references_bindings(
+    expr: ast.Expr, bindings: set[str], compiler: "ExprCompiler"
+) -> bool:
+    """Whether ``expr`` references a column belonging to any of ``bindings``.
+
+    Unqualified column names are resolved through the compiler so that
+    ``age`` counts as a reference to whichever table actually owns it.
+    """
+    if isinstance(expr, ast.ColumnRef):
+        try:
+            binding, _position = compiler.resolve_column(expr)
+        except SqlError:
+            return True  # unresolvable: be conservative
+        return binding in bindings
+    if isinstance(expr, ast.Unary):
+        return expr_references_bindings(expr.operand, bindings, compiler)
+    if isinstance(expr, ast.Binary):
+        return expr_references_bindings(
+            expr.left, bindings, compiler
+        ) or expr_references_bindings(expr.right, bindings, compiler)
+    if isinstance(expr, ast.IsNull):
+        return expr_references_bindings(expr.operand, bindings, compiler)
+    if isinstance(expr, ast.InList):
+        return expr_references_bindings(expr.operand, bindings, compiler) or any(
+            expr_references_bindings(item, bindings, compiler) for item in expr.items
+        )
+    if isinstance(expr, ast.Between):
+        return any(
+            expr_references_bindings(e, bindings, compiler)
+            for e in (expr.operand, expr.low, expr.high)
+        )
+    if isinstance(expr, ast.Aggregate):
+        return expr.argument is not None and expr_references_bindings(
+            expr.argument, bindings, compiler
+        )
+    return False
+
+
+class AccessPath:
+    """How one table binding will be scanned, given already-bound outer rows.
+
+    kind is one of:
+      - "full": full table scan
+      - "rowid-eq": single row by rowid (value expr evaluated against env)
+      - "rowid-range": rowid range scan (lo/hi exprs, openness flags)
+      - "index-eq": index equality on the leading column
+      - "index-range": index range on the leading column
+    """
+
+    def __init__(self, kind: str, **kwargs: Any) -> None:
+        self.kind = kind
+        self.index = kwargs.get("index")
+        self.eq = kwargs.get("eq")
+        self.lo = kwargs.get("lo")
+        self.hi = kwargs.get("hi")
+        self.lo_open = kwargs.get("lo_open", False)
+        self.hi_open = kwargs.get("hi_open", False)
+
+
+def choose_access_path(
+    binding: str,
+    table: Table,
+    conjuncts: list[ast.Expr],
+    outer_bindings: set[str],
+    compiler: ExprCompiler,
+) -> tuple[AccessPath, list[ast.Expr]]:
+    """Pick an access path for ``binding``; returns (path, leftover filters).
+
+    A conjunct qualifies if one side is a column of this binding and the
+    other side only references *outer* bindings (already bound in the nested
+    loop) or constants.
+    """
+
+    def column_of(expr: ast.Expr) -> tuple[str, int | None] | None:
+        if not isinstance(expr, ast.ColumnRef):
+            return None
+        try:
+            resolved = compiler.resolve_column(expr)
+        except SqlError:
+            return None
+        return resolved if resolved[0] == binding else None
+
+    def is_outer_only(expr: ast.Expr) -> bool:
+        return not expr_references_bindings(expr, {binding}, compiler)
+
+    rowid_eq = None
+    rowid_lo = rowid_hi = None
+    rowid_lo_open = rowid_hi_open = False
+    index_candidates: dict[int, dict[str, Any]] = {}
+    leftovers: list[ast.Expr] = []
+
+    for conjunct in conjuncts:
+        handled = False
+        if isinstance(conjunct, ast.Binary) and conjunct.op in ("=", "<", "<=", ">", ">="):
+            for this_side, other_side, op in (
+                (conjunct.left, conjunct.right, conjunct.op),
+                (conjunct.right, conjunct.left, _flip(conjunct.op)),
+            ):
+                resolved = column_of(this_side)
+                if resolved is None or not is_outer_only(other_side):
+                    continue
+                _binding, position = resolved
+                if position is None:  # rowid
+                    if op == "=" and rowid_eq is None:
+                        rowid_eq = other_side
+                        handled = True
+                    elif op in (">", ">=") and rowid_lo is None:
+                        rowid_lo, rowid_lo_open = other_side, op == ">"
+                        handled = True
+                    elif op in ("<", "<=") and rowid_hi is None:
+                        rowid_hi, rowid_hi_open = other_side, op == "<"
+                        handled = True
+                else:
+                    column_name = table.columns[position].name
+                    index = table.index_on(column_name)
+                    if index is not None:
+                        slot = index_candidates.setdefault(position, {"index": index})
+                        if op == "=" and "eq" not in slot:
+                            slot["eq"] = other_side
+                            handled = True
+                        elif op in (">", ">=") and "lo" not in slot:
+                            slot["lo"], slot["lo_open"] = other_side, op == ">"
+                            handled = True
+                        elif op in ("<", "<=") and "hi" not in slot:
+                            slot["hi"], slot["hi_open"] = other_side, op == "<"
+                            handled = True
+                if handled:
+                    break
+        if not handled:
+            leftovers.append(conjunct)
+
+    if rowid_eq is not None:
+        return AccessPath("rowid-eq", eq=compiler.compile(rowid_eq)), leftovers
+    for slot in index_candidates.values():
+        if "eq" in slot:
+            return (
+                AccessPath("index-eq", index=slot["index"], eq=compiler.compile(slot["eq"])),
+                leftovers,
+            )
+    if rowid_lo is not None or rowid_hi is not None:
+        return (
+            AccessPath(
+                "rowid-range",
+                lo=compiler.compile(rowid_lo) if rowid_lo is not None else None,
+                hi=compiler.compile(rowid_hi) if rowid_hi is not None else None,
+                lo_open=rowid_lo_open,
+                hi_open=rowid_hi_open,
+            ),
+            leftovers,
+        )
+    for slot in index_candidates.values():
+        if "lo" in slot or "hi" in slot:
+            return (
+                AccessPath(
+                    "index-range",
+                    index=slot["index"],
+                    lo=compiler.compile(slot["lo"]) if "lo" in slot else None,
+                    hi=compiler.compile(slot["hi"]) if "hi" in slot else None,
+                    lo_open=slot.get("lo_open", False),
+                    hi_open=slot.get("hi_open", False),
+                ),
+                leftovers,
+            )
+    return AccessPath("full"), leftovers
+
+
+def _flip(op: str) -> str:
+    return {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+
+
+def iterate_access_path(
+    path: AccessPath, store: TableStore, env: Env
+) -> Iterator[tuple[int, Row]]:
+    """Yield (rowid, values) for one binding under the current outer env."""
+    if path.kind == "rowid-eq":
+        rowid = path.eq(env)
+        if isinstance(rowid, int):
+            row = store.get_row(rowid)
+            if row is not None:
+                yield rowid, row
+        return
+    if path.kind == "rowid-range":
+        lo = path.lo(env) if path.lo is not None else None
+        hi = path.hi(env) if path.hi is not None else None
+        if (lo is not None and not isinstance(lo, int)) or (
+            hi is not None and not isinstance(hi, int)
+        ):
+            return
+        yield from store.scan_rows(lo, hi, path.lo_open, path.hi_open)
+        return
+    if path.kind == "index-eq":
+        value = path.eq(env)
+        if value is None:
+            return  # NULL never matches an equality
+        for rowid in store.index_rowids(path.index, (value,), (value,)):
+            row = store.get_row(rowid)
+            if row is not None:
+                yield rowid, row
+        return
+    if path.kind == "index-range":
+        lo = (path.lo(env),) if path.lo is not None else None
+        hi = (path.hi(env),) if path.hi is not None else None
+        if (lo is not None and lo[0] is None) or (hi is not None and hi[0] is None):
+            return
+        for rowid in store.index_rowids(path.index, lo, hi, path.lo_open, path.hi_open):
+            row = store.get_row(rowid)
+            if row is not None:
+                yield rowid, row
+        return
+    yield from store.scan_rows()

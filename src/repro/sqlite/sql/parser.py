@@ -1,0 +1,441 @@
+"""Recursive-descent SQL parser."""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.sqlite.sql import ast
+from repro.sqlite.sql.tokenizer import Token, tokenize
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing semicolon is allowed)."""
+    parser = _Parser(sql)
+    statement = parser.statement()
+    parser.accept_punct(";")
+    parser.expect_eof()
+    return statement
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.position = 0
+        self._param_count = 0
+
+    # ---------------------------------------------------------- token plumbing
+
+    @property
+    def current(self) -> Token:
+        """The lookahead token."""
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def accept_keyword(self, *words: str) -> str | None:
+        """Consume one of ``words`` if it is next; returns it or None."""
+        if self.current.kind == "KEYWORD" and self.current.value in words:
+            return self.advance().value  # type: ignore[return-value]
+        return None
+
+    def expect_keyword(self, *words: str) -> str:
+        """Require one of ``words`` next; SqlError otherwise."""
+        got = self.accept_keyword(*words)
+        if got is None:
+            raise SqlError(f"expected {'/'.join(words)}, got {self.current.value!r}")
+        return got
+
+    def accept_punct(self, mark: str) -> bool:
+        """Consume punctuation ``mark`` if it is next."""
+        if self.current.kind == "PUNCT" and self.current.value == mark:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, mark: str) -> None:
+        """Require punctuation ``mark`` next; SqlError otherwise."""
+        if not self.accept_punct(mark):
+            raise SqlError(f"expected {mark!r}, got {self.current.value!r}")
+
+    def accept_op(self, *ops: str) -> str | None:
+        """Consume one of the operators if it is next; returns it or None."""
+        if self.current.kind == "OP" and self.current.value in ops:
+            return self.advance().value  # type: ignore[return-value]
+        return None
+
+    def expect_ident(self) -> str:
+        """Require an identifier next (some keywords double as names)."""
+        if self.current.kind == "IDENT":
+            return self.advance().value  # type: ignore[return-value]
+        # Allow non-reserved keywords as identifiers where unambiguous.
+        if self.current.kind == "KEYWORD" and self.current.value in (
+            "COUNT", "SUM", "MIN", "MAX", "AVG", "KEY",
+        ):
+            return self.advance().value.lower()  # type: ignore[union-attr]
+        raise SqlError(f"expected identifier, got {self.current.value!r}")
+
+    def expect_eof(self) -> None:
+        """Require that all input was consumed."""
+        if self.current.kind != "EOF":
+            raise SqlError(f"unexpected trailing input: {self.current.value!r}")
+
+    # ------------------------------------------------------------- statements
+
+    def statement(self) -> ast.Statement:
+        """Parse any supported statement (dispatch on the leading keyword)."""
+        if self.accept_keyword("SELECT"):
+            return self.select()
+        if self.accept_keyword("INSERT"):
+            return self.insert()
+        if self.accept_keyword("UPDATE"):
+            return self.update()
+        if self.accept_keyword("DELETE"):
+            return self.delete()
+        if self.accept_keyword("CREATE"):
+            return self.create()
+        if self.accept_keyword("DROP"):
+            return self.drop()
+        if self.accept_keyword("BEGIN"):
+            self.accept_keyword("TRANSACTION")
+            return ast.Begin()
+        if self.accept_keyword("COMMIT"):
+            self.accept_keyword("TRANSACTION")
+            return ast.Commit()
+        if self.accept_keyword("ROLLBACK"):
+            self.accept_keyword("TRANSACTION")
+            return ast.Rollback()
+        raise SqlError(f"unsupported statement starting with {self.current.value!r}")
+
+    def select(self) -> ast.Select:
+        """Parse the remainder of a SELECT (the keyword is consumed)."""
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        items = [self.select_item()]
+        while self.accept_punct(","):
+            items.append(self.select_item())
+        source = None
+        joins: list[ast.Join] = []
+        if self.accept_keyword("FROM"):
+            source = self.table_ref()
+            while True:
+                if self.accept_keyword("JOIN"):
+                    pass
+                elif self.accept_keyword("INNER"):
+                    self.expect_keyword("JOIN")
+                elif self.accept_keyword("LEFT"):
+                    raise SqlError("LEFT JOIN is not supported (inner joins only)")
+                else:
+                    break
+                table = self.table_ref()
+                self.expect_keyword("ON")
+                joins.append(ast.Join(table=table, on=self.expression()))
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.order_item())
+            while self.accept_punct(","):
+                order_by.append(self.order_item())
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.expression()
+            if self.accept_keyword("OFFSET"):
+                offset = self.expression()
+        return ast.Select(
+            items=items,
+            source=source,
+            joins=joins,
+            where=where,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def select_item(self) -> ast.SelectItem:
+        """Parse one projection: *, t.*, or an expression with alias."""
+        if self.current.kind == "OP" and self.current.value == "*":
+            self.advance()
+            return ast.SelectItem(expr=None)
+        # 't.*'
+        if (
+            self.current.kind == "IDENT"
+            and self.tokens[self.position + 1].kind == "PUNCT"
+            and self.tokens[self.position + 1].value == "."
+            and self.tokens[self.position + 2].kind == "OP"
+            and self.tokens[self.position + 2].value == "*"
+        ):
+            table = self.expect_ident()
+            self.advance()  # '.'
+            self.advance()  # '*'
+            return ast.SelectItem(expr=None, star_table=table)
+        expr = self.expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "IDENT":
+            alias = self.expect_ident()
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def order_item(self) -> ast.OrderItem:
+        """Parse one ORDER BY term with optional ASC/DESC."""
+        expr = self.expression()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr=expr, descending=descending)
+
+    def table_ref(self) -> ast.TableRef:
+        """Parse a table name with optional alias."""
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "IDENT":
+            alias = self.expect_ident()
+        return ast.TableRef(name=name, alias=alias)
+
+    def insert(self) -> ast.Insert:
+        """Parse the remainder of an INSERT."""
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns = None
+        if self.accept_punct("("):
+            columns = [self.expect_ident()]
+            while self.accept_punct(","):
+                columns.append(self.expect_ident())
+            self.expect_punct(")")
+        self.expect_keyword("VALUES")
+        rows = [self.value_row()]
+        while self.accept_punct(","):
+            rows.append(self.value_row())
+        return ast.Insert(table=table, columns=columns, rows=rows)
+
+    def value_row(self) -> list[ast.Expr]:
+        """Parse one parenthesized VALUES row."""
+        self.expect_punct("(")
+        row = [self.expression()]
+        while self.accept_punct(","):
+            row.append(self.expression())
+        self.expect_punct(")")
+        return row
+
+    def update(self) -> ast.Update:
+        """Parse the remainder of an UPDATE."""
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self.assignment()]
+        while self.accept_punct(","):
+            assignments.append(self.assignment())
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return ast.Update(table=table, assignments=assignments, where=where)
+
+    def assignment(self) -> tuple[str, ast.Expr]:
+        """Parse one ``column = expr`` SET item."""
+        column = self.expect_ident()
+        if self.accept_op("=") is None:
+            raise SqlError(f"expected '=' in assignment, got {self.current.value!r}")
+        return column, self.expression()
+
+    def delete(self) -> ast.Delete:
+        """Parse the remainder of a DELETE."""
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return ast.Delete(table=table, where=where)
+
+    def create(self) -> ast.Statement:
+        """Parse CREATE TABLE / CREATE [UNIQUE] INDEX."""
+        if self.accept_keyword("TABLE"):
+            if_not_exists = self._if_not_exists()
+            name = self.expect_ident()
+            self.expect_punct("(")
+            columns = [self.column_def()]
+            while self.accept_punct(","):
+                columns.append(self.column_def())
+            self.expect_punct(")")
+            return ast.CreateTable(
+                name=name, columns=columns, if_not_exists=if_not_exists, sql=self.sql
+            )
+        unique = bool(self.accept_keyword("UNIQUE"))
+        self.expect_keyword("INDEX")
+        if_not_exists = self._if_not_exists()
+        name = self.expect_ident()
+        self.expect_keyword("ON")
+        table = self.expect_ident()
+        self.expect_punct("(")
+        columns = [self.expect_ident()]
+        while self.accept_punct(","):
+            columns.append(self.expect_ident())
+        self.expect_punct(")")
+        return ast.CreateIndex(
+            name=name,
+            table=table,
+            columns=columns,
+            unique=unique,
+            if_not_exists=if_not_exists,
+            sql=self.sql,
+        )
+
+    def _if_not_exists(self) -> bool:
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            return True
+        return False
+
+    def column_def(self) -> ast.ColumnDef:
+        """Parse one column definition (name, type, PRIMARY KEY)."""
+        name = self.expect_ident()
+        type_word = self.accept_keyword("INTEGER", "INT", "TEXT", "REAL", "BLOB")
+        if type_word is None:
+            if self.current.kind == "IDENT":
+                type_word = self.advance().value.upper()  # type: ignore[union-attr]
+            else:
+                type_word = "TEXT"
+        primary = False
+        if self.accept_keyword("PRIMARY"):
+            self.expect_keyword("KEY")
+            primary = True
+        return ast.ColumnDef(name=name, type=type_word, primary_key=primary)
+
+    def drop(self) -> ast.Statement:
+        """Parse DROP TABLE / DROP INDEX."""
+        if self.accept_keyword("TABLE"):
+            if_exists = self._if_exists()
+            return ast.DropTable(name=self.expect_ident(), if_exists=if_exists)
+        self.expect_keyword("INDEX")
+        if_exists = self._if_exists()
+        return ast.DropIndex(name=self.expect_ident(), if_exists=if_exists)
+
+    def _if_exists(self) -> bool:
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            return True
+        return False
+
+    # ------------------------------------------------------------ expressions
+
+    def expression(self) -> ast.Expr:
+        """Parse a full expression (lowest precedence: OR)."""
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Expr:
+        """OR level."""
+        left = self.and_expr()
+        while self.accept_keyword("OR"):
+            left = ast.Binary("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> ast.Expr:
+        """AND level."""
+        left = self.not_expr()
+        while self.accept_keyword("AND"):
+            left = ast.Binary("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> ast.Expr:
+        """NOT level."""
+        if self.accept_keyword("NOT"):
+            return ast.Unary("NOT", self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> ast.Expr:
+        """Comparisons, IS NULL, LIKE, IN, BETWEEN."""
+        left = self.additive()
+        op = self.accept_op("=", "!=", "<>", "<=", ">=", "<", ">")
+        if op is not None:
+            if op == "<>":
+                op = "!="
+            return ast.Binary(op, left, self.additive())
+        if self.accept_keyword("IS"):
+            negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, negated=negated)
+        if self.accept_keyword("LIKE"):
+            return ast.Binary("LIKE", left, self.additive())
+        negated = bool(self.accept_keyword("NOT"))
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            items = [self.expression()]
+            while self.accept_punct(","):
+                items.append(self.expression())
+            self.expect_punct(")")
+            return ast.InList(left, tuple(items), negated=negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self.additive()
+            self.expect_keyword("AND")
+            high = self.additive()
+            return ast.Between(left, low, high, negated=negated)
+        if negated:
+            raise SqlError("dangling NOT")
+        return left
+
+    def additive(self) -> ast.Expr:
+        """+ and - level."""
+        left = self.multiplicative()
+        while True:
+            op = self.accept_op("+", "-")
+            if op is None:
+                return left
+            left = ast.Binary(op, left, self.multiplicative())
+
+    def multiplicative(self) -> ast.Expr:
+        """*, / and % level."""
+        left = self.unary()
+        while True:
+            op = self.accept_op("*", "/", "%")
+            if op is None:
+                return left
+            left = ast.Binary(op, left, self.unary())
+
+    def unary(self) -> ast.Expr:
+        """Unary +/- level."""
+        if self.accept_op("-"):
+            return ast.Unary("-", self.unary())
+        if self.accept_op("+"):
+            return self.unary()
+        return self.primary()
+
+    def primary(self) -> ast.Expr:
+        """Literals, parameters, parens, aggregates, column references."""
+        token = self.current
+        if token.kind in ("INT", "FLOAT", "STRING", "BLOB"):
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == "KEYWORD" and token.value == "NULL":
+            self.advance()
+            return ast.Literal(None)
+        if token.kind == "PUNCT" and token.value == "?":
+            self.advance()
+            parameter = ast.Parameter(self._param_count)
+            self._param_count += 1
+            return parameter
+        if token.kind == "PUNCT" and token.value == "(":
+            self.advance()
+            expr = self.expression()
+            self.expect_punct(")")
+            return expr
+        if token.kind == "KEYWORD" and token.value in ("COUNT", "SUM", "MIN", "MAX", "AVG"):
+            func = self.advance().value
+            self.expect_punct("(")
+            distinct = bool(self.accept_keyword("DISTINCT"))
+            if self.current.kind == "OP" and self.current.value == "*":
+                self.advance()
+                argument = None
+            else:
+                argument = self.expression()
+            self.expect_punct(")")
+            return ast.Aggregate(func=func, argument=argument, distinct=distinct)  # type: ignore[arg-type]
+        if token.kind == "IDENT":
+            name = self.expect_ident()
+            if self.accept_punct("."):
+                column = self.expect_ident()
+                return ast.ColumnRef(table=name, column=column)
+            return ast.ColumnRef(table=None, column=name)
+        raise SqlError(f"unexpected token {token.value!r} in expression")

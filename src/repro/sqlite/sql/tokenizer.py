@@ -1,0 +1,151 @@
+"""SQL tokenizer.
+
+Produces a flat token stream of keywords, identifiers, literals, operators
+and punctuation.  Keywords are case-insensitive; identifiers may be quoted
+with double quotes; string literals use single quotes with '' escaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "CREATE", "DROP", "TABLE", "INDEX", "UNIQUE", "ON", "JOIN",
+    "INNER", "LEFT", "AND", "OR", "NOT", "NULL", "PRIMARY", "KEY", "AS",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "BEGIN", "COMMIT",
+    "ROLLBACK", "TRANSACTION", "IN", "BETWEEN", "LIKE", "IS", "DISTINCT",
+    "COUNT", "SUM", "MIN", "MAX", "AVG", "IF", "EXISTS", "INTEGER", "INT",
+    "TEXT", "REAL", "BLOB",
+}
+
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%")
+PUNCTUATION = ("(", ")", ",", ".", ";", "?")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is KEYWORD/IDENT/INT/FLOAT/STRING/BLOB/OP/PUNCT/EOF."""
+
+    kind: str
+    value: str | int | float | bytes
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a SQL statement; raises SqlError on bad input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if sql.startswith("--", index):
+            newline = sql.find("\n", index)
+            index = length if newline < 0 else newline + 1
+            continue
+        if char == "'":
+            value, index = _read_string(sql, index)
+            tokens.append(Token("STRING", value, index))
+            continue
+        if char == '"':
+            end = sql.find('"', index + 1)
+            if end < 0:
+                raise SqlError(f"unterminated quoted identifier at {index}")
+            tokens.append(Token("IDENT", sql[index + 1 : end], index))
+            index = end + 1
+            continue
+        if sql.startswith("X'", index) or sql.startswith("x'", index):
+            end = sql.find("'", index + 2)
+            if end < 0:
+                raise SqlError(f"unterminated blob literal at {index}")
+            hex_text = sql[index + 2 : end]
+            try:
+                tokens.append(Token("BLOB", bytes.fromhex(hex_text), index))
+            except ValueError as exc:
+                raise SqlError(f"bad blob literal at {index}: {exc}") from exc
+            index = end + 1
+            continue
+        if char.isdigit() or (char == "." and index + 1 < length and sql[index + 1].isdigit()):
+            value, index = _read_number(sql, index)
+            kind = "FLOAT" if isinstance(value, float) else "INT"
+            tokens.append(Token(kind, value, index))
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[index:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, index))
+            else:
+                tokens.append(Token("IDENT", word, index))
+            index = end
+            continue
+        matched = False
+        for op in OPERATORS:
+            if sql.startswith(op, index):
+                tokens.append(Token("OP", op, index))
+                index += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in PUNCTUATION:
+            tokens.append(Token("PUNCT", char, index))
+            index += 1
+            continue
+        raise SqlError(f"unexpected character {char!r} at position {index}")
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+def _read_string(sql: str, index: int) -> tuple[str, int]:
+    """Read a single-quoted string with '' escapes."""
+    out = []
+    index += 1
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char == "'":
+            if index + 1 < length and sql[index + 1] == "'":
+                out.append("'")
+                index += 2
+                continue
+            return "".join(out), index + 1
+        out.append(char)
+        index += 1
+    raise SqlError("unterminated string literal")
+
+
+def _read_number(sql: str, index: int) -> tuple[int | float, int]:
+    end = index
+    length = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while end < length:
+        char = sql[end]
+        if char.isdigit():
+            end += 1
+        elif char == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            end += 1
+        elif char in "eE" and not seen_exp and end > index:
+            seen_exp = True
+            end += 1
+            if end < length and sql[end] in "+-":
+                end += 1
+        else:
+            break
+    text = sql[index:end]
+    try:
+        if seen_dot or seen_exp:
+            return float(text), end
+        return int(text), end
+    except ValueError as exc:
+        raise SqlError(f"bad numeric literal {text!r}") from exc

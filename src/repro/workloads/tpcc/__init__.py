@@ -1,0 +1,12 @@
+"""TPC-C benchmark (§6.2, §6.3.3, Tables 3 and 4).
+
+A DBT-2-style TPC-C implementation: the full nine-table schema, a scaled
+loader, the five standard transaction types, plus the paper's two custom
+read transactions (selection-only and join-only), and a driver that runs
+the four workload mixes of Table 3 and reports tpmC.
+"""
+
+from repro.workloads.tpcc.driver import MIXES, TpccDriver, TpccResult
+from repro.workloads.tpcc.loader import TpccConfig, TpccLoader
+
+__all__ = ["MIXES", "TpccDriver", "TpccResult", "TpccConfig", "TpccLoader"]

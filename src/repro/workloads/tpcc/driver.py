@@ -1,0 +1,67 @@
+"""TPC-C driver: workload mixes (Table 3) and the tpmC metric (Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import make_rng
+from repro.sqlite.database import Connection
+from repro.workloads.tpcc.loader import TpccConfig
+from repro.workloads.tpcc.transactions import TpccTransactions
+
+# Table 3: relative frequencies (%) of transaction types per workload.
+MIXES: dict[str, dict[str, int]] = {
+    "write-intensive": {
+        "delivery": 4,
+        "order_status": 4,
+        "payment": 43,
+        "stock_level": 4,
+        "new_order": 45,
+    },
+    "read-intensive": {
+        "order_status": 50,
+        "stock_level": 45,
+        "new_order": 5,
+    },
+    "selection-only": {"selection_only": 100},
+    "join-only": {"join_only": 100},
+}
+
+
+@dataclass
+class TpccResult:
+    """Throughput of one mix run."""
+
+    mix: str
+    transactions: int
+    elapsed_s: float
+
+    @property
+    def tpm(self) -> float:
+        """Transactions per simulated minute (the paper's tpmC column)."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.transactions * 60.0 / self.elapsed_s
+
+
+class TpccDriver:
+    """Runs one of the Table 3 mixes on a single connection."""
+
+    def __init__(self, db: Connection, config: TpccConfig, seed: int = 7) -> None:
+        self.db = db
+        self.config = config
+        self.rng = make_rng(seed, "tpcc-driver")
+        self.transactions = TpccTransactions(db, config, self.rng)
+
+    def run(self, mix: str, transactions: int) -> TpccResult:
+        weights = MIXES.get(mix)
+        if weights is None:
+            raise ValueError(f"unknown mix {mix!r}; choose from {sorted(MIXES)}")
+        names = list(weights)
+        probabilities = [weights[name] for name in names]
+        clock = self.db.fs.device.clock
+        start = clock.now_s
+        for _ in range(transactions):
+            name = self.rng.choices(names, weights=probabilities)[0]
+            getattr(self.transactions, name)()
+        return TpccResult(mix=mix, transactions=transactions, elapsed_s=clock.now_s - start)

@@ -1,0 +1,92 @@
+"""TPC-C schema: the nine standard tables and their indexes.
+
+Primary keys in TPC-C are composite; since the engine's tables are keyed by
+rowid, each table gets a synthetic ``id INTEGER PRIMARY KEY`` computed from
+the composite key, plus secondary indexes matching the access paths the
+transactions need.
+"""
+
+from __future__ import annotations
+
+TABLES = [
+    # warehouse(w_id)
+    "CREATE TABLE warehouse (id INTEGER PRIMARY KEY, w_id INTEGER, w_name TEXT, "
+    "w_tax REAL, w_ytd REAL)",
+    # district(d_w_id, d_id)
+    "CREATE TABLE district (id INTEGER PRIMARY KEY, d_w_id INTEGER, d_id INTEGER, "
+    "d_name TEXT, d_tax REAL, d_ytd REAL, d_next_o_id INTEGER)",
+    # customer(c_w_id, c_d_id, c_id)
+    "CREATE TABLE customer (id INTEGER PRIMARY KEY, c_w_id INTEGER, c_d_id INTEGER, "
+    "c_id INTEGER, c_last TEXT, c_credit TEXT, c_balance REAL, c_ytd_payment REAL, "
+    "c_payment_cnt INTEGER, c_data TEXT)",
+    # history (no primary key in spec)
+    "CREATE TABLE history (id INTEGER PRIMARY KEY, h_c_w_id INTEGER, h_c_d_id INTEGER, "
+    "h_c_id INTEGER, h_date INTEGER, h_amount REAL)",
+    # item(i_id) — shared across warehouses
+    "CREATE TABLE item (id INTEGER PRIMARY KEY, i_id INTEGER, i_name TEXT, "
+    "i_price REAL, i_data TEXT)",
+    # stock(s_w_id, s_i_id)
+    "CREATE TABLE stock (id INTEGER PRIMARY KEY, s_w_id INTEGER, s_i_id INTEGER, "
+    "s_quantity INTEGER, s_ytd INTEGER, s_order_cnt INTEGER, s_data TEXT)",
+    # orders(o_w_id, o_d_id, o_id)
+    "CREATE TABLE orders (id INTEGER PRIMARY KEY, o_w_id INTEGER, o_d_id INTEGER, "
+    "o_id INTEGER, o_c_id INTEGER, o_carrier_id INTEGER, o_ol_cnt INTEGER, "
+    "o_entry_d INTEGER)",
+    # new_order(no_w_id, no_d_id, no_o_id)
+    "CREATE TABLE new_order (id INTEGER PRIMARY KEY, no_w_id INTEGER, no_d_id INTEGER, "
+    "no_o_id INTEGER)",
+    # order_line(ol_w_id, ol_d_id, ol_o_id, ol_number)
+    "CREATE TABLE order_line (id INTEGER PRIMARY KEY, ol_w_id INTEGER, ol_d_id INTEGER, "
+    "ol_o_id INTEGER, ol_number INTEGER, ol_i_id INTEGER, ol_quantity INTEGER, "
+    "ol_amount REAL, ol_delivery_d INTEGER)",
+]
+
+INDEXES = [
+    "CREATE INDEX idx_district_key ON district (id)",
+    "CREATE INDEX idx_customer_key ON customer (c_id)",
+    "CREATE INDEX idx_stock_key ON stock (s_i_id)",
+    "CREATE INDEX idx_orders_key ON orders (o_id)",
+    "CREATE INDEX idx_new_order_key ON new_order (no_o_id)",
+    "CREATE INDEX idx_order_line_key ON order_line (ol_o_id)",
+]
+
+
+# Composite-key to rowid packing.  Widths are generous for any sane scale.
+def warehouse_id(w: int) -> int:
+    """Rowid for warehouse ``w``."""
+    return w
+
+
+def district_id(w: int, d: int) -> int:
+    """Rowid packing the (warehouse, district) composite key."""
+    return w * 100 + d
+
+
+def customer_id(w: int, d: int, c: int) -> int:
+    """Rowid packing the (warehouse, district, customer) key."""
+    return (w * 100 + d) * 100_000 + c
+
+
+def item_rowid(i: int) -> int:
+    """Rowid for item ``i``."""
+    return i
+
+
+def stock_id(w: int, i: int) -> int:
+    """Rowid packing the (warehouse, item) stock key."""
+    return w * 1_000_000 + i
+
+
+def order_id(w: int, d: int, o: int) -> int:
+    """Rowid packing the (warehouse, district, order) key."""
+    return (w * 100 + d) * 10_000_000 + o
+
+
+def new_order_id(w: int, d: int, o: int) -> int:
+    """Rowid of the new_order row shadowing an order."""
+    return order_id(w, d, o)
+
+
+def order_line_id(w: int, d: int, o: int, number: int) -> int:
+    """Rowid packing the (warehouse, district, order, line) key."""
+    return order_id(w, d, o) * 100 + number

@@ -1,0 +1,248 @@
+"""The five TPC-C transaction types plus the paper's two read transactions.
+
+Each function executes one complete transaction (BEGIN..COMMIT) against a
+connection.  SQLite locks at database-file granularity, so the paper runs a
+single connection (§6.2) — there is no concurrent conflict handling here.
+
+``selection_only`` and ``join_only`` implement the paper's two custom
+read-only workloads (Table 3's "Selection-only" and "Join-only" rows):
+simple point selections, and nested-loop joins over order lines and stock.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sqlite.database import Connection
+from repro.workloads.tpcc import schema
+from repro.workloads.tpcc.loader import TpccConfig
+
+
+class TpccTransactions:
+    """Executes TPC-C transactions against one loaded database."""
+
+    def __init__(self, db: Connection, config: TpccConfig, rng: random.Random) -> None:
+        self.db = db
+        self.config = config
+        self.rng = rng
+        # Track each district's next order id and oldest undelivered order
+        # locally (the driver is the only writer, as in the paper's setup).
+        self._next_o_id: dict[tuple[int, int], int] = {}
+        self._oldest_new_order: dict[tuple[int, int], int] = {}
+        for w in range(1, config.warehouses + 1):
+            for d in range(1, config.districts_per_warehouse + 1):
+                key = (w, d)
+                self._next_o_id[key] = config.initial_orders_per_district + 1
+                self._oldest_new_order[key] = (
+                    config.initial_orders_per_district * 2 // 3 + 1
+                )
+
+    # ------------------------------------------------------------ helpers
+
+    def _pick_wd(self) -> tuple[int, int]:
+        return (
+            self.rng.randint(1, self.config.warehouses),
+            self.rng.randint(1, self.config.districts_per_warehouse),
+        )
+
+    def _pick_customer(self) -> int:
+        return self.rng.randint(1, self.config.customers_per_district)
+
+    # ------------------------------------------------------ transactions
+
+    def new_order(self) -> None:
+        """New-Order: the TPC-C backbone — reads item/stock, updates stock, inserts order rows."""
+        db, rng = self.db, self.rng
+        w, d = self._pick_wd()
+        c = self._pick_customer()
+        ol_cnt = rng.randint(5, 15)
+        db.execute("BEGIN")
+        db.execute("SELECT w_tax FROM warehouse WHERE id = ?", (schema.warehouse_id(w),))
+        db.execute(
+            "SELECT c_last, c_credit FROM customer WHERE id = ?",
+            (schema.customer_id(w, d, c),),
+        )
+        district_rowid = schema.district_id(w, d)
+        db.execute("SELECT d_tax, d_next_o_id FROM district WHERE id = ?", (district_rowid,))
+        o_id = self._next_o_id[(w, d)]
+        self._next_o_id[(w, d)] = o_id + 1
+        db.execute(
+            "UPDATE district SET d_next_o_id = ? WHERE id = ?", (o_id + 1, district_rowid)
+        )
+        db.execute(
+            "INSERT INTO orders VALUES (?, ?, ?, ?, ?, NULL, ?, ?)",
+            (schema.order_id(w, d, o_id), w, d, o_id, c, ol_cnt, 1),
+        )
+        db.execute(
+            "INSERT INTO new_order VALUES (?, ?, ?, ?)",
+            (schema.new_order_id(w, d, o_id), w, d, o_id),
+        )
+        for number in range(1, ol_cnt + 1):
+            i = rng.randint(1, self.config.items)
+            price_rows = db.execute(
+                "SELECT i_price FROM item WHERE id = ?", (schema.item_rowid(i),)
+            )
+            price = price_rows[0][0] if price_rows else 1.0
+            stock_rowid = schema.stock_id(w, i)
+            quantity_rows = db.execute(
+                "SELECT s_quantity FROM stock WHERE id = ?", (stock_rowid,)
+            )
+            quantity = quantity_rows[0][0] if quantity_rows else 50
+            new_quantity = quantity - 5 if quantity > 10 else quantity + 91 - 5
+            db.execute(
+                "UPDATE stock SET s_quantity = ?, s_ytd = s_ytd + 5, "
+                "s_order_cnt = s_order_cnt + 1 WHERE id = ?",
+                (new_quantity, stock_rowid),
+            )
+            amount = round(5 * price, 2)
+            db.execute(
+                "INSERT INTO order_line VALUES (?, ?, ?, ?, ?, ?, ?, ?, NULL)",
+                (schema.order_line_id(w, d, o_id, number), w, d, o_id, number, i, 5, amount),
+            )
+        db.execute("COMMIT")
+
+    def payment(self) -> None:
+        """Payment: updates warehouse/district/customer balances, inserts history."""
+        db, rng = self.db, self.rng
+        w, d = self._pick_wd()
+        c = self._pick_customer()
+        amount = round(rng.uniform(1.0, 5000.0), 2)
+        db.execute("BEGIN")
+        db.execute(
+            "UPDATE warehouse SET w_ytd = w_ytd + ? WHERE id = ?",
+            (amount, schema.warehouse_id(w)),
+        )
+        db.execute(
+            "UPDATE district SET d_ytd = d_ytd + ? WHERE id = ?",
+            (amount, schema.district_id(w, d)),
+        )
+        customer_rowid = schema.customer_id(w, d, c)
+        db.execute(
+            "UPDATE customer SET c_balance = c_balance - ?, "
+            "c_ytd_payment = c_ytd_payment + ?, c_payment_cnt = c_payment_cnt + 1 "
+            "WHERE id = ?",
+            (amount, amount, customer_rowid),
+        )
+        db.execute(
+            "INSERT INTO history (h_c_w_id, h_c_d_id, h_c_id, h_date, h_amount) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (w, d, c, 1, amount),
+        )
+        db.execute("COMMIT")
+
+    def order_status(self) -> None:
+        """Order-Status: read-only — customer, last order and its lines."""
+        db = self.db
+        w, d = self._pick_wd()
+        c = self._pick_customer()
+        db.execute("BEGIN")
+        db.execute(
+            "SELECT c_balance, c_last FROM customer WHERE id = ?",
+            (schema.customer_id(w, d, c),),
+        )
+        lo = schema.order_id(w, d, 0)
+        hi = schema.order_id(w, d, 9_999_999)
+        rows = db.execute(
+            "SELECT id, o_id, o_carrier_id FROM orders "
+            "WHERE id > ? AND id < ? AND o_c_id = ? ORDER BY o_id DESC LIMIT 1",
+            (lo, hi, c),
+        )
+        if rows:
+            o_id = rows[0][1]
+            ol_lo = schema.order_line_id(w, d, o_id, 0)
+            ol_hi = schema.order_line_id(w, d, o_id, 99)
+            db.execute(
+                "SELECT ol_i_id, ol_quantity, ol_amount FROM order_line "
+                "WHERE id > ? AND id < ?",
+                (ol_lo, ol_hi),
+            )
+        db.execute("COMMIT")
+
+    def delivery(self) -> None:
+        """Delivery: consumes the oldest new_order per district, updates orders/lines/customer."""
+        db = self.db
+        w = self.rng.randint(1, self.config.warehouses)
+        carrier = self.rng.randint(1, 10)
+        db.execute("BEGIN")
+        for d in range(1, self.config.districts_per_warehouse + 1):
+            key = (w, d)
+            o_id = self._oldest_new_order[key]
+            if o_id >= self._next_o_id[key]:
+                continue  # no undelivered order in this district
+            self._oldest_new_order[key] = o_id + 1
+            rowid = schema.new_order_id(w, d, o_id)
+            db.execute("DELETE FROM new_order WHERE id = ?", (rowid,))
+            db.execute(
+                "UPDATE orders SET o_carrier_id = ? WHERE id = ?",
+                (carrier, schema.order_id(w, d, o_id)),
+            )
+            ol_lo = schema.order_line_id(w, d, o_id, 0)
+            ol_hi = schema.order_line_id(w, d, o_id, 99)
+            total_rows = db.execute(
+                "SELECT SUM(ol_amount), COUNT(*) FROM order_line WHERE id > ? AND id < ?",
+                (ol_lo, ol_hi),
+            )
+            db.execute(
+                "UPDATE order_line SET ol_delivery_d = 1 WHERE id > ? AND id < ?",
+                (ol_lo, ol_hi),
+            )
+            total = total_rows[0][0] or 0.0
+            order_rows = db.execute(
+                "SELECT o_c_id FROM orders WHERE id = ?", (schema.order_id(w, d, o_id),)
+            )
+            if order_rows:
+                c = order_rows[0][0]
+                db.execute(
+                    "UPDATE customer SET c_balance = c_balance + ? WHERE id = ?",
+                    (total, schema.customer_id(w, d, c)),
+                )
+        db.execute("COMMIT")
+
+    def stock_level(self) -> None:
+        """Stock-Level: read-only — low-stock count over recent order lines."""
+        db = self.db
+        w, d = self._pick_wd()
+        threshold = self.rng.randint(10, 20)
+        db.execute("BEGIN")
+        next_o = self._next_o_id[(w, d)]
+        lo = schema.order_line_id(w, d, max(1, next_o - 20), 0)
+        hi = schema.order_line_id(w, d, next_o, 0)
+        rows = db.execute(
+            "SELECT DISTINCT ol_i_id FROM order_line WHERE id > ? AND id < ?", (lo, hi)
+        )
+        for (i_id,) in rows[:20]:
+            db.execute(
+                "SELECT COUNT(*) FROM stock WHERE id = ? AND s_quantity < ?",
+                (schema.stock_id(w, i_id), threshold),
+            )
+        db.execute("COMMIT")
+
+    # ------------------------------------ the paper's custom read workloads
+
+    def selection_only(self) -> None:
+        """Simple point selections (Table 3 'Selection-only')."""
+        db = self.db
+        w, d = self._pick_wd()
+        c = self._pick_customer()
+        i = self.rng.randint(1, self.config.items)
+        db.execute("BEGIN")
+        db.execute("SELECT c_balance FROM customer WHERE id = ?", (schema.customer_id(w, d, c),))
+        db.execute("SELECT i_price FROM item WHERE id = ?", (schema.item_rowid(i),))
+        db.execute("SELECT d_tax FROM district WHERE id = ?", (schema.district_id(w, d),))
+        db.execute("COMMIT")
+
+    def join_only(self) -> None:
+        """Nested-loop join over recent order lines and stock (Table 3 'Join-only')."""
+        db = self.db
+        w, d = self._pick_wd()
+        next_o = self._next_o_id[(w, d)]
+        lo = schema.order_line_id(w, d, max(1, next_o - 5), 0)
+        hi = schema.order_line_id(w, d, next_o, 0)
+        db.execute("BEGIN")
+        db.execute(
+            "SELECT ol.ol_i_id, s.s_quantity FROM order_line ol "
+            "JOIN stock s ON ol.ol_i_id = s.s_i_id "
+            "WHERE ol.id > ? AND ol.id < ? AND s.s_w_id = ?",
+            (lo, hi, w),
+        )
+        db.execute("COMMIT")

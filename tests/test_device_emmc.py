@@ -1,0 +1,68 @@
+"""Tests for the eMMC transport variant of the transactional device."""
+
+import pytest
+
+from repro.device import EmmcDevice, StorageDevice
+from repro.device.emmc import EMMC_APP_COMMAND_OVERHEAD_US
+from repro.flash import FlashChip, FlashGeometry
+from repro.ftl import FtlConfig, XFTL
+
+
+def make_emmc():
+    geometry = FlashGeometry(page_size=512, pages_per_block=8, num_blocks=32)
+    return EmmcDevice(XFTL(FlashChip(geometry), FtlConfig(overprovision=0.2,
+                                                          map_entries_per_page=16)))
+
+
+class TestEmmcTransport:
+    def test_same_transactional_semantics(self):
+        device = make_emmc()
+        device.write_tx(1, 0, b"pending")
+        assert device.read(0) is None
+        device.commit(1)
+        assert device.read(0) == b"pending"
+        device.write_tx(2, 1, b"doomed")
+        device.abort(2)
+        assert device.read(1) is None
+
+    def test_native_commands_counted(self):
+        device = make_emmc()
+        device.write_tx(1, 0, b"x")
+        device.commit(1)
+        device.write_tx(2, 1, b"y")
+        device.abort(2)
+        assert device.app_commands == 2
+        assert device.counters.commits == 1
+        assert device.counters.aborts == 1
+
+    def test_commit_cheaper_than_sata_prototype(self):
+        """The app-specific command skips trim-parameter marshalling."""
+
+        def commit_cost(device):
+            device.write_tx(1, 0, b"x")
+            t0 = device.clock.now_us
+            device.commit(1)
+            return device.clock.now_us - t0
+
+        geometry = FlashGeometry(page_size=512, pages_per_block=8, num_blocks=32)
+        sata = StorageDevice(XFTL(FlashChip(geometry),
+                                  FtlConfig(overprovision=0.2, map_entries_per_page=16)))
+        emmc = make_emmc()
+        assert commit_cost(emmc) < commit_cost(sata)
+
+    def test_overhead_constant_is_charged(self):
+        device = make_emmc()
+        t0 = device.clock.now_us
+        device.commit(99)  # empty transaction: only command + X-L2P flush
+        elapsed = device.clock.now_us - t0
+        assert elapsed >= EMMC_APP_COMMAND_OVERHEAD_US
+
+    def test_crash_recovery_identical(self):
+        device = make_emmc()
+        device.write_tx(1, 0, b"durable")
+        device.commit(1)
+        device.write_tx(2, 1, b"in-flight")
+        device.power_off()
+        device.power_on()
+        assert device.read(0) == b"durable"
+        assert device.read(1) is None

@@ -1,0 +1,120 @@
+"""Tests for the device I/O tracer."""
+
+import pytest
+
+from repro.device import StorageDevice
+from repro.device.commands import CommandKind
+from repro.device.tracing import DeviceTrace, TraceEvent, TracingDevice
+from repro.flash import FlashChip, FlashGeometry
+from repro.fs import Ext4, JournalMode
+from repro.ftl import FtlConfig, XFTL
+
+
+def make_traced(capacity=None):
+    geometry = FlashGeometry(page_size=512, pages_per_block=8, num_blocks=32)
+    inner = StorageDevice(
+        XFTL(FlashChip(geometry), FtlConfig(overprovision=0.2, map_entries_per_page=16))
+    )
+    return TracingDevice(inner, capacity=capacity)
+
+
+class TestTracingDevice:
+    def test_commands_recorded_in_order(self):
+        device = make_traced()
+        device.write(0, b"a")
+        device.read(0)
+        device.flush()
+        kinds = [event.kind for event in device.trace]
+        assert kinds == [CommandKind.WRITE, CommandKind.READ, CommandKind.FLUSH]
+
+    def test_events_carry_lpn_tid_and_timing(self):
+        device = make_traced()
+        device.write_tx(7, 3, b"x")
+        device.commit(7)
+        write_event, commit_event = list(device.trace)
+        assert write_event.lpn == 3 and write_event.tid == 7
+        assert commit_event.kind is CommandKind.COMMIT and commit_event.tid == 7
+        assert write_event.duration_us > 0
+        assert commit_event.start_us >= write_event.start_us + write_event.duration_us
+
+    def test_semantics_unchanged(self):
+        device = make_traced()
+        device.write_tx(1, 0, b"pending")
+        assert device.read(0) is None
+        device.commit(1)
+        assert device.read(0) == b"pending"
+
+    def test_events_of_filter(self):
+        device = make_traced()
+        for lpn in range(5):
+            device.write(lpn, b"x")
+        device.flush()
+        assert len(device.trace.events_of(CommandKind.WRITE)) == 5
+        assert len(device.trace.events_of(CommandKind.FLUSH)) == 1
+        assert device.trace.events_of(CommandKind.TRIM) == []
+
+    def test_events_between(self):
+        device = make_traced()
+        device.write(0, b"a")
+        boundary = device.clock.now_us
+        device.write(1, b"b")
+        early = device.trace.events_between(0.0, boundary)
+        late = device.trace.events_between(boundary, float("inf"))
+        assert [e.lpn for e in early] == [0]
+        assert [e.lpn for e in late] == [1]
+
+    def test_busy_time_accounts_all_commands(self):
+        device = make_traced()
+        t0 = device.clock.now_us
+        device.write(0, b"a")
+        device.read(0)
+        assert device.trace.busy_us() == pytest.approx(device.clock.now_us - t0)
+
+    def test_capacity_drops_and_reports(self):
+        device = make_traced(capacity=2)
+        for lpn in range(5):
+            device.write(lpn, b"x")
+        assert len(device.trace) == 2
+        assert device.trace.dropped == 3
+        assert "dropped" in device.trace.summary()
+
+    def test_summary_text(self):
+        device = make_traced()
+        device.write(0, b"a")
+        device.flush()
+        summary = device.trace.summary()
+        assert "write" in summary and "flush" in summary
+
+    def test_clear(self):
+        device = make_traced()
+        device.write(0, b"a")
+        device.trace.clear()
+        assert len(device.trace) == 0
+
+    def test_event_str(self):
+        event = TraceEvent(
+            seq=1, kind=CommandKind.COMMIT, lpn=None, tid=9, start_us=1500.0,
+            duration_us=42.0,
+        )
+        text = str(event)
+        assert "commit" in text and "tid=9" in text
+
+
+class TestTracingUnderFilesystem:
+    def test_fs_runs_on_traced_device(self):
+        """The tracer is a drop-in replacement below the file system."""
+        device = make_traced()
+        geometry = FlashGeometry(page_size=8192, pages_per_block=32, num_blocks=128)
+        device = TracingDevice(
+            StorageDevice(XFTL(FlashChip(geometry), FtlConfig(overprovision=0.15)))
+        )
+        fs = Ext4.mkfs(device, JournalMode.XFTL, journal_pages=32)
+        handle = fs.create("traced.dat")
+        tid = fs.begin_tx()
+        handle.write_page(0, ("data",), tid=tid)
+        fs.fsync(handle, tid=tid)
+        assert len(device.trace.events_of(CommandKind.WRITE_TX)) >= 1
+        assert len(device.trace.events_of(CommandKind.COMMIT)) == 1
+        # fsync = tagged writes then exactly one commit, in that order.
+        kinds = [e.kind for e in device.trace]
+        assert kinds.index(CommandKind.COMMIT) > kinds.index(CommandKind.WRITE_TX)

@@ -1,0 +1,131 @@
+"""Edge cases across the stack: capacity limits, error recovery, big values."""
+
+import pytest
+
+from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.errors import TransactionError
+from repro.ftl.base import FtlConfig
+
+
+def make_db(mode=Mode.XFTL, **kwargs):
+    kwargs.setdefault("num_blocks", 256)
+    kwargs.setdefault("pages_per_block", 32)
+    stack = build_stack(StackConfig(mode=mode, **kwargs))
+    return stack, stack.open_database("edge.db")
+
+
+class TestXl2pCapacity:
+    def test_huge_transaction_exceeding_xl2p_fails_cleanly(self):
+        """A txn touching more pages than the X-L2P holds is rejected,
+        and a rollback returns the database to its previous state."""
+        stack, db = make_db(ftl=FtlConfig(xl2p_capacity=16))
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("BEGIN")
+        payload = "x" * 4000  # ~2 rows per 8 KB page: many pages quickly
+        with pytest.raises(TransactionError):
+            for i in range(200):
+                db.execute("INSERT INTO t VALUES (?, ?)", (i, payload))
+            db.execute("COMMIT")
+        db.rollback()
+        assert db.execute("SELECT COUNT(*) FROM t") == [(0,)]
+        # The connection stays usable afterwards.
+        db.execute("INSERT INTO t VALUES (1, 'ok')")
+        assert db.execute("SELECT v FROM t WHERE id = 1") == [("ok",)]
+
+    def test_paper_sized_xl2p_handles_typical_transactions(self):
+        stack, db = make_db(ftl=FtlConfig(xl2p_capacity=500))
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("BEGIN")
+        for i in range(100):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, f"v{i}"))
+        db.execute("COMMIT")
+        assert db.execute("SELECT COUNT(*) FROM t") == [(100,)]
+
+
+class TestLargeValues:
+    @pytest.mark.parametrize("mode", [Mode.RBJ, Mode.WAL, Mode.XFTL])
+    def test_blob_larger_than_a_page(self, mode):
+        _stack, db = make_db(mode)
+        db.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, data BLOB)")
+        blob = bytes(range(256)) * 150  # ~38 KB, far beyond one 8 KB page
+        db.execute("INSERT INTO b VALUES (1, ?)", (blob,))
+        assert db.execute("SELECT data FROM b WHERE id = 1") == [(blob,)]
+
+    def test_blob_survives_crash(self):
+        stack, db = make_db(Mode.XFTL)
+        db.execute("CREATE TABLE b (id INTEGER PRIMARY KEY, data BLOB)")
+        blob = bytes(20_000)
+        db.execute("INSERT INTO b VALUES (1, ?)", (blob,))
+        stack.remount_after_crash()
+        db2 = stack.open_database("edge.db")
+        assert db2.execute("SELECT data FROM b WHERE id = 1") == [(blob,)]
+
+    def test_long_text_round_trip(self):
+        _stack, db = make_db()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        text = "üñïçødé " * 2000
+        db.execute("INSERT INTO t VALUES (1, ?)", (text,))
+        assert db.execute("SELECT v FROM t WHERE id = 1") == [(text,)]
+
+
+class TestManySmallTransactions:
+    @pytest.mark.parametrize("mode", [Mode.RBJ, Mode.WAL, Mode.XFTL])
+    def test_thousand_autocommits(self, mode):
+        stack, db = make_db(mode, num_blocks=384)
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        for i in range(300):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, i * i))
+        assert db.execute("SELECT COUNT(*) FROM t") == [(300,)]
+        assert db.execute("SELECT v FROM t WHERE id = 17") == [(289,)]
+        stack.ftl.check_invariants()
+
+
+class TestNegativeAndBoundaryKeys:
+    def test_negative_rowids(self):
+        _stack, db = make_db()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("INSERT INTO t VALUES (-5, 'neg'), (0, 'zero'), (5, 'pos')")
+        rows = db.execute("SELECT id FROM t ORDER BY id")
+        assert rows == [(-5,), (0,), (5,)]
+        assert db.execute("SELECT v FROM t WHERE id = -5") == [("neg",)]
+
+    def test_large_integer_values(self):
+        _stack, db = make_db()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        big = 2**62
+        db.execute("INSERT INTO t VALUES (1, ?)", (big,))
+        assert db.execute("SELECT v FROM t WHERE id = 1") == [(big,)]
+
+    def test_float_keys_in_index(self):
+        _stack, db = make_db()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, score REAL)")
+        db.execute("CREATE INDEX idx ON t (score)")
+        db.execute("INSERT INTO t VALUES (1, 1.5), (2, -0.5), (3, 1.5)")
+        assert db.execute("SELECT COUNT(*) FROM t WHERE score = 1.5") == [(2,)]
+        assert db.execute("SELECT id FROM t WHERE score < 0") == [(2,)]
+
+
+class TestWalEdgeCases:
+    def test_wal_grows_then_checkpoint_truncates(self):
+        stack, db = make_db(Mode.WAL)
+        db = stack.open_database("wal2.db", checkpoint_interval=30)
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        wal = stack.fs.open("wal2.db-wal")
+        peak = 0
+        for i in range(60):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, i))
+            peak = max(peak, wal.n_pages)
+        assert peak >= 25  # it grew to (about) the checkpoint threshold
+        assert db.execute("SELECT COUNT(*) FROM t") == [(60,)]
+
+    def test_rollback_after_spill_in_wal(self):
+        stack, _ = make_db(Mode.WAL)
+        db = stack.open_database("wal3.db", cache_pages=3)
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("BEGIN")
+        for i in range(30):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, f"v{i}"))
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT COUNT(*) FROM t") == [(0,)]
+        db.execute("INSERT INTO t VALUES (1, 'after')")
+        assert db.execute("SELECT COUNT(*) FROM t") == [(1,)]

@@ -1,0 +1,62 @@
+"""Tests for the exception hierarchy contracts."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CorruptionError,
+    DatabaseError,
+    DeviceError,
+    FlashError,
+    FlashGeometryError,
+    FileExistsFsError,
+    FileNotFoundFsError,
+    FsError,
+    FtlError,
+    IntegrityError,
+    OutOfSpaceError,
+    PowerFailure,
+    ReproError,
+    SchemaError,
+    SqlError,
+    TransactionError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            FlashError, FlashGeometryError, FtlError, OutOfSpaceError,
+            TransactionError, DeviceError, FsError, FileNotFoundFsError,
+            FileExistsFsError, DatabaseError, SqlError, SchemaError,
+            IntegrityError, CorruptionError,
+        ],
+    )
+    def test_all_library_errors_are_repro_errors(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_specializations(self):
+        assert issubclass(FlashGeometryError, FlashError)
+        assert issubclass(OutOfSpaceError, FtlError)
+        assert issubclass(SqlError, DatabaseError)
+        assert issubclass(SchemaError, DatabaseError)
+        assert issubclass(IntegrityError, DatabaseError)
+        assert issubclass(FileNotFoundFsError, FsError)
+        assert issubclass(FileExistsFsError, FsError)
+
+    def test_power_failure_escapes_generic_handlers(self):
+        """``except Exception`` in stack code must never absorb a crash."""
+        assert not issubclass(PowerFailure, Exception)
+        assert issubclass(PowerFailure, BaseException)
+        with pytest.raises(PowerFailure):
+            try:
+                raise PowerFailure()
+            except ReproError:  # pragma: no cover - must not catch
+                pass
+
+    def test_top_level_exports(self):
+        assert repro.ReproError is ReproError
+        assert repro.PowerFailure is PowerFailure
+        assert isinstance(repro.__version__, str)

@@ -1,0 +1,89 @@
+"""Smoke tests for the experiment harness (tiny parameterizations).
+
+The real experiment sizes run under ``pytest benchmarks/``; these verify
+that every experiment function executes end-to-end and produces the
+expected table structure, using the smallest workable parameters.
+"""
+
+import pytest
+
+from repro.bench import experiments
+
+
+class TestExperimentFunctions:
+    def test_fig5_structure(self):
+        result = experiments.fig5_synthetic_elapsed(
+            validities=(0.5,), pages_per_txn=(1, 3), transactions=10, rows=500
+        )
+        assert len(result.rows) == 2 * 3  # 2 page counts x 3 modes
+        assert result.headers[0] == "GC validity"
+        assert all(row[3] > 0 for row in result.rows)
+
+    def test_table1_structure(self):
+        result = experiments.table1_io_counts(transactions=10, rows=500)
+        assert [row[0] for row in result.rows] == ["RBJ", "WAL", "X-FTL"]
+        counts = {row[0]: row for row in result.rows}
+        assert counts["X-FTL"][2] == 0  # no journal writes on X-FTL
+
+    def test_fig6_structure(self):
+        result = experiments.fig6_ftl_activity(
+            validities=(0.5,), transactions=10, rows=500
+        )
+        assert len(result.rows) == 3
+
+    def test_table2_structure(self):
+        result = experiments.table2_trace_characteristics(trace_scale=0.01)
+        assert len(result.rows) == 4
+
+    def test_fig7_structure(self):
+        result = experiments.fig7_smartphone(trace_scale=0.002)
+        assert len(result.rows) == 4
+        for _trace, wal_s, xftl_s, _speedup in result.rows:
+            assert wal_s > 0 and xftl_s > 0
+
+    def test_table4_structure(self):
+        result = experiments.table4_tpcc(transactions=5)
+        assert len(result.rows) == 4
+        assert "Table 3" in result.notes  # the mix table is embedded
+
+    def test_fig8_structure(self):
+        result = experiments.fig8_fio_single_thread(intervals=(1, 10), runtime_s=1.0)
+        assert len(result.rows) == 6  # 3 modes x 2 intervals
+
+    def test_fig9_structure(self):
+        result = experiments.fig9_fio_s830(intervals=(5,), runtime_s=1.0)
+        assert len(result.rows) == 3
+
+    def test_table5_structure(self):
+        result = experiments.table5_recovery(transactions=5, rows=300)
+        assert len(result.rows) == 3
+        assert all(row[2] for row in result.rows)  # data intact everywhere
+
+    def test_render_produces_text(self):
+        result = experiments.table2_trace_characteristics(trace_scale=0.01)
+        text = result.render()
+        assert "Table 2" in text
+        assert "RL Benchmark" in text
+
+    def test_registry_complete(self):
+        assert set(experiments.ALL_EXPERIMENTS) == {
+            "fig5", "table1", "fig6", "table2", "fig7", "table4",
+            "fig8", "fig9", "table5",
+        }
+
+
+class TestCli:
+    def test_cli_runs_experiment(self, capsys, tmp_path):
+        from repro.bench.cli import main
+
+        code = main(["table2", "--results-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert (tmp_path / "table2.txt").exists()
+
+    def test_cli_rejects_unknown(self):
+        from repro.bench.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

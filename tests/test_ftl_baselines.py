@@ -1,0 +1,171 @@
+"""Tests for the related-work baseline FTLs (§3.3).
+
+AtomicWriteFTL (Park et al.) and TxFlashFTL (SCC) provide *per-call* atomic
+multi-page writes.  The tests check their atomicity guarantee, their crash
+behaviour, and the structural limitation the paper contrasts with X-FTL:
+no steal — a group must arrive in one call.
+"""
+
+import pytest
+
+from repro.errors import PowerFailure, TransactionError
+from repro.flash import FlashChip, FlashGeometry
+from repro.ftl import AtomicWriteFTL, FtlConfig, TxFlashFTL
+from repro.sim import CrashPlan
+
+
+def make_ftl(cls, crash_plan=None, num_blocks=32):
+    geometry = FlashGeometry(page_size=512, pages_per_block=8, num_blocks=num_blocks)
+    chip = FlashChip(geometry, crash_plan=crash_plan)
+    return cls(chip, FtlConfig(overprovision=0.25, map_entries_per_page=16))
+
+
+class TestAtomicWriteFTL:
+    def test_group_visible_after_call(self):
+        ftl = make_ftl(AtomicWriteFTL)
+        ftl.write_atomic([(0, b"a"), (1, b"b"), (2, b"c")])
+        assert ftl.read(0) == b"a"
+        assert ftl.read(2) == b"c"
+
+    def test_empty_group_is_noop(self):
+        ftl = make_ftl(AtomicWriteFTL)
+        ftl.write_atomic([])
+        assert ftl.stats.host_page_writes == 0
+
+    def test_commit_record_written(self):
+        ftl = make_ftl(AtomicWriteFTL)
+        before = ftl.stats.map_page_writes
+        ftl.write_atomic([(0, b"a")])
+        assert ftl.stats.map_page_writes == before + 1
+
+    def test_crash_mid_group_rolls_back_everything(self):
+        plan = CrashPlan()
+        ftl = make_ftl(AtomicWriteFTL, crash_plan=plan)
+        ftl.write_atomic([(0, b"old0"), (1, b"old1")])
+        ftl.barrier()
+        plan.arm("flash.program.after", after=2)  # dies before commit record
+        with pytest.raises(PowerFailure):
+            ftl.write_atomic([(0, b"new0"), (1, b"new1"), (2, b"new2")])
+        ftl.power_fail()
+        ftl.remount()
+        assert ftl.read(0) == b"old0"
+        assert ftl.read(1) == b"old1"
+        assert ftl.read(2) is None
+
+    def test_crash_after_commit_record_applies_group(self):
+        plan = CrashPlan()
+        ftl = make_ftl(AtomicWriteFTL, crash_plan=plan)
+        ftl.write_atomic([(0, b"old0")])
+        ftl.barrier()
+        ftl.write_atomic([(0, b"new0"), (1, b"new1")])
+        # Crash immediately after (no barrier): the commit record is on
+        # flash, so recovery must redo the whole group.
+        ftl.power_fail()
+        ftl.remount()
+        assert ftl.read(0) == b"new0"
+        assert ftl.read(1) == b"new1"
+
+    def test_groups_before_barrier_survive(self):
+        ftl = make_ftl(AtomicWriteFTL)
+        for group in range(5):
+            ftl.write_atomic([(group, b"g%d" % group)])
+        ftl.barrier()
+        ftl.write_atomic([(9, b"post")])
+        ftl.power_fail()
+        ftl.remount()
+        for group in range(5):
+            assert ftl.read(group) == b"g%d" % group
+        assert ftl.read(9) == b"post"
+
+    def test_interleaved_plain_writes(self):
+        ftl = make_ftl(AtomicWriteFTL)
+        ftl.write(5, b"plain")
+        ftl.write_atomic([(6, b"grouped")])
+        assert ftl.read(5) == b"plain"
+        assert ftl.read(6) == b"grouped"
+
+
+class TestTxFlashFTL:
+    def test_group_visible_after_call(self):
+        ftl = make_ftl(TxFlashFTL)
+        ftl.write_group([(0, b"a"), (1, b"b")])
+        assert ftl.read(0) == b"a"
+        assert ftl.read(1) == b"b"
+
+    def test_no_commit_record_needed(self):
+        """SCC: the cycle itself is the commit — only data pages written."""
+        ftl = make_ftl(TxFlashFTL)
+        before = ftl.stats.page_programs
+        ftl.write_group([(0, b"a"), (1, b"b"), (2, b"c")])
+        assert ftl.stats.page_programs == before + 3
+
+    def test_duplicate_lpn_in_group_rejected(self):
+        ftl = make_ftl(TxFlashFTL)
+        with pytest.raises(TransactionError):
+            ftl.write_group([(0, b"a"), (0, b"b")])
+
+    def test_crash_mid_group_rolls_back(self):
+        plan = CrashPlan()
+        ftl = make_ftl(TxFlashFTL, crash_plan=plan)
+        ftl.write_group([(0, b"old0"), (1, b"old1")])
+        ftl.barrier()
+        plan.arm("flash.program.after", after=2)
+        with pytest.raises(PowerFailure):
+            ftl.write_group([(0, b"new0"), (1, b"new1"), (2, b"new2")])
+        ftl.power_fail()
+        ftl.remount()
+        # Cycle incomplete: all members discarded.
+        assert ftl.read(0) == b"old0"
+        assert ftl.read(1) == b"old1"
+        assert ftl.read(2) is None
+
+    def test_complete_cycle_redone_after_crash(self):
+        ftl = make_ftl(TxFlashFTL)
+        ftl.write_group([(0, b"v0"), (1, b"v1"), (2, b"v2")])
+        ftl.power_fail()
+        ftl.remount()
+        for lpn in range(3):
+            assert ftl.read(lpn) == b"v%d" % lpn
+
+    def test_multiple_groups_recovered_in_order(self):
+        ftl = make_ftl(TxFlashFTL)
+        ftl.write_group([(0, b"g1")])
+        ftl.write_group([(0, b"g2"), (1, b"g2b")])
+        ftl.power_fail()
+        ftl.remount()
+        assert ftl.read(0) == b"g2"
+        assert ftl.read(1) == b"g2b"
+
+    def test_single_page_group(self):
+        ftl = make_ftl(TxFlashFTL)
+        ftl.write_group([(7, b"solo")])
+        ftl.power_fail()
+        ftl.remount()
+        assert ftl.read(7) == b"solo"
+
+
+class TestPerCallLimitation:
+    """The §3.3 contrast: per-call atomicity cannot express steal."""
+
+    def test_atomic_ftl_has_no_cross_call_grouping(self):
+        ftl = make_ftl(AtomicWriteFTL)
+        ftl.write_atomic([(0, b"first-call")])
+        ftl.write_atomic([(1, b"second-call")])
+        # Crash between the calls would persist the first and lose the
+        # second: each call is its own atomic unit, unlike an X-FTL tid.
+        ftl.power_fail()
+        ftl.remount()
+        assert ftl.read(0) == b"first-call"
+
+    def test_xftl_groups_across_arbitrary_calls(self):
+        from repro.ftl import XFTL
+
+        ftl = make_ftl(XFTL)
+        ftl.write_tx(1, 0, b"early")
+        ftl.write(5, b"unrelated traffic in between")
+        ftl.write_tx(1, 1, b"late")
+        ftl.power_fail()  # crash before commit
+        ftl.remount()
+        assert ftl.read(0) is None
+        assert ftl.read(1) is None
+        assert ftl.read(5) == b"unrelated traffic in between"

@@ -1,0 +1,264 @@
+"""Unit and property tests for the page-mapped FTL."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FtlError, OutOfSpaceError
+from repro.flash import FlashChip, FlashGeometry
+from repro.ftl import FtlConfig, PageMappingFTL
+
+
+def make_ftl(num_blocks=32, pages_per_block=8, **cfg) -> PageMappingFTL:
+    geo = FlashGeometry(page_size=512, pages_per_block=pages_per_block, num_blocks=num_blocks)
+    defaults = dict(overprovision=0.25, map_entries_per_page=16, barrier_meta_pages=1)
+    defaults.update(cfg)
+    return PageMappingFTL(FlashChip(geo), FtlConfig(**defaults))
+
+
+class TestBasicMapping:
+    def test_exported_space_respects_overprovision(self):
+        ftl = make_ftl(num_blocks=32, pages_per_block=8)
+        assert ftl.exported_pages == (32 - 8) * 8
+
+    def test_unwritten_page_reads_as_none(self):
+        assert make_ftl().read(0) is None
+
+    def test_write_then_read(self):
+        ftl = make_ftl()
+        ftl.write(5, b"five")
+        assert ftl.read(5) == b"five"
+
+    def test_overwrite_returns_latest(self):
+        ftl = make_ftl()
+        ftl.write(5, b"old")
+        ftl.write(5, b"new")
+        assert ftl.read(5) == b"new"
+
+    def test_overwrite_moves_physical_page(self):
+        ftl = make_ftl()
+        ftl.write(5, b"old")
+        first = ftl.mapped_ppn(5)
+        ftl.write(5, b"new")
+        assert ftl.mapped_ppn(5) != first
+
+    def test_lpn_out_of_range(self):
+        ftl = make_ftl()
+        with pytest.raises(FtlError):
+            ftl.write(ftl.exported_pages, b"x")
+        with pytest.raises(FtlError):
+            ftl.read(-1)
+
+    def test_trim_unmaps(self):
+        ftl = make_ftl()
+        ftl.write(5, b"x")
+        ftl.trim(5)
+        assert ftl.read(5) is None
+
+    def test_trim_of_unmapped_is_noop(self):
+        ftl = make_ftl()
+        ftl.trim(5)
+        assert ftl.read(5) is None
+
+    def test_host_write_counter(self):
+        ftl = make_ftl()
+        for i in range(10):
+            ftl.write(i, b"x")
+        assert ftl.stats.host_page_writes == 10
+
+
+class TestGarbageCollection:
+    def test_gc_reclaims_space_under_overwrite(self):
+        ftl = make_ftl()
+        for round_num in range(30):
+            for lpn in range(20):
+                ftl.write(lpn, b"r%d" % round_num)
+        assert ftl.stats.gc_invocations > 0
+        ftl.check_invariants()
+        for lpn in range(20):
+            assert ftl.read(lpn) == b"r29"
+
+    def test_gc_preserves_cold_data(self):
+        ftl = make_ftl()
+        ftl.write(100, b"cold")
+        for round_num in range(40):
+            for lpn in range(10):
+                ftl.write(lpn, b"hot%d" % round_num)
+        assert ftl.read(100) == b"cold"
+
+    def test_survives_full_logical_utilization(self):
+        """Overprovisioning is enough headroom even at 100% logical fill."""
+        ftl = make_ftl(num_blocks=8, pages_per_block=8, overprovision=0.25)
+        for round_num in range(20):
+            for lpn in range(ftl.exported_pages):
+                ftl.write(lpn, bytes([round_num, lpn]))
+            ftl.barrier()
+        for lpn in range(ftl.exported_pages):
+            assert ftl.read(lpn) == bytes([19, lpn])
+        ftl.check_invariants()
+
+    def test_out_of_space_when_headroom_exhausted(self):
+        """A GC that cannot reclaim a single block raises OutOfSpaceError."""
+        ftl = make_ftl(num_blocks=8, pages_per_block=8, overprovision=0.25)
+        with pytest.raises(OutOfSpaceError):
+            # Writing far more *distinct, never-invalidated* logical pages
+            # than the exported space is rejected by the bounds check; so
+            # instead exhaust physical space with retired/meta churn by
+            # pinning everything valid and forcing appends.
+            for lpn in range(ftl.exported_pages):
+                ftl.write(lpn, b"v")
+            # All exported pages valid; keep appending fresh *map* load via
+            # barriers plus rewrites that immediately re-validate: the device
+            # eventually cannot find a victim with reclaimable pages.
+            for _ in range(1000):
+                ftl.barrier()
+
+    def test_gc_mean_valid_ratio_tracked(self):
+        ftl = make_ftl()
+        for round_num in range(30):
+            for lpn in range(20):
+                ftl.write(lpn, b"x")
+        assert 0.0 <= ftl.gc_mean_valid_ratio() <= 1.0
+
+
+class TestBarrier:
+    def test_barrier_writes_map_pages(self):
+        ftl = make_ftl()
+        ftl.write(0, b"x")
+        before = ftl.stats.map_page_writes
+        ftl.barrier()
+        assert ftl.stats.map_page_writes > before
+
+    def test_barrier_without_dirty_segments_still_writes_meta(self):
+        ftl = make_ftl(barrier_meta_pages=2)
+        ftl.barrier()
+        assert ftl.stats.map_page_writes == 2
+
+    def test_barrier_counts(self):
+        ftl = make_ftl()
+        ftl.barrier()
+        ftl.barrier()
+        assert ftl.stats.barriers == 2
+
+    def test_dirty_segments_flushed_once(self):
+        ftl = make_ftl(barrier_meta_pages=0)
+        ftl.write(0, b"x")
+        ftl.barrier()
+        first = ftl.stats.map_page_writes
+        ftl.barrier()  # nothing dirty now
+        assert ftl.stats.map_page_writes == first
+
+
+class TestPowerCycle:
+    def test_barriered_data_survives(self):
+        ftl = make_ftl()
+        for lpn in range(15):
+            ftl.write(lpn, b"v%d" % lpn)
+        ftl.barrier()
+        ftl.power_fail()
+        ftl.remount()
+        for lpn in range(15):
+            assert ftl.read(lpn) == b"v%d" % lpn
+        ftl.check_invariants()
+
+    def test_unbarriered_data_recovered_from_oob(self):
+        ftl = make_ftl()
+        ftl.write(0, b"old")
+        ftl.barrier()
+        ftl.write(0, b"new-unbarriered")
+        ftl.power_fail()
+        ftl.remount()
+        assert ftl.read(0) == b"new-unbarriered"
+
+    def test_read_while_powered_off_fails(self):
+        ftl = make_ftl()
+        ftl.power_fail()
+        with pytest.raises(FtlError):
+            ftl.read(0)
+
+    def test_remount_when_powered_raises(self):
+        ftl = make_ftl()
+        with pytest.raises(FtlError):
+            ftl.remount()
+
+    def test_recovery_after_heavy_gc(self):
+        ftl = make_ftl()
+        for round_num in range(25):
+            for lpn in range(20):
+                ftl.write(lpn, b"r%d-%d" % (round_num, lpn))
+            if round_num % 7 == 0:
+                ftl.barrier()
+        ftl.power_fail()
+        ftl.remount()
+        ftl.check_invariants()
+        for lpn in range(20):
+            assert ftl.read(lpn) == b"r24-%d" % lpn
+
+    def test_double_power_cycle(self):
+        ftl = make_ftl()
+        ftl.write(1, b"a")
+        ftl.barrier()
+        ftl.power_fail()
+        ftl.remount()
+        ftl.write(2, b"b")
+        ftl.power_fail()
+        ftl.remount()
+        assert ftl.read(1) == b"a"
+        assert ftl.read(2) == b"b"
+        ftl.check_invariants()
+
+
+class TestPagemapProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.binary(min_size=1, max_size=8),
+                st.sampled_from(["write", "trim", "barrier"]),
+            ),
+            max_size=120,
+        )
+    )
+    def test_ftl_matches_reference_dict(self, ops):
+        """The FTL behaves like a plain dict under writes/trims/barriers."""
+        ftl = make_ftl()
+        reference: dict[int, bytes] = {}
+        for lpn, payload, op in ops:
+            if op == "write":
+                ftl.write(lpn, payload)
+                reference[lpn] = payload
+            elif op == "trim":
+                ftl.trim(lpn)
+                reference.pop(lpn, None)
+            else:
+                ftl.barrier()
+        for lpn in range(31):
+            assert ftl.read(lpn) == reference.get(lpn)
+        ftl.check_invariants()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=20), st.binary(min_size=1, max_size=4)),
+            min_size=1,
+            max_size=80,
+        ),
+        barrier_every=st.integers(min_value=1, max_value=20),
+    )
+    def test_power_cycle_preserves_barriered_state(self, ops, barrier_every):
+        """After crash+remount, every page readable and >= last barrier state."""
+        ftl = make_ftl()
+        reference: dict[int, bytes] = {}
+        for index, (lpn, payload) in enumerate(ops):
+            ftl.write(lpn, payload)
+            reference[lpn] = payload
+            if index % barrier_every == 0:
+                ftl.barrier()
+        ftl.power_fail()
+        ftl.remount()
+        ftl.check_invariants()
+        # This FTL recovers via OOB replay, so *all* completed writes
+        # survive (stronger than the barrier contract requires).
+        for lpn, payload in reference.items():
+            assert ftl.read(lpn) == payload

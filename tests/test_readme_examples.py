@@ -1,0 +1,41 @@
+"""The README's code snippets must keep working verbatim."""
+
+import pathlib
+import subprocess
+import sys
+
+from repro.bench.runner import Mode, StackConfig, build_stack
+
+
+class TestQuickstartSnippet:
+    def test_readme_quickstart_runs(self):
+        """The exact flow shown in README.md's Quickstart section."""
+        stack = build_stack(StackConfig(mode=Mode.XFTL))
+        db = stack.open_database("app.db")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (1, 'hello')")
+        db.execute("COMMIT")
+        stack.remount_after_crash()
+        db = stack.open_database("app.db")
+        assert db.execute("SELECT v FROM t WHERE id = 1") == [("hello",)]
+
+
+class TestExampleScripts:
+    def test_quickstart_example_exits_cleanly(self):
+        example = pathlib.Path(__file__).parent.parent / "examples" / "quickstart.py"
+        result = subprocess.run(
+            [sys.executable, str(example)], capture_output=True, text=True, timeout=300
+        )
+        assert result.returncode == 0, result.stderr
+        assert "starred notes" in result.stdout
+
+    def test_transactional_device_example_exits_cleanly(self):
+        example = (
+            pathlib.Path(__file__).parent.parent / "examples" / "transactional_device.py"
+        )
+        result = subprocess.run(
+            [sys.executable, str(example)], capture_output=True, text=True, timeout=300
+        )
+        assert result.returncode == 0, result.stderr
+        assert "commit cost" in result.stdout

@@ -1,0 +1,55 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_us == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start_us=42.0).now_us == 42.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance(2.5)
+        assert clock.now_us == pytest.approx(12.5)
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock()
+        assert clock.advance(3.0) == pytest.approx(3.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now_us == 0.0
+
+    def test_unit_conversions(self):
+        clock = SimClock()
+        clock.advance(2_500_000.0)
+        assert clock.now_ms == pytest.approx(2_500.0)
+        assert clock.now_s == pytest.approx(2.5)
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(100.0)
+        assert clock.now_us == 100.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock()
+        clock.advance(50.0)
+        clock.advance_to(10.0)
+        assert clock.now_us == 50.0
+
+    def test_elapsed_since(self):
+        clock = SimClock()
+        t0 = clock.now_us
+        clock.advance(7.0)
+        assert clock.elapsed_since(t0) == pytest.approx(7.0)

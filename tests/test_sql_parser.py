@@ -1,0 +1,186 @@
+"""Unit tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sqlite.sql import ast, parse, tokenize
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        kinds = [(t.kind, t.value) for t in tokenize("select From WHERE")]
+        assert kinds[:3] == [("KEYWORD", "SELECT"), ("KEYWORD", "FROM"), ("KEYWORD", "WHERE")]
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 .5")
+        assert [t.value for t in tokens[:-1]] == [1, 2.5, 1000.0, 0.5]
+
+    def test_string_with_escape(self):
+        token = tokenize("'it''s'")[0]
+        assert token.kind == "STRING"
+        assert token.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokenize("'oops")
+
+    def test_blob_literal(self):
+        token = tokenize("X'00ff'")[0]
+        assert token.kind == "BLOB" and token.value == b"\x00\xff"
+
+    def test_quoted_identifier(self):
+        token = tokenize('"weird name"')[0]
+        assert token.kind == "IDENT" and token.value == "weird name"
+
+    def test_operators(self):
+        values = [t.value for t in tokenize("a <= b <> c != d") if t.kind == "OP"]
+        assert values == ["<=", "<>", "!="]
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT 1 -- a comment\n")
+        assert tokens[-2].value == 1
+
+    def test_parameters(self):
+        tokens = [t for t in tokenize("? ?") if t.kind == "PUNCT"]
+        assert len(tokens) == 2
+
+    def test_bad_character(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT @foo")
+
+
+class TestParseSelect:
+    def test_simple(self):
+        statement = parse("SELECT a, b FROM t")
+        assert isinstance(statement, ast.Select)
+        assert statement.source.name == "t"
+        assert len(statement.items) == 2
+
+    def test_star(self):
+        statement = parse("SELECT * FROM t")
+        assert statement.items[0].expr is None
+
+    def test_qualified_star(self):
+        statement = parse("SELECT t.* FROM t")
+        assert statement.items[0].star_table == "t"
+
+    def test_where_precedence(self):
+        statement = parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+        assert isinstance(statement.where, ast.Binary)
+        assert statement.where.op == "OR"
+        assert statement.where.right.op == "AND"
+
+    def test_join_with_aliases(self):
+        statement = parse("SELECT u.name FROM users u JOIN orders o ON u.id = o.uid")
+        assert statement.source.binding == "u"
+        assert statement.joins[0].table.binding == "o"
+
+    def test_order_limit_offset(self):
+        statement = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+        assert statement.order_by[0].descending
+        assert not statement.order_by[1].descending
+        assert statement.limit.value == 5
+        assert statement.offset.value == 2
+
+    def test_aggregates(self):
+        statement = parse("SELECT COUNT(*), SUM(x), AVG(y) FROM t")
+        assert statement.items[0].expr.func == "COUNT"
+        assert statement.items[0].expr.argument is None
+        assert statement.items[1].expr.func == "SUM"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_in_between_like_isnull(self):
+        statement = parse(
+            "SELECT a FROM t WHERE a IN (1, 2) AND b BETWEEN 3 AND 4 "
+            "AND c LIKE 'x%' AND d IS NOT NULL"
+        )
+        conjuncts = []
+
+        def flatten(e):
+            if isinstance(e, ast.Binary) and e.op == "AND":
+                flatten(e.left)
+                flatten(e.right)
+            else:
+                conjuncts.append(e)
+
+        flatten(statement.where)
+        assert isinstance(conjuncts[0], ast.InList)
+        assert isinstance(conjuncts[1], ast.Between)
+        assert conjuncts[2].op == "LIKE"
+        assert isinstance(conjuncts[3], ast.IsNull) and conjuncts[3].negated
+
+    def test_expression_only_select(self):
+        statement = parse("SELECT 1 + 2 * 3")
+        assert statement.source is None
+
+    def test_left_join_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT a FROM t LEFT JOIN u ON t.x = u.x")
+
+
+class TestParseDml:
+    def test_insert_values(self):
+        statement = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(statement, ast.Insert)
+        assert len(statement.rows) == 2
+        assert statement.columns is None
+
+    def test_insert_with_columns(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (?, ?)")
+        assert statement.columns == ["a", "b"]
+        assert statement.rows[0][0].index == 0
+        assert statement.rows[0][1].index == 1
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = a + 1, b = 'x' WHERE id = ?")
+        assert isinstance(statement, ast.Update)
+        assert statement.assignments[0][0] == "a"
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE id = 3")
+        assert isinstance(statement, ast.Delete)
+
+    def test_delete_all(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestParseDdlAndTxn:
+    def test_create_table(self):
+        statement = parse(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, score REAL, data BLOB)"
+        )
+        assert isinstance(statement, ast.CreateTable)
+        assert statement.columns[0].primary_key
+        assert [c.type for c in statement.columns] == ["INTEGER", "TEXT", "REAL", "BLOB"]
+
+    def test_create_table_if_not_exists(self):
+        assert parse("CREATE TABLE IF NOT EXISTS t (a TEXT)").if_not_exists
+
+    def test_create_index(self):
+        statement = parse("CREATE UNIQUE INDEX i ON t (a, b)")
+        assert isinstance(statement, ast.CreateIndex)
+        assert statement.unique and statement.columns == ["a", "b"]
+
+    def test_drop(self):
+        assert isinstance(parse("DROP TABLE t"), ast.DropTable)
+        assert isinstance(parse("DROP INDEX i"), ast.DropIndex)
+        assert parse("DROP TABLE IF EXISTS t").if_exists
+
+    def test_transactions(self):
+        assert isinstance(parse("BEGIN"), ast.Begin)
+        assert isinstance(parse("BEGIN TRANSACTION"), ast.Begin)
+        assert isinstance(parse("COMMIT"), ast.Commit)
+        assert isinstance(parse("ROLLBACK"), ast.Rollback)
+
+    def test_trailing_semicolon_ok(self):
+        assert isinstance(parse("COMMIT;"), ast.Commit)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse("COMMIT garbage")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlError):
+            parse("VACUUM")

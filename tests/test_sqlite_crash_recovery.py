@@ -1,0 +1,212 @@
+"""Crash-consistency tests across journal modes and crash points.
+
+The core claim of the paper: SQLite in OFF mode on X-FTL gives the same
+atomicity and durability as rollback-journal or WAL mode — at a fraction of
+the I/O.  These tests crash the machine at many points in the commit path
+of each mode and assert the same contract every time:
+
+- every transaction that returned from COMMIT is fully present;
+- no trace of an in-flight or rolled-back transaction survives;
+- the database (including its B-tree structure and indexes) is readable.
+"""
+
+import pytest
+
+from repro.bench.runner import BenchStack, Mode, StackConfig, build_stack
+from repro.errors import PowerFailure
+
+ALL_MODES = [Mode.RBJ, Mode.WAL, Mode.XFTL]
+
+
+def fresh_stack(mode: Mode) -> BenchStack:
+    return build_stack(StackConfig(mode=mode, num_blocks=256, pages_per_block=32))
+
+
+def seed_database(stack: BenchStack):
+    db = stack.open_database("crash.db")
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT, n INTEGER)")
+    db.execute("CREATE INDEX idx_n ON t (n)")
+    db.execute("BEGIN")
+    for i in range(1, 51):
+        db.execute("INSERT INTO t VALUES (?, ?, ?)", (i, f"base-{i}", i % 7))
+    db.execute("COMMIT")
+    return db
+
+
+def reopen(stack: BenchStack):
+    stack.remount_after_crash()
+    return stack.open_database("crash.db")
+
+
+def assert_base_state(db, extra_committed: int = 0):
+    assert db.execute("SELECT COUNT(*) FROM t") == [(50 + extra_committed,)]
+    for i in (1, 25, 50):
+        assert db.execute("SELECT v FROM t WHERE id = ?", (i,)) == [(f"base-{i}",)]
+    # The index survived too.
+    assert db.execute("SELECT COUNT(*) FROM t WHERE n = 0") == [
+        (len([i for i in range(1, 51) if i % 7 == 0]) + 0,)
+    ]
+
+
+class TestCleanCrash:
+    """Crash with no transaction in flight: nothing may be lost."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_committed_data_survives(self, mode):
+        stack = fresh_stack(mode)
+        seed_database(stack)
+        db = reopen(stack)
+        assert_base_state(db)
+
+
+class TestCrashMidTransaction:
+    """Crash while a transaction is open but before COMMIT returned."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_uncommitted_updates_rolled_back(self, mode):
+        stack = fresh_stack(mode)
+        db = seed_database(stack)
+        db.execute("BEGIN")
+        for i in range(1, 21):
+            db.execute("UPDATE t SET v = ? WHERE id = ?", (f"doomed-{i}", i))
+        db2 = reopen(stack)
+        assert_base_state(db2)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_uncommitted_inserts_rolled_back(self, mode):
+        stack = fresh_stack(mode)
+        db = seed_database(stack)
+        db.execute("BEGIN")
+        for i in range(100, 120):
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", (i, f"new-{i}", 0))
+        db2 = reopen(stack)
+        assert_base_state(db2)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_uncommitted_with_steal_rolled_back(self, mode):
+        """Tiny buffer pool: uncommitted pages spill to the db file."""
+        stack = fresh_stack(mode)
+        db = stack.open_database("crash.db", cache_pages=4)
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT, n INTEGER)")
+        db.execute("CREATE INDEX idx_n ON t (n)")
+        db.execute("BEGIN")
+        for i in range(1, 51):
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", (i, f"base-{i}", i % 7))
+        db.execute("COMMIT")
+        db.execute("BEGIN")
+        for i in range(1, 41):
+            db.execute("UPDATE t SET v = ? WHERE id = ?", (f"doomed-{i}", i))
+        db2 = reopen(stack)
+        assert_base_state(db2)
+
+
+class TestCrashDuringCommit:
+    """Crash at chosen device-level points inside COMMIT itself."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    @pytest.mark.parametrize("program_number", [1, 2, 4, 8, 16])
+    def test_commit_is_atomic_at_every_crash_point(self, mode, program_number):
+        stack = fresh_stack(mode)
+        db = seed_database(stack)
+        db.execute("BEGIN")
+        for i in range(1, 11):
+            db.execute("UPDATE t SET v = ? WHERE id = ?", (f"maybe-{i}", i))
+        stack.crash_plan.arm("flash.program.after", after=program_number)
+        crashed = False
+        try:
+            db.execute("COMMIT")
+        except PowerFailure:
+            crashed = True
+        stack.crash_plan.disarm_all()
+        db2 = reopen(stack)
+        first = db2.execute("SELECT v FROM t WHERE id = 1")[0][0]
+        if crashed and first.startswith("base"):
+            # Rolled back: every page must be the base version.
+            for i in range(1, 11):
+                assert db2.execute("SELECT v FROM t WHERE id = ?", (i,)) == [(f"base-{i}",)]
+        else:
+            # Commit completed (or recovery redid it): all-new.
+            for i in range(1, 11):
+                assert db2.execute("SELECT v FROM t WHERE id = ?", (i,)) == [(f"maybe-{i}",)]
+        assert db2.execute("SELECT COUNT(*) FROM t") == [(50,)]
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_commit_atomic_with_torn_page(self, mode):
+        """Power dies mid page program: the torn page must hurt nobody."""
+        stack = fresh_stack(mode)
+        db = seed_database(stack)
+        db.execute("BEGIN")
+        for i in range(1, 11):
+            db.execute("UPDATE t SET v = ? WHERE id = ?", (f"maybe-{i}", i))
+        stack.crash_plan.arm("flash.program.mid", after=3, tear_page=True)
+        crashed = False
+        try:
+            db.execute("COMMIT")
+        except PowerFailure:
+            crashed = True
+        stack.crash_plan.disarm_all()
+        assert crashed
+        db2 = reopen(stack)
+        values = [db2.execute("SELECT v FROM t WHERE id = ?", (i,))[0][0] for i in range(1, 11)]
+        assert all(v.startswith("base") for v in values) or all(
+            v.startswith("maybe") for v in values
+        ), values
+
+    def test_rbj_hot_journal_rolls_back(self):
+        stack = fresh_stack(Mode.RBJ)
+        db = seed_database(stack)
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET v = 'doomed' WHERE id = 1")
+        stack.crash_plan.arm("sqlite.commit.mid")
+        with pytest.raises(PowerFailure):
+            db.execute("COMMIT")
+        stack.crash_plan.disarm_all()
+        db2 = reopen(stack)
+        assert db2.execute("SELECT v FROM t WHERE id = 1") == [("base-1",)]
+        # The hot journal was consumed during recovery.
+        assert not stack.fs.exists("crash.db-journal")
+
+
+class TestDurabilitySequence:
+    """Multiple committed transactions before the crash all survive."""
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_every_committed_transaction_survives(self, mode):
+        stack = fresh_stack(mode)
+        db = seed_database(stack)
+        for round_number in range(5):
+            db.execute("BEGIN")
+            for i in range(1, 6):
+                db.execute(
+                    "UPDATE t SET v = ? WHERE id = ?", (f"round{round_number}-{i}", i)
+                )
+            db.execute("COMMIT")
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET v = 'doomed' WHERE id = 1")
+        db2 = reopen(stack)
+        for i in range(1, 6):
+            assert db2.execute("SELECT v FROM t WHERE id = ?", (i,)) == [(f"round4-{i}",)]
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_recovery_is_idempotent(self, mode):
+        stack = fresh_stack(mode)
+        seed_database(stack)
+        db = reopen(stack)
+        assert_base_state(db)
+        db2 = reopen(stack)
+        assert_base_state(db2)
+
+    def test_wal_checkpoint_then_crash(self):
+        stack = fresh_stack(Mode.WAL)
+        db = stack.open_database("crash.db", checkpoint_interval=20)
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT, n INTEGER)")
+        db.execute("BEGIN")
+        for i in range(1, 51):
+            db.execute("INSERT INTO t VALUES (?, ?, ?)", (i, f"base-{i}", i % 7))
+        db.execute("COMMIT")
+        for i in range(1, 31):  # crosses the checkpoint threshold
+            db.execute("UPDATE t SET v = ? WHERE id = ?", (f"upd-{i}", i))
+        db2 = reopen(stack)
+        for i in (1, 15, 30):
+            assert db2.execute("SELECT v FROM t WHERE id = ?", (i,)) == [(f"upd-{i}",)]
+        assert db2.execute("SELECT v FROM t WHERE id = 40") == [("base-40",)]

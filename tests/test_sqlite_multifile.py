@@ -1,0 +1,153 @@
+"""Tests for multi-file transactions on X-FTL (§4.3)."""
+
+import pytest
+
+from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.errors import DatabaseError
+from repro.sqlite.multifile import MultiFileTransaction
+
+
+@pytest.fixture
+def pair():
+    stack = build_stack(StackConfig(mode=Mode.XFTL, num_blocks=256, pages_per_block=32))
+    db_a = stack.open_database("a.db")
+    db_b = stack.open_database("b.db")
+    db_a.execute("CREATE TABLE ta (id INTEGER PRIMARY KEY, v TEXT)")
+    db_b.execute("CREATE TABLE tb (id INTEGER PRIMARY KEY, v TEXT)")
+    db_a.execute("INSERT INTO ta VALUES (1, 'base-a')")
+    db_b.execute("INSERT INTO tb VALUES (1, 'base-b')")
+    return stack, db_a, db_b
+
+
+class TestCommit:
+    def test_commit_spans_both_files(self, pair):
+        stack, db_a, db_b = pair
+        txn = MultiFileTransaction(db_a, db_b)
+        txn.begin()
+        db_a.execute("UPDATE ta SET v = 'new-a' WHERE id = 1")
+        db_b.execute("UPDATE tb SET v = 'new-b' WHERE id = 1")
+        txn.commit()
+        assert db_a.execute("SELECT v FROM ta WHERE id = 1") == [("new-a",)]
+        assert db_b.execute("SELECT v FROM tb WHERE id = 1") == [("new-b",)]
+
+    def test_single_device_commit_for_group(self, pair):
+        stack, db_a, db_b = pair
+        commits0 = stack.device.counters.commits
+        txn = MultiFileTransaction(db_a, db_b)
+        txn.begin()
+        db_a.execute("UPDATE ta SET v = 'x' WHERE id = 1")
+        db_b.execute("UPDATE tb SET v = 'y' WHERE id = 1")
+        txn.commit()
+        assert stack.device.counters.commits - commits0 == 1
+
+    def test_one_fsync_for_group(self, pair):
+        stack, db_a, db_b = pair
+        fsyncs0 = stack.fs.stats.fsync_calls
+        txn = MultiFileTransaction(db_a, db_b)
+        txn.begin()
+        db_a.execute("UPDATE ta SET v = 'x' WHERE id = 1")
+        db_b.execute("UPDATE tb SET v = 'y' WHERE id = 1")
+        txn.commit()
+        assert stack.fs.stats.fsync_calls - fsyncs0 == 1
+
+    def test_connections_usable_after_group_commit(self, pair):
+        _stack, db_a, db_b = pair
+        txn = MultiFileTransaction(db_a, db_b)
+        txn.begin()
+        db_a.execute("UPDATE ta SET v = 'x' WHERE id = 1")
+        txn.commit()
+        db_a.execute("INSERT INTO ta VALUES (2, 'post')")
+        assert db_a.execute("SELECT COUNT(*) FROM ta") == [(2,)]
+
+
+class TestRollback:
+    def test_rollback_spans_both_files(self, pair):
+        _stack, db_a, db_b = pair
+        txn = MultiFileTransaction(db_a, db_b)
+        txn.begin()
+        db_a.execute("UPDATE ta SET v = 'doomed-a' WHERE id = 1")
+        db_b.execute("UPDATE tb SET v = 'doomed-b' WHERE id = 1")
+        txn.rollback()
+        assert db_a.execute("SELECT v FROM ta WHERE id = 1") == [("base-a",)]
+        assert db_b.execute("SELECT v FROM tb WHERE id = 1") == [("base-b",)]
+
+
+class TestCrashAtomicity:
+    def test_crash_before_commit_rolls_back_both(self, pair):
+        stack, db_a, db_b = pair
+        txn = MultiFileTransaction(db_a, db_b)
+        txn.begin()
+        db_a.execute("UPDATE ta SET v = 'doomed-a' WHERE id = 1")
+        db_b.execute("UPDATE tb SET v = 'doomed-b' WHERE id = 1")
+        stack.remount_after_crash()
+        db_a2 = stack.open_database("a.db")
+        db_b2 = stack.open_database("b.db")
+        assert db_a2.execute("SELECT v FROM ta WHERE id = 1") == [("base-a",)]
+        assert db_b2.execute("SELECT v FROM tb WHERE id = 1") == [("base-b",)]
+
+    def test_crash_after_commit_preserves_both(self, pair):
+        stack, db_a, db_b = pair
+        txn = MultiFileTransaction(db_a, db_b)
+        txn.begin()
+        db_a.execute("UPDATE ta SET v = 'durable-a' WHERE id = 1")
+        db_b.execute("UPDATE tb SET v = 'durable-b' WHERE id = 1")
+        txn.commit()
+        stack.remount_after_crash()
+        db_a2 = stack.open_database("a.db")
+        db_b2 = stack.open_database("b.db")
+        assert db_a2.execute("SELECT v FROM ta WHERE id = 1") == [("durable-a",)]
+        assert db_b2.execute("SELECT v FROM tb WHERE id = 1") == [("durable-b",)]
+
+    def test_never_half_committed(self, pair):
+        """Crash at every program during the group commit: all-or-nothing."""
+        from repro.errors import PowerFailure
+
+        for crash_after in range(1, 8):
+            stack = build_stack(
+                StackConfig(mode=Mode.XFTL, num_blocks=256, pages_per_block=32)
+            )
+            db_a = stack.open_database("a.db")
+            db_b = stack.open_database("b.db")
+            db_a.execute("CREATE TABLE ta (id INTEGER PRIMARY KEY, v TEXT)")
+            db_b.execute("CREATE TABLE tb (id INTEGER PRIMARY KEY, v TEXT)")
+            db_a.execute("INSERT INTO ta VALUES (1, 'base')")
+            db_b.execute("INSERT INTO tb VALUES (1, 'base')")
+            txn = MultiFileTransaction(db_a, db_b)
+            txn.begin()
+            db_a.execute("UPDATE ta SET v = 'new' WHERE id = 1")
+            db_b.execute("UPDATE tb SET v = 'new' WHERE id = 1")
+            stack.crash_plan.arm("flash.program.after", after=crash_after)
+            try:
+                txn.commit()
+            except PowerFailure:
+                pass
+            stack.crash_plan.disarm_all()
+            stack.remount_after_crash()
+            value_a = stack.open_database("a.db").execute("SELECT v FROM ta")[0][0]
+            value_b = stack.open_database("b.db").execute("SELECT v FROM tb")[0][0]
+            assert value_a == value_b, (crash_after, value_a, value_b)
+
+
+class TestValidation:
+    def test_requires_off_mode(self):
+        stack = build_stack(StackConfig(mode=Mode.WAL, num_blocks=128))
+        db = stack.open_database("w.db")
+        with pytest.raises(DatabaseError):
+            MultiFileTransaction(db)
+
+    def test_requires_at_least_one_connection(self):
+        with pytest.raises(DatabaseError):
+            MultiFileTransaction()
+
+    def test_double_begin_rejected(self, pair):
+        _stack, db_a, db_b = pair
+        txn = MultiFileTransaction(db_a, db_b)
+        txn.begin()
+        with pytest.raises(DatabaseError):
+            txn.begin()
+        txn.rollback()
+
+    def test_commit_without_begin_rejected(self, pair):
+        _stack, db_a, db_b = pair
+        with pytest.raises(DatabaseError):
+            MultiFileTransaction(db_a, db_b).commit()

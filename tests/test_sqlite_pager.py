@@ -1,0 +1,278 @@
+"""Unit tests for the pager's journal-mode machinery."""
+
+import pytest
+
+from repro.device import StorageDevice
+from repro.errors import DatabaseError
+from repro.flash import FlashChip, FlashGeometry
+from repro.fs import Ext4, JournalMode
+from repro.ftl import FtlConfig, XFTL
+from repro.sqlite.btree import LeafPage, page_from_image
+from repro.sqlite.pager import DbHeader, Pager, SqliteJournalMode
+
+FS_FOR_MODE = {
+    SqliteJournalMode.ROLLBACK: JournalMode.ORDERED,
+    SqliteJournalMode.WAL: JournalMode.ORDERED,
+    SqliteJournalMode.OFF: JournalMode.XFTL,
+}
+
+
+def make_fs(sqlite_mode):
+    geometry = FlashGeometry(page_size=2048, pages_per_block=32, num_blocks=128)
+    device = StorageDevice(XFTL(FlashChip(geometry), FtlConfig(overprovision=0.15)))
+    return device, Ext4.mkfs(device, FS_FOR_MODE[sqlite_mode], journal_pages=32)
+
+
+def make_pager(mode, fs=None, **kwargs):
+    if fs is None:
+        _device, fs = make_fs(mode)
+    return Pager(fs, "p.db", mode, page_decoder=page_from_image, **kwargs)
+
+
+def leaf(*pairs):
+    page = LeafPage()
+    for key, payload in pairs:
+        from repro.sqlite.records import key_sort_tuple
+
+        page.keys.append(key)
+        page.sort_keys.append(key_sort_tuple(key))
+        page.cells.append((payload, None, len(payload)))
+    return page
+
+
+ALL_MODES = [SqliteJournalMode.ROLLBACK, SqliteJournalMode.WAL, SqliteJournalMode.OFF]
+
+
+class TestDbHeader:
+    def test_round_trip(self):
+        header = DbHeader(page_count=9, freelist=[3, 5], schema_cookie=2)
+        assert DbHeader.from_image(header.to_image()) == DbHeader(
+            page_count=9, freelist=[3, 5], schema_cookie=2
+        )
+
+
+class TestTransactionLifecycle:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_begin_commit_cycle(self, mode):
+        pager = make_pager(mode)
+        pager.begin()
+        assert pager.in_txn
+        pno = pager.allocate()
+        pager.put_new(pno, leaf(((1,), b"v")))
+        pager.commit()
+        assert not pager.in_txn
+        assert pager.get(pno).keys == [(1,)]
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_double_begin_rejected(self, mode):
+        pager = make_pager(mode)
+        pager.begin()
+        with pytest.raises(DatabaseError):
+            pager.begin()
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_commit_without_begin_rejected(self, mode):
+        with pytest.raises(DatabaseError):
+            make_pager(mode).commit()
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_modification_outside_txn_rejected(self, mode):
+        pager = make_pager(mode)
+        with pytest.raises(DatabaseError):
+            pager.mark_dirty(1, leaf())
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_rollback_discards_new_pages(self, mode):
+        pager = make_pager(mode)
+        pager.begin()
+        pno = pager.allocate()
+        pager.put_new(pno, leaf(((1,), b"v")))
+        pager.rollback()
+        assert pager.page_count == 1  # back to just the header
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_rollback_restores_modified_page(self, mode):
+        pager = make_pager(mode)
+        pager.begin()
+        pno = pager.allocate()
+        pager.put_new(pno, leaf(((1,), b"old")))
+        pager.commit()
+        pager.begin()
+        page = pager.get(pno)
+        page.cells[0] = (b"new", None, 3)
+        pager.mark_dirty(pno, page)
+        pager.rollback()
+        assert pager.get(pno).cells[0][0] == b"old"
+
+    def test_freelist_reuse(self):
+        pager = make_pager(SqliteJournalMode.OFF)
+        pager.begin()
+        first = pager.allocate()
+        pager.put_new(first, leaf())
+        pager.free(first)
+        second = pager.allocate()
+        assert second == first
+        pager.put_new(second, leaf())
+        pager.commit()
+
+
+class TestRollbackJournalMode:
+    def test_journal_file_created_and_deleted(self):
+        device, fs = make_fs(SqliteJournalMode.ROLLBACK)
+        pager = make_pager(SqliteJournalMode.ROLLBACK, fs)
+        pager.begin()
+        pno = pager.allocate()
+        pager.put_new(pno, leaf(((1,), b"v")))
+        pager.commit()
+        pager.begin()
+        page = pager.get(pno)
+        pager.mark_dirty(pno, page)
+        assert fs.exists("p.db-journal")  # hot while the txn runs
+        pager.commit()
+        assert not fs.exists("p.db-journal")
+
+    def test_read_only_txn_creates_no_journal(self):
+        device, fs = make_fs(SqliteJournalMode.ROLLBACK)
+        pager = make_pager(SqliteJournalMode.ROLLBACK, fs)
+        pager.begin()
+        pager.commit()
+        assert not fs.exists("p.db-journal")
+
+    def test_commit_uses_three_fsyncs(self):
+        device, fs = make_fs(SqliteJournalMode.ROLLBACK)
+        pager = make_pager(SqliteJournalMode.ROLLBACK, fs)
+        pager.begin()
+        pno = pager.allocate()
+        pager.put_new(pno, leaf(((1,), b"v")))
+        pager.commit()
+        fsyncs0 = fs.stats.fsync_calls
+        pager.begin()
+        page = pager.get(pno)
+        pager.mark_dirty(pno, page)
+        pager.commit()
+        # journal data + journal header + database file (Figure 1).
+        assert fs.stats.fsync_calls - fsyncs0 >= 3
+
+
+class TestWalMode:
+    def test_commit_appends_frames_one_fsync(self):
+        device, fs = make_fs(SqliteJournalMode.WAL)
+        pager = make_pager(SqliteJournalMode.WAL, fs)
+        fsyncs0 = fs.stats.fsync_calls
+        pager.begin()
+        pno = pager.allocate()
+        pager.put_new(pno, leaf(((1,), b"v")))
+        pager.commit()
+        assert fs.stats.fsync_calls - fsyncs0 == 1
+        assert fs.exists("p.db-wal")
+
+    def test_reads_resolve_through_wal(self):
+        pager = make_pager(SqliteJournalMode.WAL)
+        pager.begin()
+        pno = pager.allocate()
+        pager.put_new(pno, leaf(((1,), b"v1")))
+        pager.commit()
+        pager.begin()
+        page = pager.get(pno)
+        page.cells[0] = (b"v2", None, 2)
+        pager.mark_dirty(pno, page)
+        pager.commit()
+        pager._cache.clear()  # force re-read from storage
+        assert pager.get(pno).cells[0][0] == b"v2"
+
+    def test_checkpoint_copies_home_and_resets(self):
+        device, fs = make_fs(SqliteJournalMode.WAL)
+        pager = make_pager(SqliteJournalMode.WAL, fs, checkpoint_interval=5)
+        pager.begin()
+        pno = pager.allocate()
+        pager.put_new(pno, leaf(((1,), b"v")))
+        pager.commit()
+        for round_number in range(8):
+            pager.begin()
+            page = pager.get(pno)
+            page.cells[0] = (b"r%d" % round_number, None, 2)
+            pager.mark_dirty(pno, page)
+            pager.commit()
+        assert pager._wal_frames < 5  # the WAL was reset by a checkpoint
+        pager._cache.clear()
+        assert pager.get(pno).cells[0][0] == b"r7"
+
+
+class TestOffMode:
+    def test_commit_single_fsync_and_device_commit(self):
+        device, fs = make_fs(SqliteJournalMode.OFF)
+        pager = make_pager(SqliteJournalMode.OFF, fs)
+        fsyncs0 = fs.stats.fsync_calls
+        commits0 = device.counters.commits
+        pager.begin()
+        pno = pager.allocate()
+        pager.put_new(pno, leaf(((1,), b"v")))
+        pager.commit()
+        assert fs.stats.fsync_calls - fsyncs0 == 1
+        assert device.counters.commits - commits0 == 1
+
+    def test_read_only_commit_costs_nothing(self):
+        device, fs = make_fs(SqliteJournalMode.OFF)
+        pager = make_pager(SqliteJournalMode.OFF, fs)
+        pager.begin()
+        pager.commit()  # seed header write happened at bootstrap only
+        fsyncs0 = fs.stats.fsync_calls
+        commits0 = device.counters.commits
+        pager.begin()
+        pager.commit()
+        assert fs.stats.fsync_calls == fsyncs0
+        assert device.counters.commits == commits0
+
+    def test_rollback_issues_device_abort(self):
+        device, fs = make_fs(SqliteJournalMode.OFF)
+        pager = make_pager(SqliteJournalMode.OFF, fs)
+        aborts0 = device.counters.aborts
+        pager.begin()
+        pno = pager.allocate()
+        pager.put_new(pno, leaf(((1,), b"v")))
+        pager.rollback()
+        assert device.counters.aborts - aborts0 == 1
+
+    def test_no_journal_or_wal_files(self):
+        device, fs = make_fs(SqliteJournalMode.OFF)
+        pager = make_pager(SqliteJournalMode.OFF, fs)
+        pager.begin()
+        pno = pager.allocate()
+        pager.put_new(pno, leaf(((1,), b"v")))
+        pager.commit()
+        assert fs.listdir() == ["p.db"]
+
+
+class TestStealSpill:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_spill_and_rollback(self, mode):
+        """Dirty pages beyond the tiny pool spill; rollback must undo them."""
+        pager = make_pager(mode, cache_pages=3)
+        pager.begin()
+        pnos = []
+        for i in range(8):
+            pno = pager.allocate()
+            pager.put_new(pno, leaf(((i,), b"base%d" % i)))
+            pnos.append(pno)
+        pager.commit()
+        pager.begin()
+        for i, pno in enumerate(pnos):
+            page = pager.get(pno)
+            page.cells[0] = (b"doomed%d" % i, None, 7)
+            pager.mark_dirty(pno, page)
+        pager.rollback()
+        for i, pno in enumerate(pnos):
+            assert pager.get(pno).cells[0][0] == b"base%d" % i
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_spill_and_commit(self, mode):
+        pager = make_pager(mode, cache_pages=3)
+        pager.begin()
+        pnos = []
+        for i in range(8):
+            pno = pager.allocate()
+            pager.put_new(pno, leaf(((i,), b"v%d" % i)))
+            pnos.append(pno)
+        pager.commit()
+        for i, pno in enumerate(pnos):
+            assert pager.get(pno).cells[0][0] == b"v%d" % i

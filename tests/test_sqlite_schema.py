@@ -1,0 +1,86 @@
+"""Unit tests for schema objects and the catalog."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sqlite.schema import Column, Index, Table
+
+
+class TestColumn:
+    def test_type_normalization(self):
+        assert Column("x", "int").type == "INTEGER"
+        assert Column("x", "text").type == "TEXT"
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", "VARCHAR")
+
+
+class TestTable:
+    def make(self, *cols):
+        return Table(name="t", columns=list(cols), root_pno=2)
+
+    def test_column_index(self):
+        table = self.make(Column("a"), Column("b"))
+        assert table.column_index("b") == 1
+        with pytest.raises(SchemaError):
+            table.column_index("zzz")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            self.make(Column("a"), Column("a"))
+
+    def test_rowid_alias_detection(self):
+        table = self.make(Column("id", "INTEGER", primary_key=True), Column("v"))
+        assert table.rowid_alias == 0
+        assert table.explicit_pk is None
+
+    def test_explicit_pk_detection(self):
+        table = self.make(Column("k", "TEXT", primary_key=True), Column("v"))
+        assert table.rowid_alias is None
+        assert table.explicit_pk == 0
+
+    def test_no_pk(self):
+        table = self.make(Column("a"), Column("b"))
+        assert table.rowid_alias is None
+        assert table.explicit_pk is None
+
+    def test_index_on_leading_column(self):
+        table = self.make(Column("a"), Column("b"))
+        index = Index(name="i", table_name="t", columns=["b", "a"], root_pno=3)
+        table.indexes.append(index)
+        assert table.index_on("b") is index
+        assert table.index_on("a") is None
+
+
+class TestCatalogPersistence:
+    def test_catalog_round_trip_through_reopen(self):
+        from repro.bench.runner import Mode, StackConfig, build_stack
+        from repro.sqlite.database import Connection
+
+        stack = build_stack(StackConfig(mode=Mode.XFTL, num_blocks=128, pages_per_block=32))
+        db = stack.open_database("c.db")
+        db.execute("CREATE TABLE a (id INTEGER PRIMARY KEY, x TEXT)")
+        db.execute("CREATE TABLE b (k TEXT PRIMARY KEY, y INTEGER)")
+        db.execute("CREATE INDEX idx_ax ON a (x)")
+        db.execute("INSERT INTO a VALUES (1, 'one')")
+        db2 = Connection(stack.fs, "c.db", db.journal_mode)
+        assert set(db2.catalog.tables) == {"a", "b"}
+        table_a = db2.catalog.get_table("a")
+        assert [c.name for c in table_a.columns] == ["id", "x"]
+        assert table_a.index_on("x") is not None
+        # The auto-index for b's TEXT primary key was persisted too.
+        table_b = db2.catalog.get_table("b")
+        assert any(i.unique for i in table_b.indexes)
+        assert db2.execute("SELECT x FROM a WHERE id = 1") == [("one",)]
+
+    def test_dropped_table_gone_after_reopen(self):
+        from repro.bench.runner import Mode, StackConfig, build_stack
+        from repro.sqlite.database import Connection
+
+        stack = build_stack(StackConfig(mode=Mode.XFTL, num_blocks=128, pages_per_block=32))
+        db = stack.open_database("c.db")
+        db.execute("CREATE TABLE a (id INTEGER PRIMARY KEY)")
+        db.execute("DROP TABLE a")
+        db2 = Connection(stack.fs, "c.db", db.journal_mode)
+        assert db2.catalog.tables == {}

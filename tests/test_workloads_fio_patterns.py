@@ -1,0 +1,48 @@
+"""Tests for the FIO pattern extensions (sequential, mixed read/write)."""
+
+import pytest
+
+from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.workloads.fio import FioBenchmark
+
+
+def make_fio(mode=Mode.FS_ORDERED):
+    stack = build_stack(StackConfig(mode=mode, num_blocks=256, journal_pages=64))
+    return FioBenchmark(stack, file_pages=512)
+
+
+class TestPatterns:
+    def test_sequential_write_runs(self):
+        result = make_fio().run(runtime_s=1.0, fsync_interval=5, pattern="write")
+        assert result.writes > 0
+        assert result.reads == 0
+
+    def test_randrw_issues_reads(self):
+        result = make_fio().run(
+            runtime_s=1.0, fsync_interval=5, pattern="randrw", read_fraction=0.5
+        )
+        assert result.reads > 0
+        assert result.writes > 0
+
+    def test_randrw_requires_fraction(self):
+        with pytest.raises(ValueError):
+            make_fio().run(runtime_s=1.0, pattern="randrw", read_fraction=0.0)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            make_fio().run(runtime_s=1.0, pattern="trimwrite")
+
+    def test_sequential_faster_or_equal_to_random(self):
+        # With page-mapped FTLs both are CoW appends; sequential must not
+        # be slower (it dirties fewer distinct map chunks per barrier).
+        seq = make_fio().run(runtime_s=2.0, fsync_interval=5, pattern="write")
+        rand = make_fio().run(runtime_s=2.0, fsync_interval=5, pattern="randwrite")
+        assert seq.iops >= rand.iops * 0.9
+
+    def test_reads_mostly_hit_cache(self):
+        fio = make_fio()
+        result = fio.run(
+            runtime_s=1.0, fsync_interval=5, pattern="randrw", read_fraction=0.3
+        )
+        # Reads of recently written pages resolve in the page cache.
+        assert result.iops > 0
