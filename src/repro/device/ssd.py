@@ -29,6 +29,13 @@ class StorageDevice:
         self.profile = ftl.chip.profile
         self.counters = DeviceCounters()
         self._on = True
+        # When an armed crash point fires the whole machine loses power:
+        # mark the device off so recovery is a plain power_on() and any
+        # further command raises DeviceError instead of touching dead state.
+        self.chip.crash_plan.subscribe(self._crash_power_loss)
+
+    def _crash_power_loss(self) -> None:
+        self._on = False
 
     # --------------------------------------------------------------- state
 

@@ -26,8 +26,24 @@ from repro.errors import CorruptionError, FlashError, PowerFailure
 from repro.flash.geometry import FlashGeometry
 from repro.flash.stats import FlashStats
 from repro.sim.clock import SimClock
-from repro.sim.crash import NO_CRASH, CrashPlan
+from repro.sim.crash import NO_CRASH, CrashPlan, register_crash_point
 from repro.sim.latency import OPENSSD_PROFILE, LatencyProfile
+
+CP_PROGRAM_BEFORE = register_crash_point(
+    "flash.program.before", "flash.chip", "before a NAND page program starts"
+)
+CP_PROGRAM_MID = register_crash_point(
+    "flash.program.mid",
+    "flash.chip",
+    "mid NAND page program; with tear_page the page is left torn",
+    tearable=True,
+)
+CP_PROGRAM_AFTER = register_crash_point(
+    "flash.program.after", "flash.chip", "after a NAND page program completed"
+)
+CP_ERASE_BEFORE = register_crash_point(
+    "flash.erase.before", "flash.chip", "before a block erase"
+)
 
 
 class PageState(enum.Enum):
@@ -89,8 +105,8 @@ class FlashChip:
                 f"expected {self._write_point[block]}"
             )
 
-        self.crash_plan.hit("flash.program.before")
-        fired = self.crash_plan.countdown("flash.program.mid")
+        self.crash_plan.hit(CP_PROGRAM_BEFORE)
+        fired = self.crash_plan.countdown(CP_PROGRAM_MID)
         if fired is not None and fired.tear_page:
             # Power fails mid-program: the page is neither erased nor valid.
             self._state[ppn] = PageState.TORN
@@ -108,7 +124,7 @@ class FlashChip:
         self._write_point[block] = index + 1
         self.stats.page_programs += 1
         self.clock.advance(self.profile.page_program_us)
-        self.crash_plan.hit("flash.program.after")
+        self.crash_plan.hit(CP_PROGRAM_AFTER)
 
     def read(self, ppn: int) -> Any:
         """Read one page's data area.  Torn pages raise CorruptionError."""
@@ -132,7 +148,7 @@ class FlashChip:
     def erase(self, block: int) -> None:
         """Erase one block, resetting all its pages and its write point."""
         self.geometry.check_block(block)
-        self.crash_plan.hit("flash.erase.before")
+        self.crash_plan.hit(CP_ERASE_BEFORE)
         start = block * self.geometry.pages_per_block
         end = start + self.geometry.pages_per_block
         for ppn in range(start, end):

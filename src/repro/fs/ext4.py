@@ -40,6 +40,13 @@ from repro.errors import (
 )
 from repro.fs.journal import Jbd2Journal
 from repro.fs.pagecache import PageCache
+from repro.sim.crash import register_crash_point
+
+CP_FSYNC_MID = register_crash_point(
+    "fs.fsync.mid",
+    "fs.ext4",
+    "fsync data writes done, commit record (journal frame / commit(t)) not yet issued",
+)
 
 DIRECT_PTRS = 12
 INODES_PER_PAGE = 32
@@ -341,6 +348,7 @@ class Ext4:
         """
         for lpn, data in dirty:
             self._device_write_data(lpn, data)
+        self.device.chip.crash_plan.hit(CP_FSYNC_MID)
         if dirty and not self._dirty_meta:
             # No metadata to journal: the data itself still needs a barrier.
             self.device.flush()
@@ -351,6 +359,7 @@ class Ext4:
         """Everything through the journal: data is written twice overall."""
         records = [(lpn, data) for lpn, data in dirty]
         records.extend(self._render_dirty_meta())
+        self.device.chip.crash_plan.hit(CP_FSYNC_MID)
         if records:
             assert self.journal is not None
             self.journal.commit(records)
@@ -376,6 +385,7 @@ class Ext4:
                 self.cache.drop(lpn)
             raise
         self._dirty_meta.clear()
+        self.device.chip.crash_plan.hit(CP_FSYNC_MID)
         self.device.commit(tid)
         for lpn in [lpn for lpn, owner in self._stolen.items() if owner == tid]:
             del self._stolen[lpn]

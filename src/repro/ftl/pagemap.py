@@ -32,6 +32,11 @@ from typing import Any, Iterator
 from repro.errors import CorruptionError, FlashError, FtlError, OutOfSpaceError
 from repro.flash.chip import FlashChip, PageState
 from repro.ftl.base import Ftl, FtlConfig
+from repro.sim.crash import register_crash_point
+
+CP_BARRIER_MID = register_crash_point(
+    "ftl.barrier.mid", "ftl.pagemap", "between mapping pages of a barrier flush"
+)
 
 # Owner kinds for physical pages (what structure keeps this page alive).
 OWNER_L2P = "l2p"
@@ -84,6 +89,9 @@ class PageMappingFTL(Ftl):
         if geo.num_blocks - reserve < 1:
             raise FtlError("chip too small for overprovisioning reserve")
         self._exported_pages = (geo.num_blocks - reserve) * geo.pages_per_block
+        # Power loss propagates from the crash plan: when an armed point
+        # fires, the FTL drops its DRAM state without a manual power_fail().
+        chip.crash_plan.subscribe(self.power_fail)
 
         self._powered = True
         # Volatile (DRAM) state.
@@ -277,6 +285,14 @@ class PageMappingFTL(Ftl):
 
     def _program(self, data: Any, oob: tuple) -> int:
         """Append one page into the active block, garbage-collecting if needed."""
+        # Keep at least one block's worth of erased pages at all times: any
+        # GC victim has at most pages_per_block - 1 valid pages, so as long
+        # as a full block of headroom exists *before* each host program, GC
+        # can always relocate a victim and make progress.  Waiting until the
+        # free pool is empty (the old behaviour) let the host consume the
+        # copyback headroom page by page and wedge an in-capacity workload.
+        if self._gc_headroom_pages() <= self.chip.geometry.pages_per_block:
+            self._garbage_collect(target_blocks=0)
         block = self._ensure_active_block()
         ppn = self.chip.geometry.ppn_of(block, self.chip.block_write_point(block))
         self.chip.program(ppn, data, oob)
@@ -290,22 +306,47 @@ class PageMappingFTL(Ftl):
         if len(self._free_blocks) <= self.config.gc_free_block_threshold:
             self._garbage_collect()
         if not self._free_blocks:
-            raise OutOfSpaceError("no free blocks")
+            raise OutOfSpaceError("no free blocks after garbage collection")
         self._active_block = self._free_blocks.pop()
         self._alloc_order.append(self._active_block)
         return self._active_block
 
-    def _garbage_collect(self) -> None:
-        """Greedy GC: reclaim victims until the free pool is above threshold."""
-        target = self.config.gc_free_block_threshold + 1
-        guard = self.chip.geometry.num_blocks * 2
-        while len(self._free_blocks) < target:
+    def _gc_headroom_pages(self) -> int:
+        """Erased pages GC may program into right now (free pool + active)."""
+        geo = self.chip.geometry
+        pages = len(self._free_blocks) * geo.pages_per_block
+        if self._active_block is not None:
+            pages += geo.pages_per_block - self.chip.block_write_point(self._active_block)
+        return pages
+
+    def _garbage_collect(self, target_blocks: int | None = None) -> None:
+        """Greedy GC: reclaim victims until the free pool is above threshold.
+
+        A victim is only collected when the current headroom (erased pages
+        in the free pool plus the active block) covers its valid-page
+        copyback — erasing is how GC *gains* space, so it must never erase
+        itself into a corner.  Independent of the block target, collection
+        continues until the page-granular headroom floor (one block's worth
+        of erased pages) is restored: tight geometries may never stabilise
+        the free pool above one block, yet stay perfectly sustainable by
+        cycling the active block's spare pages.  ``target_blocks=0`` runs a
+        floor-only pass (used before each program).
+        """
+        geo = self.chip.geometry
+        if target_blocks is None:
+            target_blocks = self.config.gc_free_block_threshold + 1
+        floor_pages = geo.pages_per_block
+        guard = geo.total_pages + geo.num_blocks
+        while (
+            len(self._free_blocks) < target_blocks
+            or self._gc_headroom_pages() <= floor_pages
+        ):
             guard -= 1
             if guard < 0:
                 raise OutOfSpaceError("garbage collection cannot make progress")
             victim = self._pick_victim()
-            if victim is None:
-                if self._free_blocks:
+            if victim is None or self._valid_count[victim] > self._gc_headroom_pages():
+                if self._free_blocks or self._gc_headroom_pages() > 0:
                     return  # nothing reclaimable; live with what we have
                 raise OutOfSpaceError("no GC victim and no free blocks")
             self._collect_block(victim)
@@ -403,8 +444,16 @@ class PageMappingFTL(Ftl):
         if kind == OWNER_META:
             return (OOB_META, owner[1], self._seq, None)
         if kind == OWNER_RETIRED:
+            # Keep the retired page's real identity: a relocated retired
+            # X-L2P table page must stay recognisable as OOB_XL2P_TABLE (and
+            # keep its page index) or recovery misclassifies it as firmware
+            # metadata.
             retired_kind = owner[1]
-            oob_kind = {OWNER_MAP: OOB_MAP, OWNER_META: OOB_META}.get(retired_kind, OOB_META)
+            oob_kind = {
+                OWNER_MAP: OOB_MAP,
+                OWNER_META: OOB_META,
+                OWNER_XL2P_TABLE: OOB_XL2P_TABLE,
+            }.get(retired_kind, OOB_META)
             return (oob_kind, owner[2] if isinstance(owner[2], int) else 0, self._seq, None)
         # Subclass owners (X-L2P) are handled by _gc_oob_extra.
         return self._gc_oob_extra(owner, old_ppn)
@@ -465,7 +514,7 @@ class PageMappingFTL(Ftl):
 
     def _flush_map(self) -> None:
         for segment in sorted(self._dirty_segments):
-            self.chip.crash_plan.hit("ftl.barrier.mid")
+            self.chip.crash_plan.hit(CP_BARRIER_MID)
             entries = self._segment_entries(segment)
             self._seq += 1
             ppn = self._program(entries, (OOB_MAP, segment, self._seq, None))

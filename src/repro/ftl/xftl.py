@@ -47,6 +47,14 @@ from repro.ftl.pagemap import (
     PageMappingFTL,
 )
 from repro.ftl.xl2p import TxStatus, XL2PTable
+from repro.sim.crash import register_crash_point
+
+CP_COMMIT_BEFORE_FLUSH = register_crash_point(
+    "xftl.commit.before-flush", "ftl.xftl", "commit marked in DRAM, X-L2P flush not started"
+)
+CP_COMMIT_AFTER_FLUSH = register_crash_point(
+    "xftl.commit.after-flush", "ftl.xftl", "X-L2P flushed and root republished, L2P fold pending"
+)
 
 
 class XFTL(PageMappingFTL):
@@ -61,6 +69,8 @@ class XFTL(PageMappingFTL):
         self._xl2p_page_ppns: list[int] = []
         self._commits_since_checkpoint = 0
         self._committed_tids: set[int] = set()
+        self._aborted_tids: set[int] = set()
+        self._started_tids: set[int] = set()  # tids with >= 1 write_tx this mount
         self._writers_by_lpn: dict[int, int] = {}  # conflict detection only
         self.last_xl2p_recovery_us = 0.0
 
@@ -81,6 +91,7 @@ class XFTL(PageMappingFTL):
             self._writers_by_lpn[lpn] = tid
         self._seq += 1
         ppn = self._program(data, (OOB_DATA, lpn, self._seq, tid))
+        self._started_tids.add(tid)
         previous = self.xl2p.put(tid, lpn, ppn)
         if previous is not None:
             # The transaction rewrote its own uncommitted copy.
@@ -102,13 +113,26 @@ class XFTL(PageMappingFTL):
         """Durably commit ``tid`` (Figure 4). Cheap: flushes only the X-L2P."""
         self._check_power()
         entries = self.xl2p.entries_of(tid)
+        if not entries:
+            # A tid with nothing to commit: either a stale handle (already
+            # committed/aborted — a host protocol error) or a transaction
+            # that never wrote (an empty fsync), which has nothing to make
+            # durable and must not pay for an X-L2P flush.
+            if tid in self._committed_tids:
+                raise TransactionError(f"tid {tid} is already committed")
+            if tid in self._aborted_tids:
+                raise TransactionError(f"tid {tid} was aborted; cannot commit")
+            self._release_write_locks(tid)
+            self._started_tids.discard(tid)
+            self.stats.commits += 1  # the host command succeeded; just free
+            return
         # Step 1: status active -> committed (DRAM).
         self.xl2p.set_status(tid, TxStatus.COMMITTED)
-        self.chip.crash_plan.hit("xftl.commit.before-flush")
+        self.chip.crash_plan.hit(CP_COMMIT_BEFORE_FLUSH)
         # Step 2+3: CoW-flush the X-L2P table, atomically repoint the root.
         self._committed_tids.add(tid)
         self._flush_xl2p()
-        self.chip.crash_plan.hit("xftl.commit.after-flush")
+        self.chip.crash_plan.hit(CP_COMMIT_AFTER_FLUSH)
         # Step 4: remap the LPNs in the main L2P table (DRAM; idempotent).
         for entry in entries:
             old = self._l2p.get(entry.lpn)
@@ -120,15 +144,30 @@ class XFTL(PageMappingFTL):
             self._mark_dirty(entry.lpn)
         self.xl2p.remove_tid(tid)
         self._release_write_locks(tid)
+        self._started_tids.discard(tid)
         self.stats.commits += 1
         self._commits_since_checkpoint += 1
         if self._commits_since_checkpoint >= self.config.map_checkpoint_interval:
             self._checkpoint_map()
 
     def abort(self, tid: int) -> None:
-        """Roll back ``tid``: drop its entries, invalidate its new pages."""
+        """Roll back ``tid``: drop its entries, invalidate its new pages.
+
+        Aborting a transaction that never wrote is a no-op (SQLite rolls
+        back read-only transactions through the same ioctl), but aborting
+        an already-committed tid is a host protocol error.
+        """
         self._check_power()
+        entries = self.xl2p.entries_of(tid)
+        if not entries:
+            if tid in self._committed_tids:
+                raise TransactionError(f"tid {tid} is already committed; cannot abort")
+            self._release_write_locks(tid)
+            self._started_tids.discard(tid)
+            return
         self.xl2p.set_status(tid, TxStatus.ABORTED)
+        self._aborted_tids.add(tid)
+        self._started_tids.discard(tid)
         for entry in self.xl2p.remove_tid(tid):
             self._invalidate(entry.new_ppn)
         self._release_write_locks(tid)
@@ -152,9 +191,11 @@ class XFTL(PageMappingFTL):
             self._set_owner(ppn, (OWNER_XL2P_TABLE, index))
             new_ppns.append(ppn)
             self.stats.xl2p_page_writes += 1
-        for old in self._xl2p_page_ppns:
+        for index, old in enumerate(self._xl2p_page_ppns):
             if old in self._owner:
-                self._retire(old, OWNER_XL2P_TABLE, None)
+                # Retire with the real page index so a GC relocation keeps
+                # the page labelled OOB_XL2P_TABLE (not misfiled as meta).
+                self._retire(old, OWNER_XL2P_TABLE, index)
         self._xl2p_page_ppns = new_ppns
         # Atomic meta-block update: new X-L2P location + committed tid set.
         self._root.xl2p_ppns = tuple(new_ppns)
@@ -213,6 +254,8 @@ class XFTL(PageMappingFTL):
         )
         self._xl2p_page_ppns = []
         self._committed_tids = set()
+        self._aborted_tids = set()
+        self._started_tids = set()
         self._commits_since_checkpoint = 0
         self._writers_by_lpn = {}
 

@@ -1,13 +1,24 @@
 """Simulation substrate: virtual clock, latency profiles, RNG, crash points."""
 
 from repro.sim.clock import SimClock
-from repro.sim.crash import CrashPlan, CrashPoint
+from repro.sim.crash import (
+    CrashPlan,
+    CrashPoint,
+    CrashPointSpec,
+    crash_point_spec,
+    register_crash_point,
+    registered_crash_points,
+)
 from repro.sim.latency import LatencyProfile, OPENSSD_PROFILE, S830_PROFILE
 
 __all__ = [
     "SimClock",
     "CrashPlan",
     "CrashPoint",
+    "CrashPointSpec",
+    "crash_point_spec",
+    "register_crash_point",
+    "registered_crash_points",
     "LatencyProfile",
     "OPENSSD_PROFILE",
     "S830_PROFILE",

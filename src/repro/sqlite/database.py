@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.errors import DatabaseError, SchemaError, SqlError
+from repro.errors import DatabaseError, PowerFailure, SchemaError, SqlError
 from repro.fs.ext4 import Ext4
 from repro.sqlite.btree import BTree, page_from_image
 from repro.sqlite.pager import Pager, SqliteJournalMode
@@ -70,6 +70,8 @@ class Connection:
             try:
                 self.catalog = Catalog.bootstrap(self.pager)
                 self._commit_internal()
+            except PowerFailure:
+                raise  # machine is down: no in-process rollback is possible
             except BaseException:
                 if self.pager.in_txn:
                     self.pager.rollback()
@@ -165,6 +167,8 @@ class Connection:
                 self._run_drop_index(statement)
             else:
                 raise SqlError(f"unsupported statement type {type(statement).__name__}")
+        except PowerFailure:
+            raise  # machine is down: no in-process rollback is possible
         except BaseException:
             if self.pager.in_txn and not self._explicit_txn:
                 self.pager.rollback()

@@ -20,7 +20,7 @@ XFTL-mode file system::
 
 from __future__ import annotations
 
-from repro.errors import DatabaseError
+from repro.errors import DatabaseError, PowerFailure
 from repro.sqlite.database import Connection
 from repro.sqlite.pager import SqliteJournalMode
 
@@ -59,6 +59,8 @@ class MultiFileTransaction:
             for connection in self.connections:
                 connection.begin_with_tid(self.tid)
                 started.append(connection)
+        except PowerFailure:
+            raise  # machine is down: no in-process rollback is possible
         except BaseException:
             for connection in started:
                 connection.rollback()

@@ -38,6 +38,13 @@ from typing import Any, Callable
 
 from repro.errors import CorruptionError, DatabaseError
 from repro.fs.ext4 import Ext4, FileHandle
+from repro.sim.crash import register_crash_point
+
+CP_COMMIT_MID = register_crash_point(
+    "sqlite.commit.mid",
+    "sqlite.pager",
+    "rollback journal is hot (synced), database-file writes not started",
+)
 
 
 class SqliteJournalMode(enum.Enum):
@@ -392,7 +399,7 @@ class Pager:
         self.fs.fsync(self._journal)
         # The journal is now "hot": a crash from here until the journal is
         # deleted must roll the database back from it.
-        self.fs.device.chip.crash_plan.hit("sqlite.commit.mid")
+        self.fs.device.chip.crash_plan.hit(CP_COMMIT_MID)
         # 3. Force dirty pages into the database file, one more fsync.
         for pno, entry in dirty:
             self.file.write_page(pno, entry.page.to_image())

@@ -1,0 +1,30 @@
+"""Crash-consistency verification subsystem.
+
+Sweeps every registered crash point (see :mod:`repro.sim.crash`) across a
+deterministic workload on each stack layer, power-cycles at the armed
+point, remounts, and diffs what recovery exposes against a write-history
+oracle of legal post-crash states.
+
+Entry points:
+
+- ``python -m repro.verify`` — the sweep CLI;
+- :func:`repro.verify.runner.sweep` — the programmatic API used by tests.
+"""
+
+from repro.verify.oracle import UNWRITTEN, PlainWriteOracle, TransactionOracle
+from repro.verify.drivers import LAYERS, ScenarioResult, run_scenario
+from repro.verify.runner import Failure, Scenario, SweepReport, shrink, sweep
+
+__all__ = [
+    "UNWRITTEN",
+    "PlainWriteOracle",
+    "TransactionOracle",
+    "LAYERS",
+    "ScenarioResult",
+    "run_scenario",
+    "Scenario",
+    "Failure",
+    "SweepReport",
+    "shrink",
+    "sweep",
+]

@@ -1,0 +1,5 @@
+import sys
+
+from repro.verify.cli import main
+
+sys.exit(main())

@@ -1,0 +1,336 @@
+"""Stack drivers: one crash-verification harness per stack layer.
+
+Each driver builds a fresh machine, runs a deterministic seeded setup
+phase, arms the requested crash point, then replays a deterministic
+workload while recording every acknowledged operation in an oracle.  If
+the armed point fires, the machine powers itself down (the crash plan
+notifies every layer); the driver then remounts and diffs what recovery
+exposes against the oracle.  If the point never fires the scenario is
+reported ``fired=False`` so the enumerator stops growing the occurrence
+count for that point.
+
+Layers (bottom to top):
+
+- ``ftl.pagemap``  — plain writes + barriers on the stock FTL;
+- ``ftl.xftl``     — write_tx/commit/abort transactions on X-FTL;
+- ``fs.ext4``      — file page writes + fsync on ordered-journal ext4
+  over the stock FTL;
+- ``sqlite.xftl``  — SQL transactions on the full paper stack (SQLite
+  OFF mode on ext4-XFTL on X-FTL);
+- ``sqlite.rbj``   — the same SQL workload on the unmodified stack
+  (rollback journal on ordered ext4 on the stock FTL), which is the
+  only layer where ``sqlite.commit.mid`` is reachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.errors import PowerFailure, ReproError
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.base import FtlConfig
+from repro.ftl.pagemap import PageMappingFTL
+from repro.ftl.xftl import XFTL
+from repro.sim.crash import CrashPlan
+from repro.sim.rng import make_rng
+from repro.verify.oracle import PlainWriteOracle, TransactionOracle
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one armed run: did it fire, and was recovery legal?"""
+
+    layer: str
+    point: str
+    after: int
+    tear: bool
+    fired: bool
+    ops_run: int
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# --------------------------------------------------------------------- ftl
+
+_FTL_GEOMETRY = FlashGeometry(page_size=512, pages_per_block=8, num_blocks=24)
+_FTL_CONFIG = FtlConfig(
+    overprovision=0.25, map_entries_per_page=32, barrier_meta_pages=1, xl2p_capacity=64
+)
+
+
+def _run_pagemap(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]]:
+    plan = CrashPlan()
+    ftl = PageMappingFTL(FlashChip(_FTL_GEOMETRY, crash_plan=plan), _FTL_CONFIG)
+    rng = make_rng(seed, "verify.pagemap")
+    oracle = PlainWriteOracle()
+    hot = min(ftl.exported_pages, 24)
+
+    # Deterministic setup: a committed baseline, before the point is armed.
+    for lpn in range(hot):
+        ftl.write(lpn, ("base", lpn))
+        oracle.note_write(lpn, ("base", lpn))
+    ftl.barrier()
+    oracle.note_durable()
+
+    plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    op = 0
+    try:
+        for op in range(1, ops_limit + 1):
+            lpn = rng.randrange(hot)
+            value = ("v", op)
+            oracle.note_write(lpn, value)  # attempted: may survive the crash
+            ftl.write(lpn, value)
+            if op % 7 == 0:
+                ftl.barrier()
+                oracle.note_durable()
+    except PowerFailure:
+        fired = True
+    else:
+        plan.disarm_all()
+        ftl.power_fail()  # crash-free control run: power-cycle anyway
+
+    ftl.remount()
+    ftl.check_invariants()
+    violations = oracle.check(ftl.read)
+    # Never-written pages must still read as unwritten.
+    for lpn in range(hot, min(hot + 4, ftl.exported_pages)):
+        if ftl.read(lpn) is not None:
+            violations.append(f"lpn {lpn}: never written but reads {ftl.read(lpn)!r}")
+    return fired, op, violations
+
+
+def _run_xftl(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]]:
+    plan = CrashPlan()
+    ftl = XFTL(FlashChip(_FTL_GEOMETRY, crash_plan=plan), _FTL_CONFIG)
+    rng = make_rng(seed, "verify.xftl")
+    hot = min(ftl.exported_pages, 24)
+
+    oracle = TransactionOracle()
+    for lpn in range(hot):
+        ftl.write(lpn, ("base", lpn))
+        oracle.note_baseline(lpn, ("base", lpn))
+    ftl.barrier()
+
+    plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    op = 0
+    tid = 0
+    try:
+        while op < ops_limit:
+            tid += 1
+            n_writes = rng.randrange(1, 4)
+            for _ in range(n_writes):
+                op += 1
+                lpn = rng.randrange(hot)
+                value = ("t", tid, op)
+                oracle.note_tx_write(tid, lpn, value)
+                ftl.write_tx(tid, lpn, value)
+            if rng.random() < 0.2:
+                ftl.abort(tid)
+                oracle.note_aborted(tid)
+            else:
+                oracle.note_commit_started(tid)
+                ftl.commit(tid)
+                oracle.note_committed(tid)
+    except PowerFailure:
+        fired = True
+    else:
+        plan.disarm_all()
+        ftl.power_fail()
+
+    ftl.remount()
+    ftl.check_invariants()
+    return fired, op, oracle.check(ftl.read)
+
+
+# ---------------------------------------------------------------------- fs
+
+_FS_STACK = dict(
+    num_blocks=96,
+    pages_per_block=16,
+    page_size=1024,
+    journal_pages=32,
+    fs_cache_pages=64,
+    max_inodes=8,
+    ftl=FtlConfig(overprovision=0.2, map_entries_per_page=64, barrier_meta_pages=1),
+)
+
+
+def _run_ext4(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]]:
+    stack = build_stack(StackConfig(mode=Mode.FS_ORDERED, **_FS_STACK))
+    rng = make_rng(seed, "verify.ext4")
+    oracle = PlainWriteOracle()
+    n_pages = 12
+
+    handle = stack.fs.create("data.bin")
+    for index in range(n_pages):
+        handle.write_page(index, ("base", index))
+        oracle.note_write(index, ("base", index))
+    stack.fs.fsync(handle)
+    oracle.note_durable()
+
+    stack.crash_plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    op = 0
+    try:
+        for op in range(1, ops_limit + 1):
+            index = rng.randrange(n_pages)
+            value = ("v", op)
+            oracle.note_write(index, value)  # attempted: may survive the crash
+            handle.write_page(index, value)
+            if op % 5 == 0:
+                stack.fs.fsync(handle)
+                oracle.note_durable()
+    except PowerFailure:
+        fired = True
+    else:
+        stack.crash_plan.disarm_all()
+        stack.device.power_off()
+
+    stack.remount_after_crash()
+    stack.ftl.check_invariants()
+    violations: list[str] = []
+    if not stack.fs.exists("data.bin"):
+        violations.append("data.bin vanished: fsynced file lost by recovery")
+        return fired, op, violations
+    recovered = stack.fs.open("data.bin")
+
+    def read(index):
+        page = recovered.read_page(index)
+        # Strip the baseline/overwrite payload as written.
+        return page
+
+    violations.extend(oracle.check(read))
+    return fired, op, violations
+
+
+# ------------------------------------------------------------------ sqlite
+
+_SQLITE_STACK = dict(
+    num_blocks=160,
+    pages_per_block=32,
+    page_size=4096,
+    journal_pages=64,
+    fs_cache_pages=256,
+    max_inodes=16,
+    ftl=FtlConfig(overprovision=0.2, map_entries_per_page=256, barrier_meta_pages=1),
+)
+_N_ROWS = 10
+
+
+def _run_sqlite(mode: Mode, point, after, tear, seed, ops_limit):
+    stack = build_stack(StackConfig(mode=mode, **_SQLITE_STACK))
+    rng = make_rng(seed, f"verify.sqlite.{mode.value}")
+
+    db = stack.open_database("verify.db")
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    db.execute("BEGIN")
+    for row in range(1, _N_ROWS + 1):
+        db.execute("INSERT INTO t VALUES (?, 0)", (row,))
+    db.execute("COMMIT")
+    oracle = TransactionOracle({row: 0 for row in range(1, _N_ROWS + 1)})
+
+    stack.crash_plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    op = 0
+    tid = 0
+    try:
+        while op < ops_limit:
+            tid += 1
+            db.execute("BEGIN")
+            for _ in range(rng.randrange(1, 4)):
+                op += 1
+                row = rng.randrange(1, _N_ROWS + 1)
+                value = tid * 1000 + op
+                oracle.note_tx_write(tid, row, value)
+                db.execute("UPDATE t SET v = ? WHERE id = ?", (value, row))
+            if rng.random() < 0.2:
+                db.execute("ROLLBACK")
+                oracle.note_aborted(tid)
+            else:
+                oracle.note_commit_started(tid)
+                db.execute("COMMIT")
+                oracle.note_committed(tid)
+    except PowerFailure:
+        fired = True
+    else:
+        stack.crash_plan.disarm_all()
+        stack.device.power_off()
+
+    stack.remount_after_crash()
+    stack.ftl.check_invariants()
+    violations: list[str] = []
+    db2 = stack.open_database("verify.db")
+    rows = dict(db2.execute("SELECT id, v FROM t"))
+    if set(rows) != set(range(1, _N_ROWS + 1)):
+        violations.append(f"row set changed: recovered ids {sorted(rows)!r}")
+    violations.extend(oracle.check(lambda row: rows.get(row)))
+    return fired, op, violations
+
+
+# ------------------------------------------------------------------ layers
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A verifiable stack configuration and the crash points it can reach."""
+
+    name: str
+    components: tuple[str, ...]
+    run: Callable  # (point, after, tear, seed, ops_limit) -> (fired, ops, violations)
+
+
+LAYERS: dict[str, Layer] = {
+    layer.name: layer
+    for layer in (
+        Layer("ftl.pagemap", ("flash", "ftl.pagemap"), _run_pagemap),
+        Layer("ftl.xftl", ("flash", "ftl.pagemap", "ftl.xftl"), _run_xftl),
+        Layer("fs.ext4", ("flash", "ftl.pagemap", "fs.ext4"), _run_ext4),
+        Layer(
+            "sqlite.xftl",
+            ("flash", "ftl.pagemap", "ftl.xftl", "fs.ext4"),
+            lambda *a: _run_sqlite(Mode.XFTL, *a),
+        ),
+        Layer(
+            "sqlite.rbj",
+            ("flash", "ftl.pagemap", "fs.ext4", "sqlite.pager"),
+            lambda *a: _run_sqlite(Mode.RBJ, *a),
+        ),
+    )
+}
+
+
+def run_scenario(
+    layer: str,
+    point: str,
+    after: int = 1,
+    tear: bool = False,
+    seed: int = 0,
+    ops_limit: int = 40,
+) -> ScenarioResult:
+    """Run one armed scenario end to end and judge its recovery."""
+    driver = LAYERS[layer]
+    try:
+        fired, ops_run, violations = driver.run(point, after, tear, seed, ops_limit)
+    except PowerFailure:
+        raise  # never legal outside the workload window
+    except ReproError as exc:
+        # A crash-induced error escaping the recovery path is itself a bug.
+        fired, ops_run = True, 0
+        violations = [f"recovery raised {type(exc).__name__}: {exc}"]
+    return ScenarioResult(
+        layer=layer,
+        point=point,
+        after=after,
+        tear=tear,
+        fired=fired,
+        ops_run=ops_run,
+        violations=violations,
+    )

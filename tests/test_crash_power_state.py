@@ -1,0 +1,148 @@
+"""Regression tests: an armed crash point powers down the whole stack.
+
+Before the fix, a fired :class:`~repro.errors.PowerFailure` left the FTL
+reporting ``powered=True`` (and the device ``is_on``), so the documented
+recovery sequence — catch PowerFailure, remount — died with
+``FtlError("remount on a powered FTL")`` unless the harness manually
+called ``power_fail()`` first.  Power loss now propagates through the
+crash plan's subscriber list to every layer holding volatile state.
+"""
+
+import pytest
+
+from repro.device import StorageDevice
+from repro.errors import FtlError, PowerFailure
+from repro.flash import FlashChip, FlashGeometry
+from repro.ftl import FtlConfig, PageMappingFTL, XFTL
+from repro.sim import CrashPlan, crash_point_spec, registered_crash_points
+
+GEO = FlashGeometry(page_size=512, pages_per_block=8, num_blocks=16)
+CFG = FtlConfig(overprovision=0.25, map_entries_per_page=64, barrier_meta_pages=1)
+
+
+def make_ftl(cls, plan):
+    return cls(FlashChip(GEO, crash_plan=plan), CFG)
+
+
+class TestPowerLossPropagation:
+    @pytest.mark.parametrize("cls", [PageMappingFTL, XFTL])
+    def test_crash_fire_powers_down_ftl(self, cls):
+        plan = CrashPlan()
+        ftl = make_ftl(cls, plan)
+        ftl.write(0, b"durable")
+        ftl.barrier()
+        plan.arm("flash.program.after")
+        with pytest.raises(PowerFailure):
+            ftl.write(1, b"lost")
+        assert ftl.powered is False
+        # The documented recovery path must work without a manual power_fail().
+        ftl.remount()
+        ftl.check_invariants()
+        assert ftl.read(0) == b"durable"
+
+    def test_torn_page_countdown_powers_down_ftl(self):
+        plan = CrashPlan()
+        ftl = make_ftl(PageMappingFTL, plan)
+        ftl.write(0, b"durable")
+        ftl.barrier()
+        plan.arm("flash.program.mid", tear_page=True)
+        with pytest.raises(PowerFailure):
+            ftl.write(1, b"torn")
+        assert ftl.powered is False
+        ftl.remount()
+        ftl.check_invariants()
+        assert ftl.read(0) == b"durable"
+
+    def test_powered_ftl_still_rejects_remount(self):
+        ftl = make_ftl(PageMappingFTL, CrashPlan())
+        with pytest.raises(FtlError):
+            ftl.remount()
+
+    def test_crash_fire_powers_down_device(self):
+        plan = CrashPlan()
+        device = StorageDevice(make_ftl(XFTL, plan))
+        device.write(0, b"durable")
+        device.flush()
+        plan.arm("flash.program.after")
+        with pytest.raises(PowerFailure):
+            device.write(1, b"lost")
+        assert device.is_on is False
+        assert device.ftl.powered is False
+        device.power_on()
+        assert device.read(0) == b"durable"
+
+    def test_manual_power_cycle_still_works(self):
+        device = StorageDevice(make_ftl(PageMappingFTL, CrashPlan()))
+        device.write(0, b"v")
+        device.flush()
+        device.power_off()
+        device.power_off()  # idempotent
+        device.power_on()
+        assert device.read(0) == b"v"
+
+    def test_subscribers_do_not_leak_across_instances(self):
+        plan = CrashPlan()
+        for _ in range(50):
+            make_ftl(PageMappingFTL, plan)
+        ftl = make_ftl(PageMappingFTL, plan)
+        ftl.write(0, b"x")
+        plan.arm("flash.program.after")
+        with pytest.raises(PowerFailure):
+            ftl.write(1, b"y")
+        # Dead FTLs were garbage-collected from the subscriber list.
+        assert sum(1 for ref in plan._subscribers if ref() is not None) <= 2
+
+
+class TestCrashPointRegistry:
+    def test_all_stack_layers_register_points(self):
+        import repro.bench.runner  # noqa: F401  (imports every layer)
+
+        names = {spec.name for spec in registered_crash_points()}
+        expected = {
+            "flash.program.before",
+            "flash.program.mid",
+            "flash.program.after",
+            "flash.erase.before",
+            "ftl.barrier.mid",
+            "xftl.commit.before-flush",
+            "xftl.commit.after-flush",
+            "fs.fsync.mid",
+            "sqlite.commit.mid",
+        }
+        assert expected <= names
+
+    def test_component_filter(self):
+        flash_points = registered_crash_points("flash")
+        assert flash_points
+        assert all(spec.component.startswith("flash") for spec in flash_points)
+        assert registered_crash_points("ftl") != registered_crash_points()
+
+    def test_tearable_flag(self):
+        assert crash_point_spec("flash.program.mid").tearable
+        assert not crash_point_spec("flash.program.after").tearable
+
+    def test_specs_carry_docs(self):
+        for spec in registered_crash_points():
+            assert spec.doc
+
+
+class TestRetiredXl2pRelocation:
+    def test_gc_oob_keeps_xl2p_table_identity(self):
+        """Regression: a GC-relocated retired X-L2P table page was relabelled
+        OOB_META with index 0, so recovery misfiled it as firmware metadata."""
+        from repro.ftl.pagemap import OOB_XL2P_TABLE, OWNER_RETIRED, OWNER_XL2P_TABLE
+
+        ftl = make_ftl(XFTL, CrashPlan())
+        oob = ftl._gc_oob((OWNER_RETIRED, OWNER_XL2P_TABLE, 3), old_ppn=0)
+        kind, index, _seq, tid = oob
+        assert kind == OOB_XL2P_TABLE
+        assert index == 3
+        assert tid is None
+
+    def test_root_follows_relocated_retired_table_page(self):
+        from repro.ftl.pagemap import OWNER_XL2P_TABLE
+
+        ftl = make_ftl(XFTL, CrashPlan())
+        ftl._root.xl2p_ppns = (10, 11)
+        ftl._relocate_root_reference(OWNER_XL2P_TABLE, 1, old_ppn=11, new_ppn=42)
+        assert ftl._root.xl2p_ppns == (10, 42)

@@ -98,20 +98,43 @@ class TestGarbageCollection:
         ftl.check_invariants()
 
     def test_out_of_space_when_headroom_exhausted(self):
-        """A GC that cannot reclaim a single block raises OutOfSpaceError."""
-        ftl = make_ftl(num_blocks=8, pages_per_block=8, overprovision=0.25)
+        """A GC that cannot reclaim a single block raises OutOfSpaceError.
+
+        Steady valid pages (exported data + map + meta) must leave at least
+        one block's worth of slack for copyback; here 48 data + 1 map + 8
+        meta pages = 57 valid on a 64-page chip, beyond what any GC can
+        sustain, so the device reports out of space instead of wedging.
+        """
+        ftl = make_ftl(
+            num_blocks=8, pages_per_block=8, overprovision=0.25, barrier_meta_pages=8
+        )
         with pytest.raises(OutOfSpaceError):
-            # Writing far more *distinct, never-invalidated* logical pages
-            # than the exported space is rejected by the bounds check; so
-            # instead exhaust physical space with retired/meta churn by
-            # pinning everything valid and forcing appends.
             for lpn in range(ftl.exported_pages):
                 ftl.write(lpn, b"v")
-            # All exported pages valid; keep appending fresh *map* load via
-            # barriers plus rewrites that immediately re-validate: the device
-            # eventually cannot find a victim with reclaimable pages.
             for _ in range(1000):
                 ftl.barrier()
+
+    def test_in_capacity_overwrite_with_barriers_never_runs_out(self):
+        """Regression: GC must not exhaust its own copyback headroom.
+
+        On a tight-but-legal config (8 blocks x 8 pages, 25% overprovision,
+        free pool hovering at one block) an overwrite workload with periodic
+        barriers used to die with OutOfSpaceError once host writes consumed
+        the last free block and GC had no room left to relocate a victim.
+        """
+        for barrier_every in (4, 8, 16, 32):
+            ftl = make_ftl(
+                num_blocks=8,
+                pages_per_block=8,
+                overprovision=0.25,
+                gc_free_block_threshold=1,
+                map_entries_per_page=64,
+            )
+            for op in range(1200):
+                ftl.write(op % ftl.exported_pages, ("d", op))
+                if op % barrier_every == 0:
+                    ftl.barrier()
+            ftl.check_invariants()
 
     def test_gc_mean_valid_ratio_tracked(self):
         ftl = make_ftl()

@@ -166,6 +166,43 @@ class TestTransactionalReadsWrites:
         ftl.commit(42)
         assert ftl.stats.commits == 1
 
+    def test_empty_commit_does_not_flush_or_persist(self):
+        """Regression: an empty commit used to CoW-flush the whole X-L2P
+        table and durably record the tid in the committed set."""
+        ftl = make_xftl()
+        before = ftl.stats.xl2p_page_writes
+        ftl.commit(42)
+        assert ftl.stats.xl2p_page_writes == before
+        assert 42 not in ftl._root.committed_tids
+
+    def test_double_commit_raises(self):
+        ftl = make_xftl()
+        ftl.write_tx(1, 0, b"x")
+        ftl.commit(1)
+        with pytest.raises(TransactionError):
+            ftl.commit(1)
+
+    def test_commit_after_abort_raises(self):
+        ftl = make_xftl()
+        ftl.write_tx(1, 0, b"x")
+        ftl.abort(1)
+        with pytest.raises(TransactionError):
+            ftl.commit(1)
+
+    def test_abort_after_commit_raises(self):
+        ftl = make_xftl()
+        ftl.write_tx(1, 0, b"x")
+        ftl.commit(1)
+        with pytest.raises(TransactionError):
+            ftl.abort(1)
+
+    def test_double_abort_is_noop(self):
+        ftl = make_xftl()
+        ftl.write_tx(1, 0, b"x")
+        ftl.abort(1)
+        ftl.abort(1)  # rolling back an already-rolled-back tid is harmless
+        assert ftl.stats.aborts == 1
+
     def test_abort_writes_nothing(self):
         ftl = make_xftl()
         ftl.write_tx(1, 0, b"x")

@@ -1,0 +1,99 @@
+"""Unit tests for the write-history oracles of repro.verify."""
+
+from repro.verify.oracle import PlainWriteOracle, TransactionOracle
+
+
+class TestPlainWriteOracle:
+    def test_unwritten_key_reads_none(self):
+        oracle = PlainWriteOracle()
+        oracle.note_write(0, "a")
+        assert None in oracle.allowed(0)  # never durable: loss is legal
+
+    def test_durable_floor_is_mandatory(self):
+        oracle = PlainWriteOracle()
+        oracle.note_write(0, "a")
+        oracle.note_durable()
+        assert oracle.allowed(0) == {"a"}
+        assert oracle.check(lambda key: None)  # losing the floor is a bug
+
+    def test_post_durable_writes_are_optional(self):
+        oracle = PlainWriteOracle()
+        oracle.note_write(0, "a")
+        oracle.note_durable()
+        oracle.note_write(0, "b")
+        oracle.note_write(0, "c")
+        assert oracle.allowed(0) == {"a", "b", "c"}
+        assert not oracle.check(lambda key: "b")
+
+    def test_never_written_value_rejected(self):
+        oracle = PlainWriteOracle()
+        oracle.note_write(0, "a")
+        oracle.note_durable()
+        violations = oracle.check(lambda key: "ghost")
+        assert violations and "ghost" in violations[0]
+
+    def test_regression_below_floor_rejected(self):
+        oracle = PlainWriteOracle()
+        oracle.note_write(0, "old")
+        oracle.note_durable()
+        oracle.note_write(0, "new")
+        oracle.note_durable()
+        assert oracle.check(lambda key: "old")  # pre-floor value resurfaced
+
+    def test_keys_tracks_both_floors_and_pending(self):
+        oracle = PlainWriteOracle()
+        oracle.note_write(0, "a")
+        oracle.note_durable()
+        oracle.note_write(1, "b")
+        assert oracle.keys() == {0, 1}
+
+
+class TestTransactionOracle:
+    def test_acknowledged_commit_is_exact(self):
+        oracle = TransactionOracle({1: 0, 2: 0})
+        oracle.note_tx_write(7, 1, 100)
+        oracle.note_commit_started(7)
+        oracle.note_committed(7)
+        assert not oracle.check({1: 100, 2: 0}.get)
+        assert oracle.check({1: 0, 2: 0}.get)  # acknowledged commit lost
+
+    def test_aborted_leaves_no_trace(self):
+        oracle = TransactionOracle({1: 0})
+        oracle.note_tx_write(7, 1, 100)
+        oracle.note_aborted(7)
+        assert not oracle.check({1: 0}.get)
+        assert oracle.check({1: 100}.get)  # aborted write surfaced
+
+    def test_active_transaction_discarded(self):
+        oracle = TransactionOracle({1: 0})
+        oracle.note_tx_write(7, 1, 100)  # crash before commit was issued
+        assert not oracle.check({1: 0}.get)
+        assert oracle.check({1: 100}.get)
+
+    def test_in_doubt_commit_all_or_nothing(self):
+        oracle = TransactionOracle({1: 0, 2: 0})
+        oracle.note_tx_write(7, 1, 100)
+        oracle.note_tx_write(7, 2, 200)
+        oracle.note_commit_started(7)  # power died inside commit
+        assert not oracle.check({1: 0, 2: 0}.get)  # fully discarded: legal
+        assert not oracle.check({1: 100, 2: 200}.get)  # fully applied: legal
+        assert oracle.check({1: 100, 2: 0}.get)  # torn across keys: bug
+
+    def test_committed_order_respected(self):
+        oracle = TransactionOracle({1: 0})
+        oracle.note_tx_write(7, 1, 100)
+        oracle.note_committed(7)
+        oracle.note_tx_write(8, 1, 200)
+        oracle.note_committed(8)
+        assert not oracle.check({1: 200}.get)
+        assert oracle.check({1: 100}.get)  # later committed write lost
+
+    def test_two_in_doubt_transactions_enumerate_outcomes(self):
+        oracle = TransactionOracle({1: 0, 2: 0})
+        oracle.note_tx_write(7, 1, 100)
+        oracle.note_commit_started(7)
+        oracle.note_tx_write(8, 2, 200)
+        oracle.note_commit_started(8)
+        for observed in ({1: 0, 2: 0}, {1: 100, 2: 0}, {1: 0, 2: 200}, {1: 100, 2: 200}):
+            assert not oracle.check(observed.get), observed
+        assert oracle.check({1: 55, 2: 0}.get)  # never-written value

@@ -1,0 +1,155 @@
+"""Bounded crash-consistency sweep: the tier-1 face of repro.verify.
+
+Runs the scenario enumerator over both FTL layers (and a smaller smoke
+budget over the file-system and SQLite layers) and asserts that recovery
+never violates an oracle: no invariant failures, no never-written reads,
+no lost durable data, no torn transactions.
+"""
+
+import pytest
+
+from repro.verify import LAYERS, Scenario, run_scenario, shrink, sweep
+from repro.verify.runner import applicable_points
+from repro.verify.cli import main
+
+
+class TestSweepBothFtls:
+    def test_bounded_sweep_ftl_layers_clean(self):
+        report = sweep(layers=["ftl.pagemap", "ftl.xftl"], budget=500, seed=0)
+        assert report.scenarios_run >= 100  # surface is big enough to matter
+        assert report.fired > report.scenarios_run // 2
+        assert report.ok, report.summary()
+
+    def test_sweep_covers_xftl_commit_points(self):
+        seen = []
+        report = sweep(
+            layers=["ftl.xftl"],
+            points=["xftl.commit"],
+            budget=30,
+            progress=lambda scenario, result: seen.append(scenario.point),
+        )
+        assert report.ok, report.summary()
+        assert "xftl.commit.before-flush" in seen
+        assert "xftl.commit.after-flush" in seen
+
+    def test_torn_page_scenarios_included(self):
+        seen = []
+        report = sweep(
+            layers=["ftl.pagemap"],
+            points=["flash.program.mid"],
+            budget=20,
+            progress=lambda scenario, result: seen.append(scenario.tear),
+        )
+        assert report.ok, report.summary()
+        assert True in seen and False in seen
+
+
+class TestUpperLayersSmoke:
+    @pytest.mark.parametrize("layer", ["fs.ext4", "sqlite.xftl", "sqlite.rbj"])
+    def test_layer_smoke(self, layer):
+        report = sweep(layers=[layer], budget=12, seed=0)
+        assert report.scenarios_run == 12
+        assert report.ok, report.summary()
+
+    def test_sqlite_commit_mid_reachable_on_rbj(self):
+        result = run_scenario("sqlite.rbj", "sqlite.commit.mid", after=1, ops_limit=20)
+        assert result.fired
+        assert result.ok, result.violations
+
+
+class TestEnumerator:
+    def test_every_layer_has_points(self):
+        for layer in LAYERS:
+            assert applicable_points(layer)
+
+    def test_xftl_points_absent_from_stock_layers(self):
+        names = {spec.name for spec in applicable_points("ftl.pagemap")}
+        assert not any(name.startswith("xftl.") for name in names)
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(layers=["nope"], budget=1)
+
+    def test_rollback_commit_point_not_applicable_to_xftl_stack(self):
+        # sqlite.commit.mid lives in the rollback-journal commit path, which
+        # OFF mode (X-FTL) never executes; the enumerator excludes it.
+        names = {spec.name for spec in applicable_points("sqlite.xftl")}
+        assert "sqlite.commit.mid" not in names
+        assert "sqlite.commit.mid" in {
+            spec.name for spec in applicable_points("sqlite.rbj")
+        }
+
+    def test_occurrence_growth_stops_when_point_exhausted(self):
+        # A short workload only erases a handful of blocks; once the armed
+        # occurrence exceeds that count the run completes without firing and
+        # the stream retires instead of burning the whole budget.
+        report = sweep(
+            layers=["ftl.pagemap"], points=["flash.erase.before"], budget=400
+        )
+        assert report.scenarios_run < 400
+        assert report.not_fired == 1
+        assert report.ok, report.summary()
+
+
+class TestShrinker:
+    def test_shrinks_to_minimal_prefix(self, monkeypatch):
+        import repro.verify.runner as runner_mod
+
+        def fake_run(layer, point, after=1, tear=False, seed=0, ops_limit=40):
+            from repro.verify.drivers import ScenarioResult
+
+            failing = ops_limit >= 17
+            return ScenarioResult(
+                layer=layer,
+                point=point,
+                after=after,
+                tear=tear,
+                fired=True,
+                ops_run=ops_limit,
+                violations=["boom"] if failing else [],
+            )
+
+        monkeypatch.setattr(runner_mod, "run_scenario", fake_run)
+        scenario = Scenario(layer="ftl.pagemap", point="flash.program.after", ops_limit=40)
+        shrunk, result = shrink(scenario, fake_run("ftl.pagemap", "x", ops_limit=40))
+        assert shrunk.ops_limit == 17
+        assert result.violations == ["boom"]
+
+    def test_recipe_replays(self):
+        scenario = Scenario(
+            layer="ftl.xftl", point="xftl.commit.before-flush", after=2, seed=3, ops_limit=25
+        )
+        recipe = scenario.recipe()
+        assert "--layer ftl.xftl" in recipe
+        assert "--points xftl.commit.before-flush" in recipe
+        assert "--after 2" in recipe
+
+
+class TestCli:
+    def test_bounded_sweep_exits_zero(self, capsys):
+        assert main(["--layer", "ftl.pagemap", "--budget", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "15 scenarios" in out
+
+    def test_replay_mode(self, capsys):
+        code = main(
+            [
+                "--layer",
+                "ftl.xftl",
+                "--points",
+                "xftl.commit.before-flush",
+                "--after",
+                "1",
+                "--ops",
+                "20",
+            ]
+        )
+        assert code == 0
+        assert "crashed" in capsys.readouterr().out
+
+    def test_list_points(self, capsys):
+        assert main(["--list-points", "--layer", "ftl.xftl"]) == 0
+        assert "xftl.commit.before-flush" in capsys.readouterr().out
+
+    def test_bad_point_filter_is_usage_error(self):
+        assert main(["--points", "definitely.not.a.point", "--budget", "1"]) == 2
