@@ -15,7 +15,7 @@ from conftest import report
 
 from repro.bench.aging import age_device
 from repro.bench.reporting import format_table
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 from repro.flash import FlashChip, FlashGeometry
 from repro.ftl import AtomicWriteFTL, FtlConfig, TxFlashFTL, XFTL
 from repro.workloads.synthetic import SyntheticWorkload

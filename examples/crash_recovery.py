@@ -7,7 +7,7 @@ why X-FTL's recovery (load one tiny table, fold committed entries) beats
 rolling back a journal or replaying a WAL.
 """
 
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 from repro.errors import PowerFailure
 from repro.workloads.synthetic import SyntheticWorkload
 

@@ -9,7 +9,7 @@ and an audit-log database together and crashes the machine mid-commit to
 show the all-or-nothing behaviour.
 """
 
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 from repro.errors import PowerFailure
 from repro.sqlite.multifile import MultiFileTransaction
 

@@ -6,12 +6,13 @@ device, ext4 file system — then runs a SQLite database on top of it with
 journaling OFF, letting the device guarantee transactional atomicity.
 """
 
-from repro.bench.runner import Mode, StackConfig, build_stack
+import repro
 
 
 def main() -> None:
-    # One call assembles chip + FTL + device + file system for a mode.
-    stack = build_stack(StackConfig(mode=Mode.XFTL, num_blocks=256))
+    # One call assembles chip + FTL + device + file system for a mode;
+    # metrics=True turns on the per-layer observability registry.
+    stack = repro.open_stack("X-FTL", metrics=True, num_blocks=256)
     db = stack.open_database("app.db")
 
     db.execute(
@@ -48,6 +49,11 @@ def main() -> None:
     print(f"\nsimulated time: {stack.clock.now_ms:.1f} ms")
     print(f"flash page programs: {stack.ftl.stats.page_programs}")
     print(f"transactions committed in the FTL: {stack.ftl.stats.commits}")
+
+    # The observability registry has per-layer counters and latency
+    # histograms for the same run — one report() call renders them all.
+    print()
+    print(stack.obs.report())
 
 
 if __name__ == "__main__":

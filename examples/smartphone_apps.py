@@ -7,7 +7,7 @@ in WAL mode on the stock FTL and in OFF mode on X-FTL, printing the
 Figure 7 comparison.
 """
 
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 from repro.ftl.base import FtlConfig
 from repro.workloads.android import ALL_PROFILES, AndroidTraceGenerator, TraceReplayer
 

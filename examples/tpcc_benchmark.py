@@ -6,7 +6,7 @@ WAL mode (stock FTL) and OFF mode (X-FTL), printing throughput in
 transactions per simulated minute.
 """
 
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 from repro.workloads.tpcc import MIXES, TpccConfig, TpccDriver, TpccLoader
 
 TRANSACTIONS_PER_CELL = 80

@@ -30,9 +30,10 @@ def main() -> None:
     print("plain read is committed:", device.read(0))
 
     # Commit is one tiny copy-on-write flush of the X-L2P table.
-    programs_before = device.ftl.stats.page_programs
+    before = device.ftl.stats.snapshot()
     device.commit(1)
-    print(f"commit cost: {device.ftl.stats.page_programs - programs_before} page program(s)")
+    commit_cost = device.ftl.stats.delta(before)
+    print(f"commit cost: {commit_cost.page_programs} page program(s)")
     print("now everyone sees:      ", device.read(0))
 
     # Abort: nothing to undo on the host, the device forgets the pages.

@@ -8,14 +8,17 @@ a SQLite-like SQL engine (:mod:`repro.sqlite`), the paper's workloads
 (:mod:`repro.workloads`) and the benchmark harness regenerating every table
 and figure (:mod:`repro.bench`).
 
-Most users start with :func:`repro.bench.runner.build_stack`, which wires a
-complete machine for one of the paper's configurations::
+Most users start with :func:`repro.open_stack`, which wires a complete
+machine for one of the paper's configurations::
 
-    from repro.bench.runner import Mode, StackConfig, build_stack
+    import repro
 
-    stack = build_stack(StackConfig(mode=Mode.XFTL))
+    stack = repro.open_stack("X-FTL", metrics=True)
     db = stack.open_database("app.db")
     db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    print(stack.obs.report())
+
+Per-layer metrics and cross-layer spans live in :mod:`repro.obs`.
 """
 
 from repro.errors import (
@@ -32,10 +35,16 @@ from repro.errors import (
     SqlError,
     TransactionError,
 )
+from repro.stack import BenchStack, Mode, StackConfig, build_stack, open_stack
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BenchStack",
+    "Mode",
+    "StackConfig",
+    "build_stack",
+    "open_stack",
     "ReproError",
     "FlashError",
     "FtlError",

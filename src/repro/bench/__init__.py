@@ -1,6 +1,6 @@
 """Benchmark harness: stack assembly, aging control, experiments, reports."""
 
-from repro.bench.runner import BenchStack, Mode, build_stack
+from repro.stack import BenchStack, Mode, StackConfig, build_stack
 from repro.bench.aging import age_device
 
-__all__ = ["BenchStack", "Mode", "build_stack", "age_device"]
+__all__ = ["BenchStack", "Mode", "StackConfig", "build_stack", "age_device"]

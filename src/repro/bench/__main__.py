@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.bench``."""
+
+import sys
+
+from repro.bench.cli import main
+
+sys.exit(main())

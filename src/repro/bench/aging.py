@@ -16,7 +16,7 @@ device-scale chip costs no real memory.
 
 from __future__ import annotations
 
-from repro.bench.runner import BenchStack
+from repro.stack import BenchStack
 from repro.sim.rng import make_rng
 
 _FILLER_PAYLOAD = ("cold-filler",)

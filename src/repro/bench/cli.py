@@ -2,12 +2,20 @@
 
 Run any of the paper's experiments directly::
 
-    python -m repro.bench.cli fig5 table1 table5
-    python -m repro.bench.cli all
-    REPRO_SCALE=5 python -m repro.bench.cli fig7
+    python -m repro.bench --figure table1 --metrics
+    python -m repro.bench fig5 table1 table5
+    python -m repro.bench all
+    REPRO_SCALE=5 python -m repro.bench fig7
 
-Results are printed and appended to ``benchmarks/results/`` when that
-directory exists.
+``--metrics`` installs an :class:`~repro.obs.ObservabilityHub` around each
+experiment, so every stack the experiment builds gets its own labeled
+metrics session.  After the experiment the per-session reports are printed
+and each session's obs counters are cross-checked against the stack's
+:class:`~repro.flash.stats.FlashStats` totals; any divergence fails the
+run with exit status 1.
+
+Results are printed and can be written to ``--results-dir`` /
+``--metrics-dir``.
 """
 
 from __future__ import annotations
@@ -18,41 +26,112 @@ import sys
 import time
 
 from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.obs import ObservabilityHub, install_default_hub, uninstall_default_hub
+from repro.obs.export import render, write_sessions
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro.bench.cli",
+        prog="python -m repro.bench",
         description="Regenerate tables/figures from the X-FTL paper (SIGMOD 2013).",
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
+        nargs="*",
         help=f"experiment names ({', '.join(ALL_EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="experiment to run (repeatable; same names as the positional form)",
     )
     parser.add_argument(
         "--results-dir",
         default=None,
         help="also write each table to this directory as <name>.txt",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect per-layer metrics for every stack the experiments build",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=("text", "json", "csv"),
+        default="text",
+        help="format for printed/written metrics sessions (default text)",
+    )
+    parser.add_argument(
+        "--metrics-dir",
+        default=None,
+        help="write one metrics file per stack session to this directory",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="with --metrics: also record cross-layer spans (memory-heavy)",
+    )
+    return parser
+
+
+def _report_metrics(name: str, hub: ObservabilityHub, args: argparse.Namespace) -> int:
+    """Print each session, cross-check against FlashStats, maybe write files."""
+    failures = 0
+    for session in hub.sessions:
+        print(render(session, args.metrics_format), end="")
+        mismatches = session.verify_flash_stats()
+        if mismatches:
+            failures += 1
+            print(
+                f"metrics cross-check FAILED for session [{session.label}]:",
+                file=sys.stderr,
+            )
+            for mismatch in mismatches:
+                print(f"  {mismatch}", file=sys.stderr)
+    print(
+        f"[{name}: {len(hub.sessions)} metrics session(s), "
+        f"{failures} cross-check failure(s)]\n"
+    )
+    if args.metrics_dir is not None:
+        directory = pathlib.Path(args.metrics_dir) / name
+        paths = write_sessions(hub.sessions, directory, fmt=args.metrics_format)
+        print(f"[{name}: wrote {len(paths)} metrics file(s) to {directory}]\n")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
-    names = list(ALL_EXPERIMENTS) if "all" in args.experiments else args.experiments
+    requested = list(args.experiments) + list(args.figure)
+    if not requested:
+        parser.error("no experiments given (positional names or --figure NAME)")
+    names = list(ALL_EXPERIMENTS) if "all" in requested else requested
     unknown = [name for name in names if name not in ALL_EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
     results_dir = pathlib.Path(args.results_dir) if args.results_dir else None
+    exit_code = 0
     for name in names:
         started = time.time()
-        result = ALL_EXPERIMENTS[name]()
+        hub = install_default_hub(trace=args.trace) if args.metrics else None
+        try:
+            result = ALL_EXPERIMENTS[name]()
+        finally:
+            if hub is not None:
+                uninstall_default_hub()
         text = result.render()
         print(text)
         print(f"[{name} finished in {time.time() - started:.1f}s wall]\n")
         if results_dir is not None:
             results_dir.mkdir(parents=True, exist_ok=True)
             (results_dir / f"{name}.txt").write_text(text + "\n")
-    return 0
+        if hub is not None:
+            exit_code |= _report_metrics(name, hub, args)
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -20,7 +20,7 @@ from typing import Any
 
 from repro.bench.aging import age_device
 from repro.bench.reporting import format_table
-from repro.bench.runner import BenchStack, Mode, StackConfig, build_stack
+from repro.stack import BenchStack, Mode, StackConfig, build_stack
 from repro.ftl.base import FtlConfig
 from repro.sim.latency import OPENSSD_PROFILE, S830_PROFILE
 from repro.workloads.android import ALL_PROFILES, AndroidTraceGenerator, TraceReplayer
@@ -147,8 +147,8 @@ def table1_io_counts(
         ftl0 = stack.ftl.stats.snapshot()
         fs0 = stack.fs.stats.snapshot()
         workload.run(transactions=transactions, updates_per_txn=pages_per_txn)
-        ftl = stack.ftl.stats.diff(ftl0)
-        fs = stack.fs.stats.diff(fs0)
+        ftl = stack.ftl.stats.delta(ftl0)
+        fs = stack.fs.stats.delta(fs0)
         db_writes = fs.data_page_writes
         journal_writes = fs.journal_page_writes
         meta_writes = fs.meta_page_writes
@@ -201,7 +201,7 @@ def fig6_ftl_activity(
             stack, workload = _loaded_synthetic(mode, rows, validity)
             ftl0 = stack.ftl.stats.snapshot()
             workload.run(transactions=transactions, updates_per_txn=pages_per_txn)
-            ftl = stack.ftl.stats.diff(ftl0)
+            ftl = stack.ftl.stats.delta(ftl0)
             result_rows.append(
                 [f"{validity:.0%}", mode.value, ftl.page_programs, ftl.gc_invocations]
             )

@@ -1,149 +1,29 @@
-"""Assembles the full stack for one benchmark mode.
+"""Deprecated shim — stack assembly moved to :mod:`repro.stack`.
 
-The paper compares three SQLite execution modes (§6.3):
+``StackConfig``/``BenchStack``/``build_stack``/``Mode`` now live at the
+package top level so non-bench consumers (verify drivers, examples, user
+code) don't have to import from the benchmark harness::
 
-- ``RBJ``: unmodified stack — SQLite rollback journal on ext4 (ordered
-  metadata journaling) on the stock page-mapping FTL;
-- ``WAL``: SQLite write-ahead log on the same stack;
-- ``XFTL``: modified SQLite in OFF mode on ext4 with journaling off and
-  tid-passthrough enabled, over the X-FTL firmware.
+    import repro
 
-``build_stack`` wires geometry, FTL, device and file system accordingly so
-experiments only differ in the mode enum.
+    stack = repro.open_stack("X-FTL")          # preferred front door
+    stack = repro.build_stack(repro.StackConfig(mode=repro.Mode.WAL))
+
+This module re-exports the moved names (enum identity is preserved) and
+will be removed in a future release.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
+import warnings
 
-from repro.device.ssd import StorageDevice
-from repro.flash.chip import FlashChip
-from repro.flash.geometry import FlashGeometry
-from repro.fs.ext4 import Ext4, JournalMode
-from repro.ftl.base import FtlConfig
-from repro.ftl.pagemap import PageMappingFTL
-from repro.ftl.xftl import XFTL
-from repro.sim.clock import SimClock
-from repro.sim.crash import CrashPlan
-from repro.sim.latency import OPENSSD_PROFILE, LatencyProfile
-from repro.sqlite.database import Connection
-from repro.sqlite.pager import SqliteJournalMode
+from repro.stack import BenchStack, Mode, StackConfig, build_stack, open_stack
 
+__all__ = ["BenchStack", "Mode", "StackConfig", "build_stack", "open_stack"]
 
-class Mode(enum.Enum):
-    """End-to-end stack configurations compared by the paper."""
-
-    RBJ = "RBJ"
-    WAL = "WAL"
-    XFTL = "X-FTL"
-    # Extra file-system-only modes for Figures 8/9 and ablations.
-    FS_ORDERED = "ordered-journal"
-    FS_FULL = "full-journal"
-    FS_NONE = "no-journal"
-
-
-_SQLITE_MODES = {
-    Mode.RBJ: SqliteJournalMode.ROLLBACK,
-    Mode.WAL: SqliteJournalMode.WAL,
-    Mode.XFTL: SqliteJournalMode.OFF,
-}
-
-_FS_MODES = {
-    Mode.RBJ: JournalMode.ORDERED,
-    Mode.WAL: JournalMode.ORDERED,
-    Mode.XFTL: JournalMode.XFTL,
-    Mode.FS_ORDERED: JournalMode.ORDERED,
-    Mode.FS_FULL: JournalMode.FULL,
-    Mode.FS_NONE: JournalMode.NONE,
-    None: JournalMode.ORDERED,
-}
-
-
-@dataclass
-class StackConfig:
-    """Everything needed to build one simulated machine."""
-
-    mode: Mode = Mode.XFTL
-    num_blocks: int = 1024
-    pages_per_block: int = 128
-    page_size: int = 8192
-    profile: LatencyProfile = OPENSSD_PROFILE
-    ftl: FtlConfig = field(default_factory=FtlConfig)
-    journal_pages: int = 256
-    fs_cache_pages: int = 8192
-    max_inodes: int = 128
-
-
-@dataclass
-class BenchStack:
-    """One assembled machine: chip, FTL, device, file system."""
-
-    config: StackConfig
-    clock: SimClock
-    chip: FlashChip
-    ftl: PageMappingFTL
-    device: StorageDevice
-    fs: Ext4
-    crash_plan: CrashPlan
-
-    def open_database(
-        self, name: str = "test.db", cache_pages: int = 4096, **kwargs
-    ) -> Connection:
-        sqlite_mode = _SQLITE_MODES.get(self.config.mode)
-        if sqlite_mode is None:
-            raise ValueError(f"mode {self.config.mode} is not a SQLite mode")
-        return Connection(self.fs, name, sqlite_mode, cache_pages=cache_pages, **kwargs)
-
-    def remount_after_crash(self) -> "BenchStack":
-        """Power-cycle the device and remount the file system in place."""
-        self.device.power_off()
-        self.device.power_on()
-        self.fs = Ext4.mount(
-            self.device,
-            _FS_MODES[self.config.mode],
-            journal_pages=self.config.journal_pages,
-            cache_capacity=self.config.fs_cache_pages,
-            max_inodes=self.config.max_inodes,
-        )
-        return self
-
-
-def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
-    """Build a fresh machine for ``config`` (keyword overrides accepted)."""
-    if config is None:
-        config = StackConfig(**overrides)
-    elif overrides:
-        raise ValueError("pass either a StackConfig or keyword overrides, not both")
-
-    clock = SimClock()
-    crash_plan = CrashPlan()
-    geometry = FlashGeometry(
-        page_size=config.page_size,
-        pages_per_block=config.pages_per_block,
-        num_blocks=config.num_blocks,
-    )
-    chip = FlashChip(geometry, clock=clock, profile=config.profile, crash_plan=crash_plan)
-    # X-FTL firmware is a strict superset of the stock FTL; non-XFTL modes
-    # use the stock page-mapping firmware, exactly as the paper's testbed.
-    if config.mode is Mode.XFTL:
-        ftl: PageMappingFTL = XFTL(chip, config.ftl)
-    else:
-        ftl = PageMappingFTL(chip, config.ftl)
-    device = StorageDevice(ftl)
-    fs = Ext4.mkfs(
-        device,
-        _FS_MODES[config.mode],
-        journal_pages=config.journal_pages,
-        cache_capacity=config.fs_cache_pages,
-        max_inodes=config.max_inodes,
-    )
-    return BenchStack(
-        config=config,
-        clock=clock,
-        chip=chip,
-        ftl=ftl,
-        device=device,
-        fs=fs,
-        crash_plan=crash_plan,
-    )
+warnings.warn(
+    "repro.bench.runner is deprecated; import Mode/StackConfig/BenchStack/"
+    "build_stack from repro.stack (or use repro.open_stack)",
+    DeprecationWarning,
+    stacklevel=2,
+)

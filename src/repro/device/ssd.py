@@ -28,6 +28,18 @@ class StorageDevice:
         self.clock = ftl.chip.clock
         self.profile = ftl.chip.profile
         self.counters = DeviceCounters()
+        self.obs = ftl.chip.obs
+        obs = self.obs
+        self._obs_reads = obs.counter("dev.reads")
+        self._obs_writes = obs.counter("dev.writes")
+        self._obs_trims = obs.counter("dev.trims")
+        self._obs_flushes = obs.counter("dev.flushes")
+        self._obs_tagged_reads = obs.counter("dev.tagged_reads")
+        self._obs_tagged_writes = obs.counter("dev.tagged_writes")
+        self._obs_commits = obs.counter("dev.commits")
+        self._obs_aborts = obs.counter("dev.aborts")
+        self._obs_flush_us = obs.histogram("dev.flush.latency_us")
+        self._obs_commit_us = obs.histogram("dev.commit.latency_us")
         self._on = True
         # When an armed crash point fires the whole machine loses power:
         # mark the device off so recovery is a plain power_on() and any
@@ -82,18 +94,22 @@ class StorageDevice:
     def read(self, lpn: int) -> Any:
         self._check_on()
         self.counters.reads += 1
+        self._obs_reads.inc()
         self._charge(transfers=1)
         return self.ftl.read(lpn)
 
     def write(self, lpn: int, data: Any) -> None:
         self._check_on()
         self.counters.writes += 1
-        self._charge(transfers=1)
-        self.ftl.write(lpn, data)
+        self._obs_writes.inc()
+        with self.obs.tracer.span("write", "dev", lpn=lpn):
+            self._charge(transfers=1)
+            self.ftl.write(lpn, data)
 
     def trim(self, lpn: int) -> None:
         self._check_on()
         self.counters.trims += 1
+        self._obs_trims.inc()
         self._charge()
         self.ftl.trim(lpn)
 
@@ -101,8 +117,12 @@ class StorageDevice:
         """Write barrier: all acknowledged writes + mapping state durable."""
         self._check_on()
         self.counters.flushes += 1
-        self._charge()
-        self.ftl.barrier()
+        self._obs_flushes.inc()
+        start_us = self.clock.now_us
+        with self.obs.tracer.span("flush", "dev"):
+            self._charge()
+            self.ftl.barrier()
+        self._obs_flush_us.observe(self.clock.now_us - start_us)
 
     # ---------------------------------------------------- extended commands
 
@@ -115,6 +135,7 @@ class StorageDevice:
         self._check_on()
         ftl = self._require_tx()
         self.counters.tagged_reads += 1
+        self._obs_tagged_reads.inc()
         self._charge(transfers=1)
         return ftl.read_tx(tid, lpn)
 
@@ -122,21 +143,28 @@ class StorageDevice:
         self._check_on()
         ftl = self._require_tx()
         self.counters.tagged_writes += 1
-        self._charge(transfers=1)
-        ftl.write_tx(tid, lpn, data)
+        self._obs_tagged_writes.inc()
+        with self.obs.tracer.span("write_tx", "dev", lpn=lpn, tid=tid):
+            self._charge(transfers=1)
+            ftl.write_tx(tid, lpn, data)
 
     def commit(self, tid: int) -> None:
         """commit(t), carried over the trim command's parameter set (§5.2)."""
         self._check_on()
         ftl = self._require_tx()
         self.counters.commits += 1
-        self._charge()
-        ftl.commit(tid)
+        self._obs_commits.inc()
+        start_us = self.clock.now_us
+        with self.obs.tracer.span("commit", "dev", tid=tid):
+            self._charge()
+            ftl.commit(tid)
+        self._obs_commit_us.observe(self.clock.now_us - start_us)
 
     def abort(self, tid: int) -> None:
         """abort(t), carried over the trim command's parameter set (§5.2)."""
         self._check_on()
         ftl = self._require_tx()
         self.counters.aborts += 1
+        self._obs_aborts.inc()
         self._charge()
         ftl.abort(tid)

@@ -146,6 +146,11 @@ class TracingDevice:
         return self.inner.counters
 
     @property
+    def obs(self):
+        """The wrapped device's observability handle."""
+        return self.inner.obs
+
+    @property
     def is_on(self) -> bool:
         """Whether the device is powered."""
         return self.inner.is_on

@@ -25,6 +25,7 @@ from typing import Any
 from repro.errors import CorruptionError, FlashError, PowerFailure
 from repro.flash.geometry import FlashGeometry
 from repro.flash.stats import FlashStats
+from repro.obs import NULL_OBS, Observability
 from repro.sim.clock import SimClock
 from repro.sim.crash import NO_CRASH, CrashPlan, register_crash_point
 from repro.sim.latency import OPENSSD_PROFILE, LatencyProfile
@@ -69,12 +70,20 @@ class FlashChip:
         profile: LatencyProfile = OPENSSD_PROFILE,
         crash_plan: CrashPlan | None = None,
         stats: FlashStats | None = None,
+        obs: Observability = NULL_OBS,
     ) -> None:
         self.geometry = geometry or FlashGeometry()
         self.clock = clock or SimClock()
         self.profile = profile
         self.crash_plan = crash_plan if crash_plan is not None else NO_CRASH
         self.stats = stats or FlashStats()
+        # The obs handle rides on the chip (like clock and crash plan) and
+        # every higher layer picks it up from the layer below.
+        self.obs = obs
+        self._obs_programs = obs.counter("flash.page_programs")
+        self._obs_reads = obs.counter("flash.page_reads")
+        self._obs_erases = obs.counter("flash.block_erases")
+        self._obs_torn = obs.counter("flash.torn_programs")
 
         total = self.geometry.total_pages
         self._data: list[Any] = [None] * total
@@ -114,6 +123,8 @@ class FlashChip:
             self._oob[ppn] = None
             self._write_point[block] = index + 1
             self.stats.page_programs += 1
+            self._obs_programs.inc()
+            self._obs_torn.inc()
             raise PowerFailure(f"power lost mid-program of ppn={ppn} (page torn)")
         if fired is not None:
             raise PowerFailure(f"power lost before program of ppn={ppn}")
@@ -123,7 +134,9 @@ class FlashChip:
         self._state[ppn] = PageState.PROGRAMMED
         self._write_point[block] = index + 1
         self.stats.page_programs += 1
-        self.clock.advance(self.profile.page_program_us)
+        self._obs_programs.inc()
+        with self.obs.tracer.span("program", "flash"):
+            self.clock.advance(self.profile.page_program_us)
         self.crash_plan.hit(CP_PROGRAM_AFTER)
 
     def read(self, ppn: int) -> Any:
@@ -135,6 +148,7 @@ class FlashChip:
         if state is PageState.ERASED:
             raise FlashError(f"read of erased page ppn={ppn}")
         self.stats.page_reads += 1
+        self._obs_reads.inc()
         self.clock.advance(self.profile.page_read_us)
         return self._data[ppn]
 
@@ -158,7 +172,9 @@ class FlashChip:
         self._write_point[block] = 0
         self.erase_counts[block] += 1
         self.stats.block_erases += 1
-        self.clock.advance(self.profile.block_erase_us)
+        self._obs_erases.inc()
+        with self.obs.tracer.span("erase", "flash"):
+            self.clock.advance(self.profile.block_erase_us)
 
     # ---------------------------------------------------------- inspection
 

@@ -48,11 +48,22 @@ class FlashStats:
         """Return an independent copy of the current counters."""
         return FlashStats(**{f.name: getattr(self, f.name) for f in fields(self)})
 
-    def diff(self, earlier: "FlashStats") -> "FlashStats":
-        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+    def delta(self, earlier: "FlashStats") -> "FlashStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot).
+
+        The canonical benchmark idiom::
+
+            before = stack.chip.stats.snapshot()
+            ... run workload ...
+            used = stack.chip.stats.delta(before)
+        """
         return FlashStats(
             **{f.name: getattr(self, f.name) - getattr(earlier, f.name) for f in fields(self)}
         )
+
+    def diff(self, earlier: "FlashStats") -> "FlashStats":
+        """Alias of :meth:`delta`, kept for existing callers."""
+        return self.delta(earlier)
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict view, handy for report tables."""

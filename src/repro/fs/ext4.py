@@ -77,8 +77,13 @@ class FsStats:
     def snapshot(self) -> "FsStats":
         return FsStats(**vars(self))
 
-    def diff(self, earlier: "FsStats") -> "FsStats":
+    def delta(self, earlier: "FsStats") -> "FsStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
         return FsStats(**{k: v - getattr(earlier, k) for k, v in vars(self).items()})
+
+    def diff(self, earlier: "FsStats") -> "FsStats":
+        """Alias of :meth:`delta`, kept for existing callers."""
+        return self.delta(earlier)
 
 
 @dataclass
@@ -125,6 +130,16 @@ class Ext4:
         self._clock = device.clock
         self._profile = device.profile
         self.max_inodes = max_inodes
+        self.obs = device.obs
+        obs = device.obs
+        self._obs_data_writes = obs.counter("fs.data_page_writes")
+        self._obs_meta_writes = obs.counter("fs.meta_page_writes")
+        self._obs_journal_writes = obs.counter("fs.journal_page_writes")
+        self._obs_fsyncs = obs.counter("fs.fsync_calls")
+        self._obs_creates = obs.counter("fs.file_creates")
+        self._obs_deletes = obs.counter("fs.file_deletes")
+        self._obs_steal_writes = obs.counter("fs.steal_writes")
+        self._obs_fsync_us = obs.histogram("fs.fsync.latency_us")
 
         # ---- layout ----------------------------------------------------
         total = device.exported_pages
@@ -156,7 +171,7 @@ class Ext4:
         self._dirty_meta: set[int] = set()
         self._dirty_data: dict[int, int] = {}  # lpn -> ino
         self._stolen: dict[int, int] = {}  # lpn -> tid (uncommitted, on device)
-        self.cache = PageCache(cache_capacity, writeback=self._evict_writeback)
+        self.cache = PageCache(cache_capacity, writeback=self._evict_writeback, obs=obs)
         self.journal: Jbd2Journal | None = None
         if mode in (JournalMode.ORDERED, JournalMode.FULL):
             self.journal = self._make_journal()
@@ -201,6 +216,7 @@ class Ext4:
             read_page=self.device.read,
             barrier=self.device.flush,
             write_home=self._journal_write_home,
+            obs=self.obs,
         )
 
     # ------------------------------------------------------------ file API
@@ -224,6 +240,7 @@ class Ext4:
         self._dirty_meta.add(self.dir_lpn)
         self._dirty_meta.add(self.sb_lpn)
         self.stats.file_creates += 1
+        self._obs_creates.inc()
         return FileHandle(self, inode)
 
     def open(self, name: str) -> "FileHandle":
@@ -252,6 +269,7 @@ class Ext4:
         self._dirty_meta.add(self.dir_lpn)
         self._free_inos.append(ino)
         self.stats.file_deletes += 1
+        self._obs_deletes.inc()
 
     def listdir(self) -> list[str]:
         return sorted(self._by_name)
@@ -281,16 +299,20 @@ class Ext4:
         or stolen earlier) atomically durable.
         """
         self.stats.fsync_calls += 1
-        self._clock.advance(self._profile.host_fsync_us)
-        dirty = self._drain_dirty_data(handle.inode.ino)
-        if self.mode is JournalMode.ORDERED:
-            self._fsync_ordered(dirty)
-        elif self.mode is JournalMode.FULL:
-            self._fsync_full(dirty)
-        elif self.mode is JournalMode.XFTL:
-            self._fsync_xftl(dirty, tid)
-        else:
-            self._fsync_none(dirty)
+        self._obs_fsyncs.inc()
+        start_us = self._clock.now_us
+        with self.obs.tracer.span("fsync", "fs", tid=tid):
+            self._clock.advance(self._profile.host_fsync_us)
+            dirty = self._drain_dirty_data(handle.inode.ino)
+            if self.mode is JournalMode.ORDERED:
+                self._fsync_ordered(dirty)
+            elif self.mode is JournalMode.FULL:
+                self._fsync_full(dirty)
+            elif self.mode is JournalMode.XFTL:
+                self._fsync_xftl(dirty, tid)
+            else:
+                self._fsync_none(dirty)
+        self._obs_fsync_us.observe(self._clock.now_us - start_us)
 
     def fsync_group(self, handles: list["FileHandle"], tid: int) -> None:
         """Atomically force several files' dirty data under one transaction.
@@ -303,15 +325,20 @@ class Ext4:
         if self.mode is not JournalMode.XFTL:
             raise FsError("fsync_group requires XFTL mode")
         self.stats.fsync_calls += 1
-        self._clock.advance(self._profile.host_fsync_us)
-        dirty: list[tuple[int, Any]] = []
-        for handle in handles:
-            dirty.extend(self._drain_dirty_data(handle.inode.ino))
-        self._fsync_xftl(dirty, tid)
+        self._obs_fsyncs.inc()
+        start_us = self._clock.now_us
+        with self.obs.tracer.span("fsync_group", "fs", tid=tid):
+            self._clock.advance(self._profile.host_fsync_us)
+            dirty: list[tuple[int, Any]] = []
+            for handle in handles:
+                dirty.extend(self._drain_dirty_data(handle.inode.ino))
+            self._fsync_xftl(dirty, tid)
+        self._obs_fsync_us.observe(self._clock.now_us - start_us)
 
     def sync_metadata(self, tid: int | None = None) -> None:
         """Directory-style fsync: flush only metadata (after create/unlink)."""
         self.stats.fsync_calls += 1
+        self._obs_fsyncs.inc()
         self._clock.advance(self._profile.host_fsync_us)
         if self.mode is JournalMode.ORDERED or self.mode is JournalMode.FULL:
             self._journal_metadata()
@@ -426,6 +453,7 @@ class Ext4:
 
     def _device_write_data(self, lpn: int, data: Any, tid: int | None = None) -> None:
         self.stats.data_page_writes += 1
+        self._obs_data_writes.inc()
         if tid is not None:
             self.device.write_tx(tid, lpn, data)
         else:
@@ -433,6 +461,7 @@ class Ext4:
 
     def _device_write_meta_raw(self, lpn: int, image: Any, tid: int | None = None) -> None:
         self.stats.meta_page_writes += 1
+        self._obs_meta_writes.inc()
         if tid is not None:
             self.device.write_tx(tid, lpn, image)
         else:
@@ -440,6 +469,7 @@ class Ext4:
 
     def _device_write_journal(self, lpn: int, image: Any) -> None:
         self.stats.journal_page_writes += 1
+        self._obs_journal_writes.inc()
         self.device.write(lpn, image)
 
     def _journal_write_home(self, lpn: int, image: Any) -> None:
@@ -632,6 +662,7 @@ class Ext4:
     def _evict_writeback(self, lpn: int, data: Any, tid: int | None) -> None:
         """Steal path: a dirty page leaves the cache before any fsync."""
         self._dirty_data.pop(lpn, None)
+        self._obs_steal_writes.inc()
         if self.mode is JournalMode.XFTL and tid is not None:
             self._device_write_data(lpn, data, tid=tid)
             self._stolen[lpn] = tid

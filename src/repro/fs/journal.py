@@ -22,6 +22,7 @@ from collections import OrderedDict
 from typing import Any, Callable
 
 from repro.errors import CorruptionError, FsError
+from repro.obs import DEFAULT_SIZE_BOUNDS, NULL_OBS, Observability
 
 JSB_SLOTS = 2  # ping-pong journal superblocks at region offsets 0 and 1
 
@@ -41,6 +42,7 @@ class Jbd2Journal:
         read_page: Callable[[int], Any],
         barrier: Callable[[], None],
         write_home: Callable[[int, Any], None],
+        obs: Observability = NULL_OBS,
     ) -> None:
         if region_pages < JSB_SLOTS + 4:
             raise FsError(f"journal region too small: {region_pages} pages")
@@ -50,6 +52,10 @@ class Jbd2Journal:
         self._read_page = read_page
         self._barrier = barrier
         self._write_home = write_home
+        self._obs = obs
+        self._obs_commits = obs.counter("fs.journal.commits")
+        self._obs_checkpoints = obs.counter("fs.journal.checkpoints")
+        self._obs_frame_pages = obs.histogram("fs.journal.frame_pages", DEFAULT_SIZE_BOUNDS)
 
         self._log_start = region_start + JSB_SLOTS
         self._log_pages = region_pages - JSB_SLOTS
@@ -89,19 +95,22 @@ class Jbd2Journal:
 
         txid = self._next_txid
         self._next_txid += 1
-        targets = tuple(lpn for lpn, _image in records)
-        self._append(("jdesc", txid, targets))
-        for lpn, image in records:
-            self._append(("jblock", txid, lpn, image))
-        # Barrier orders the frame body before the commit page, then the
-        # commit page itself is forced (second barrier).
-        self._barrier()
-        self._append(("jcommit", txid))
-        self._barrier()
+        with self._obs.tracer.span("journal_commit", "fs", tid=txid):
+            targets = tuple(lpn for lpn, _image in records)
+            self._append(("jdesc", txid, targets))
+            for lpn, image in records:
+                self._append(("jblock", txid, lpn, image))
+            # Barrier orders the frame body before the commit page, then the
+            # commit page itself is forced (second barrier).
+            self._barrier()
+            self._append(("jcommit", txid))
+            self._barrier()
         for lpn, image in records:
             self._pending.pop(lpn, None)
             self._pending[lpn] = image
         self.transactions_committed += 1
+        self._obs_commits.inc()
+        self._obs_frame_pages.observe(float(frame_pages))
         return txid
 
     def checkpoint(self) -> None:
@@ -115,6 +124,7 @@ class Jbd2Journal:
         self._head = 0
         self._write_jsb()
         self.checkpoints += 1
+        self._obs_checkpoints.inc()
 
     def restore_position(self, retired_txid: int, max_txid: int) -> None:
         """Resume txid numbering after a mount-time replay."""

@@ -13,6 +13,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs import NULL_OBS, Observability
+
 
 @dataclass
 class CachedPage:
@@ -35,6 +37,7 @@ class PageCache:
         self,
         capacity: int,
         writeback: Callable[[int, Any, int | None], None],
+        obs: Observability = NULL_OBS,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be at least 1")
@@ -45,6 +48,10 @@ class PageCache:
         self.misses = 0
         self.evictions = 0
         self.dirty_evictions = 0
+        self._obs_hits = obs.counter("fs.cache.hits")
+        self._obs_misses = obs.counter("fs.cache.misses")
+        self._obs_evictions = obs.counter("fs.cache.evictions")
+        self._obs_steals = obs.counter("fs.cache.dirty_evictions")
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -57,9 +64,11 @@ class PageCache:
         page = self._pages.get(lpn)
         if page is None:
             self.misses += 1
+            self._obs_misses.inc()
             return None
         self._pages.move_to_end(lpn)
         self.hits += 1
+        self._obs_hits.inc()
         return page
 
     def peek(self, lpn: int) -> CachedPage | None:
@@ -127,8 +136,10 @@ class PageCache:
             victim_lpn = self._pick_eviction_victim()
             page = self._pages.pop(victim_lpn)
             self.evictions += 1
+            self._obs_evictions.inc()
             if page.dirty:
                 self.dirty_evictions += 1
+                self._obs_steals.inc()
                 self._writeback(page.lpn, page.data, page.tid)
 
     def _pick_eviction_victim(self) -> int:

@@ -32,6 +32,7 @@ from typing import Any, Iterator
 from repro.errors import CorruptionError, FlashError, FtlError, OutOfSpaceError
 from repro.flash.chip import FlashChip, PageState
 from repro.ftl.base import Ftl, FtlConfig
+from repro.obs import DEFAULT_SIZE_BOUNDS
 from repro.sim.crash import register_crash_point
 
 CP_BARRIER_MID = register_crash_point(
@@ -109,6 +110,10 @@ class PageMappingFTL(Ftl):
         self._root = RootRecord()
         self._pending_retired: set[int] = set()
         self._gc_valid_ratios: list[float] = []
+        self._obs_gc_victim_valid = chip.obs.histogram(
+            "ftl.gc.victim_valid_pages", DEFAULT_SIZE_BOUNDS
+        )
+        self._obs_barrier_us = chip.obs.histogram("ftl.barrier.latency_us")
 
     # ------------------------------------------------------------ interface
 
@@ -127,6 +132,7 @@ class PageMappingFTL(Ftl):
         if ppn is None:
             return None  # unwritten logical page reads as zeros
         self.stats.host_page_reads += 1
+        self._obs_host_reads.inc()
         return self.chip.read(ppn)
 
     def write(self, lpn: int, data: Any) -> None:
@@ -141,6 +147,7 @@ class PageMappingFTL(Ftl):
         self._set_owner(ppn, (OWNER_L2P, lpn))
         self._mark_dirty(lpn)
         self.stats.host_page_writes += 1
+        self._obs_host_writes.inc()
 
     def trim(self, lpn: int) -> None:
         self._check_power()
@@ -160,13 +167,17 @@ class PageMappingFTL(Ftl):
         """
         self._check_power()
         self.stats.barriers += 1
-        self.chip.clock.advance(self.chip.profile.barrier_overhead_us)
-        self._flush_map()
-        self._flush_meta()
-        self._publish_root()
-        for ppn in list(self._pending_retired):
-            self._invalidate(ppn)
-        self._pending_retired.clear()
+        self._obs_barriers.inc()
+        start_us = self.chip.clock.now_us
+        with self.obs.tracer.span("barrier", "ftl"):
+            self.chip.clock.advance(self.chip.profile.barrier_overhead_us)
+            self._flush_map()
+            self._flush_meta()
+            self._publish_root()
+            for ppn in list(self._pending_retired):
+                self._invalidate(ppn)
+            self._pending_retired.clear()
+        self._obs_barrier_us.observe(self.chip.clock.now_us - start_us)
 
     # ------------------------------------------------------------- power
 
@@ -397,21 +408,26 @@ class PageMappingFTL(Ftl):
         used = self.chip.block_write_point(victim)
         valid_before = self._valid_count[victim]
         self.stats.gc_invocations += 1
+        self._obs_gc_invocations.inc()
         self._gc_valid_ratios.append(valid_before / geo.pages_per_block)
+        self._obs_gc_victim_valid.observe(float(valid_before))
 
-        start = victim * geo.pages_per_block
-        for ppn in range(start, start + used):
-            owner = self._owner.get(ppn)
-            if owner is None:
-                continue
-            data = self.chip.read(ppn)
-            self.stats.gc_copyback_reads += 1
-            new_ppn = self._program_for_gc(data, self._gc_oob(owner, ppn))
-            self.stats.gc_copyback_writes += 1
-            self._drop_owner(ppn)
-            self._set_owner_raw(new_ppn, owner)
-            self._apply_relocation(owner, ppn, new_ppn)
-        self.chip.erase(victim)
+        with self.obs.tracer.span("gc_collect", "ftl"):
+            start = victim * geo.pages_per_block
+            for ppn in range(start, start + used):
+                owner = self._owner.get(ppn)
+                if owner is None:
+                    continue
+                data = self.chip.read(ppn)
+                self.stats.gc_copyback_reads += 1
+                self._obs_gc_reads.inc()
+                new_ppn = self._program_for_gc(data, self._gc_oob(owner, ppn))
+                self.stats.gc_copyback_writes += 1
+                self._obs_gc_writes.inc()
+                self._drop_owner(ppn)
+                self._set_owner_raw(new_ppn, owner)
+                self._apply_relocation(owner, ppn, new_ppn)
+            self.chip.erase(victim)
         self._free_blocks.append(victim)
         try:
             self._alloc_order.remove(victim)
@@ -524,6 +540,7 @@ class PageMappingFTL(Ftl):
             self._map_dir[segment] = ppn
             self._set_owner(ppn, (OWNER_MAP, segment))
             self.stats.map_page_writes += 1
+            self._obs_map_writes.inc()
         self._dirty_segments.clear()
 
     def _flush_meta(self) -> None:
@@ -537,6 +554,7 @@ class PageMappingFTL(Ftl):
             self._meta_dir[slot] = ppn
             self._set_owner(ppn, (OWNER_META, slot))
             self.stats.map_page_writes += 1
+            self._obs_map_writes.inc()
 
     def _publish_root(self) -> None:
         """Atomically update the meta block (assumed atomic, §5.3)."""

@@ -47,6 +47,7 @@ from repro.ftl.pagemap import (
     PageMappingFTL,
 )
 from repro.ftl.xl2p import TxStatus, XL2PTable
+from repro.obs import DEFAULT_SIZE_BOUNDS
 from repro.sim.crash import register_crash_point
 
 CP_COMMIT_BEFORE_FLUSH = register_crash_point(
@@ -73,6 +74,14 @@ class XFTL(PageMappingFTL):
         self._started_tids: set[int] = set()  # tids with >= 1 write_tx this mount
         self._writers_by_lpn: dict[int, int] = {}  # conflict detection only
         self.last_xl2p_recovery_us = 0.0
+        obs = chip.obs
+        self._obs_commits = obs.counter("ftl.commits")
+        self._obs_aborts = obs.counter("ftl.aborts")
+        self._obs_xl2p_writes = obs.counter("ftl.xl2p.page_writes")
+        self._obs_xl2p_flush_pages = obs.histogram(
+            "ftl.xl2p.flush_pages", DEFAULT_SIZE_BOUNDS
+        )
+        self._obs_commit_us = obs.histogram("ftl.commit.latency_us")
 
     # ------------------------------------------------------ transactional IO
 
@@ -98,6 +107,7 @@ class XFTL(PageMappingFTL):
             self._invalidate(previous.new_ppn)
         self._set_owner(ppn, (OWNER_XL2P_DATA, tid, lpn))
         self.stats.host_page_writes += 1
+        self._obs_host_writes.inc()
 
     def read_tx(self, tid: int, lpn: int) -> Any:
         """Tagged read: the transaction sees its own writes, else committed."""
@@ -107,6 +117,7 @@ class XFTL(PageMappingFTL):
         if entry is None:
             return self.read(lpn)
         self.stats.host_page_reads += 1
+        self._obs_host_reads.inc()
         return self.chip.read(entry.new_ppn)
 
     def commit(self, tid: int) -> None:
@@ -125,27 +136,32 @@ class XFTL(PageMappingFTL):
             self._release_write_locks(tid)
             self._started_tids.discard(tid)
             self.stats.commits += 1  # the host command succeeded; just free
+            self._obs_commits.inc()
             return
-        # Step 1: status active -> committed (DRAM).
-        self.xl2p.set_status(tid, TxStatus.COMMITTED)
-        self.chip.crash_plan.hit(CP_COMMIT_BEFORE_FLUSH)
-        # Step 2+3: CoW-flush the X-L2P table, atomically repoint the root.
-        self._committed_tids.add(tid)
-        self._flush_xl2p()
-        self.chip.crash_plan.hit(CP_COMMIT_AFTER_FLUSH)
-        # Step 4: remap the LPNs in the main L2P table (DRAM; idempotent).
-        for entry in entries:
-            old = self._l2p.get(entry.lpn)
-            if old is not None:
-                self._invalidate(old)
-            self._drop_owner(entry.new_ppn)
-            self._l2p[entry.lpn] = entry.new_ppn
-            self._set_owner(entry.new_ppn, (OWNER_L2P, entry.lpn))
-            self._mark_dirty(entry.lpn)
-        self.xl2p.remove_tid(tid)
+        start_us = self.chip.clock.now_us
+        with self.obs.tracer.span("xftl_commit", "ftl", tid=tid):
+            # Step 1: status active -> committed (DRAM).
+            self.xl2p.set_status(tid, TxStatus.COMMITTED)
+            self.chip.crash_plan.hit(CP_COMMIT_BEFORE_FLUSH)
+            # Step 2+3: CoW-flush the X-L2P table, atomically repoint the root.
+            self._committed_tids.add(tid)
+            self._flush_xl2p()
+            self.chip.crash_plan.hit(CP_COMMIT_AFTER_FLUSH)
+            # Step 4: remap the LPNs in the main L2P table (DRAM; idempotent).
+            for entry in entries:
+                old = self._l2p.get(entry.lpn)
+                if old is not None:
+                    self._invalidate(old)
+                self._drop_owner(entry.new_ppn)
+                self._l2p[entry.lpn] = entry.new_ppn
+                self._set_owner(entry.new_ppn, (OWNER_L2P, entry.lpn))
+                self._mark_dirty(entry.lpn)
+            self.xl2p.remove_tid(tid)
         self._release_write_locks(tid)
         self._started_tids.discard(tid)
         self.stats.commits += 1
+        self._obs_commits.inc()
+        self._obs_commit_us.observe(self.chip.clock.now_us - start_us)
         self._commits_since_checkpoint += 1
         if self._commits_since_checkpoint >= self.config.map_checkpoint_interval:
             self._checkpoint_map()
@@ -172,6 +188,7 @@ class XFTL(PageMappingFTL):
             self._invalidate(entry.new_ppn)
         self._release_write_locks(tid)
         self.stats.aborts += 1
+        self._obs_aborts.inc()
 
     # ------------------------------------------------------------ internals
 
@@ -191,6 +208,8 @@ class XFTL(PageMappingFTL):
             self._set_owner(ppn, (OWNER_XL2P_TABLE, index))
             new_ppns.append(ppn)
             self.stats.xl2p_page_writes += 1
+            self._obs_xl2p_writes.inc()
+        self._obs_xl2p_flush_pages.observe(float(len(images)))
         for index, old in enumerate(self._xl2p_page_ppns):
             if old in self._owner:
                 # Retire with the real page index so a GC relocation keeps

@@ -1,0 +1,211 @@
+"""``repro.obs`` — stack-wide observability: metrics, spans, exports.
+
+One :class:`Observability` handle travels with a simulated stack (it lives
+on the :class:`~repro.flash.chip.FlashChip`, like the clock and the crash
+plan, and every higher layer picks it up from the layer below).  It bundles:
+
+- :class:`~repro.obs.registry.MetricsRegistry` — named counters and
+  simulated-time histograms (``flash.page_programs``, ``fs.cache.hits``,
+  ``sqlite.commit.latency_us``, ...),
+- :class:`~repro.obs.tracing.Tracer` — cross-layer spans, so one SQLite
+  ``COMMIT`` nests the pager writes, the ext4 fsync, the device commands
+  and the NAND programs it caused.
+
+Layers instrument themselves unconditionally; a disabled handle (the
+default — see :data:`NULL_OBS`) hands out shared null instruments so the
+hot write path does no extra allocation and no dict lookups.
+
+Usage::
+
+    import repro
+
+    stack = repro.open_stack("X-FTL", metrics=True)
+    ...  # run a workload
+    print(stack.obs.report())
+    print(stack.obs.tracer.render_tree(max_spans=40))
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BOUNDS_US,
+    DEFAULT_SIZE_BOUNDS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+)
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BOUNDS_US",
+    "DEFAULT_SIZE_BOUNDS",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_HISTOGRAM",
+    "NULL_OBS",
+    "NULL_SPAN",
+    "Observability",
+    "ObservabilityHub",
+    "Span",
+    "Tracer",
+    "default_hub",
+    "install_default_hub",
+    "uninstall_default_hub",
+]
+
+
+class Observability:
+    """Metrics + tracing for one simulated stack.
+
+    ``enabled`` gates the registry; ``trace`` additionally records spans
+    (span recording costs memory proportional to the workload, so it is a
+    separate opt-in).  ``label`` names the session in reports — benchmark
+    sweeps label each stack with its :class:`~repro.stack.Mode`.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        trace: bool = False,
+        label: str = "stack",
+    ) -> None:
+        self.enabled = enabled
+        self.label = label
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(enabled=enabled and trace)
+        self.meta: dict[str, Any] = {}
+        # Back-reference to the stack's FlashStats, set by build_stack();
+        # lets exports cross-check obs counters against the legacy totals.
+        self.flash_stats = None
+
+    # ------------------------------------------------------------- plumbing
+
+    def bind_clock(self, clock) -> None:
+        self.tracer.bind_clock(clock)
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Attach session metadata (journal mode, geometry, seed, ...)."""
+        if self.enabled:
+            self.meta[key] = value
+
+    # ----------------------------------------------------------- shortcuts
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(name)
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS_US):
+        return self.registry.histogram(name, bounds)
+
+    def span(self, name: str, layer: str, lpn: int | None = None, tid: int | None = None):
+        return self.tracer.span(name, layer, lpn=lpn, tid=tid)
+
+    # -------------------------------------------------------------- export
+
+    def as_dict(self) -> dict:
+        out = {"label": self.label, "meta": dict(self.meta), **self.registry.as_dict()}
+        if self.tracer.enabled:
+            out["spans"] = self.tracer.as_dicts()
+        return out
+
+    def report(self) -> str:
+        lines = [self.registry.report(title=f"metrics [{self.label}]")]
+        if self.meta:
+            lines.append("  meta: " + ", ".join(f"{k}={v}" for k, v in sorted(self.meta.items())))
+        return "\n".join(lines)
+
+    # --------------------------------------------------------- cross-check
+
+    def verify_flash_stats(self) -> list[str]:
+        """Check obs counters against the stack's :class:`FlashStats`.
+
+        Returns a list of mismatch descriptions (empty when consistent).
+        Every obs counter below is incremented at the same site as the
+        corresponding ``FlashStats`` field, so any divergence is a bug in
+        the instrumentation, not a measurement artifact.
+        """
+        if self.flash_stats is None or not self.enabled:
+            return []
+        pairs = {
+            "flash.page_reads": "page_reads",
+            "flash.page_programs": "page_programs",
+            "flash.block_erases": "block_erases",
+            "ftl.host_page_writes": "host_page_writes",
+            "ftl.host_page_reads": "host_page_reads",
+            "ftl.gc.copyback_reads": "gc_copyback_reads",
+            "ftl.gc.copyback_writes": "gc_copyback_writes",
+            "ftl.gc.invocations": "gc_invocations",
+            "ftl.map_page_writes": "map_page_writes",
+            "ftl.xl2p.page_writes": "xl2p_page_writes",
+            "ftl.barriers": "barriers",
+            "ftl.commits": "commits",
+            "ftl.aborts": "aborts",
+        }
+        mismatches = []
+        for obs_name, stats_field in pairs.items():
+            expected = getattr(self.flash_stats, stats_field)
+            got = self.registry.counter_value(obs_name)
+            if got != expected:
+                mismatches.append(
+                    f"{obs_name}={got} != FlashStats.{stats_field}={expected}"
+                )
+        return mismatches
+
+
+#: Shared disabled handle — the default for every stack.  Hot paths touch
+#: only null instruments acquired through it.
+NULL_OBS = Observability(enabled=False, label="<disabled>")
+
+
+class ObservabilityHub:
+    """Collects one :class:`Observability` session per built stack.
+
+    Benchmark sweeps build several stacks (one per mode); installing a hub
+    before the sweep makes ``build_stack`` route each stack to its own
+    labeled session, so per-mode metrics stay separate::
+
+        hub = install_default_hub(trace=False)
+        try:
+            run_experiment(...)          # builds stacks internally
+        finally:
+            uninstall_default_hub()
+        for session in hub.sessions:
+            print(session.report())
+    """
+
+    def __init__(self, trace: bool = False) -> None:
+        self.trace = trace
+        self.sessions: list[Observability] = []
+
+    def session(self, label: str) -> Observability:
+        obs = Observability(enabled=True, trace=self.trace, label=label)
+        self.sessions.append(obs)
+        return obs
+
+    def merged_registry(self) -> MetricsRegistry:
+        return MetricsRegistry(enabled=True).merge_from(s.registry for s in self.sessions)
+
+
+_default_hub: ObservabilityHub | None = None
+
+
+def default_hub() -> ObservabilityHub | None:
+    """The installed hub, if any — consulted by ``build_stack``."""
+    return _default_hub
+
+
+def install_default_hub(trace: bool = False) -> ObservabilityHub:
+    """Install (and return) a hub that captures every stack built after it."""
+    global _default_hub
+    _default_hub = ObservabilityHub(trace=trace)
+    return _default_hub
+
+
+def uninstall_default_hub() -> None:
+    global _default_hub
+    _default_hub = None

@@ -1,0 +1,58 @@
+"""Serialize :class:`~repro.obs.Observability` sessions to files.
+
+The bench/verify CLIs use these helpers for ``--metrics-dir``; the
+``python -m repro.obs`` CLI uses them for ``--out``.  All formats are
+deterministic (sorted keys, simulated time only) so same-seed runs diff
+clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs import Observability
+
+
+def render(obs: Observability, fmt: str = "text") -> str:
+    """Render one session as ``text``, ``json`` or ``csv``."""
+    if fmt == "json":
+        return json.dumps(obs.as_dict(), indent=2, sort_keys=True) + "\n"
+    if fmt == "csv":
+        return obs.registry.to_csv()
+    if fmt == "text":
+        return obs.report() + "\n"
+    raise ValueError(f"unknown metrics format {fmt!r} (want text, json or csv)")
+
+
+_SUFFIX = {"text": ".txt", "json": ".json", "csv": ".csv"}
+
+
+def write_session(
+    obs: Observability,
+    directory: str | Path,
+    fmt: str = "json",
+    label: str | None = None,
+) -> Path:
+    """Write one session into ``directory`` as ``metrics-<label>.<ext>``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    label = obs.label if label is None else label
+    slug = "".join(ch if ch.isalnum() or ch in "-_" else "-" for ch in label.lower())
+    path = directory / f"metrics-{slug}{_SUFFIX[fmt]}"
+    path.write_text(render(obs, fmt))
+    return path
+
+
+def write_sessions(
+    sessions: list[Observability], directory: str | Path, fmt: str = "json"
+) -> list[Path]:
+    """Write every session; repeated labels get ``-2``, ``-3``, ... suffixes."""
+    seen: dict[str, int] = {}
+    paths = []
+    for obs in sessions:
+        count = seen.get(obs.label, 0) + 1
+        seen[obs.label] = count
+        label = obs.label if count == 1 else f"{obs.label}-{count}"
+        paths.append(write_session(obs, directory, fmt, label=label))
+    return paths

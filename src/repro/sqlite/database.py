@@ -57,6 +57,8 @@ class Connection:
             checkpoint_interval=checkpoint_interval,
         )
         self.last_recovery_us = self.pager.last_recovery_us
+        self.obs = fs.obs
+        self._obs_statements = fs.obs.counter("sqlite.statements")
         self._explicit_txn = False
         self.statements_executed = 0
         self._parse_cache: dict[str, object] = {}
@@ -135,6 +137,7 @@ class Connection:
             if len(self._parse_cache) < 512:
                 self._parse_cache[sql] = statement
         self.statements_executed += 1
+        self._obs_statements.inc()
         self._clock.advance(self._profile.host_cpu_statement_us)
         if isinstance(statement, ast.Begin):
             self.begin()

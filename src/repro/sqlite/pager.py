@@ -100,6 +100,15 @@ class Pager:
         self._decode = page_decoder
         self.cache_pages = cache_pages
         self.checkpoint_interval = checkpoint_interval
+        self.obs = fs.obs
+        obs = fs.obs
+        obs.annotate(f"sqlite.{name}.journal_mode", mode.value)
+        self._obs_commits = obs.counter("sqlite.txn_commits")
+        self._obs_rollbacks = obs.counter("sqlite.txn_rollbacks")
+        self._obs_page_writes = obs.counter("sqlite.page_writes")
+        self._obs_spills = obs.counter("sqlite.spilled_pages")
+        self._obs_checkpoints = obs.counter("sqlite.wal_checkpoints")
+        self._obs_commit_us = obs.histogram("sqlite.commit.latency_us")
 
         self._cache: OrderedDict[int, _Entry] = OrderedDict()
         self.in_txn = False
@@ -181,12 +190,17 @@ class Pager:
         if not self.in_txn:
             raise DatabaseError("no active transaction")
         dirty = [(pno, entry) for pno, entry in self._cache.items() if entry.dirty]
-        if self.mode is SqliteJournalMode.ROLLBACK:
-            self._commit_rollback(dirty)
-        elif self.mode is SqliteJournalMode.WAL:
-            self._commit_wal(dirty)
-        else:
-            self._commit_off(dirty)
+        start_us = self.fs.device.clock.now_us
+        with self.obs.tracer.span("commit", "sqlite", tid=self._tid):
+            if self.mode is SqliteJournalMode.ROLLBACK:
+                self._commit_rollback(dirty)
+            elif self.mode is SqliteJournalMode.WAL:
+                self._commit_wal(dirty)
+            else:
+                self._commit_off(dirty)
+        self._obs_commits.inc()
+        self._obs_page_writes.inc(len(dirty))
+        self._obs_commit_us.observe(self.fs.device.clock.now_us - start_us)
         for _pno, entry in dirty:
             entry.dirty = False
         self._end_txn()
@@ -195,6 +209,7 @@ class Pager:
         """Abort: drop cached changes and undo stolen writes."""
         if not self.in_txn:
             raise DatabaseError("no active transaction")
+        self._obs_rollbacks.inc()
         # Drop all uncommitted in-memory changes.
         for pno in [pno for pno, entry in self._cache.items() if entry.dirty]:
             del self._cache[pno]
@@ -339,6 +354,7 @@ class Pager:
         return False
 
     def _spill_page(self, pno: int, entry: _Entry) -> None:
+        self._obs_spills.inc()
         image = entry.page.to_image()
         if self.mode is SqliteJournalMode.ROLLBACK:
             # The original must be durable in the journal before the db file
@@ -501,6 +517,7 @@ class Pager:
         """Copy committed WAL content into the database file; reset the WAL."""
         if not self._wal_index:
             return
+        self._obs_checkpoints.inc()
         assert self._wal is not None
         for pno, slot in sorted(self._wal_index.items()):
             frame = self._wal.read_page(slot)

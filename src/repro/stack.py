@@ -1,0 +1,253 @@
+"""Top-level stack assembly: ``repro.open_stack`` and friends.
+
+The paper compares three SQLite execution modes (§6.3):
+
+- ``RBJ``: unmodified stack — SQLite rollback journal on ext4 (ordered
+  metadata journaling) on the stock page-mapping FTL;
+- ``WAL``: SQLite write-ahead log on the same stack;
+- ``XFTL``: modified SQLite in OFF mode on ext4 with journaling off and
+  tid-passthrough enabled, over the X-FTL firmware.
+
+:func:`build_stack` wires geometry, FTL, device and file system accordingly
+so experiments only differ in the mode enum.  This module used to live in
+``repro.bench.runner``; it moved here because non-bench consumers (verify
+drivers, examples, user code) should not import from ``bench``, and because
+the observability layer (:mod:`repro.obs`) hooks in at assembly time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.device.ssd import StorageDevice
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.fs.ext4 import Ext4, JournalMode
+from repro.ftl.base import FtlConfig
+from repro.ftl.pagemap import PageMappingFTL
+from repro.ftl.xftl import XFTL
+from repro.obs import NULL_OBS, Observability, default_hub
+from repro.sim.clock import SimClock
+from repro.sim.crash import CrashPlan
+from repro.sim.latency import OPENSSD_PROFILE, LatencyProfile
+from repro.sqlite.database import Connection
+from repro.sqlite.pager import SqliteJournalMode
+
+__all__ = [
+    "BenchStack",
+    "Mode",
+    "StackConfig",
+    "build_stack",
+    "open_stack",
+]
+
+
+class Mode(enum.Enum):
+    """End-to-end stack configurations compared by the paper.
+
+    The enum is the single source of truth for how each layer is
+    configured: :meth:`sqlite_journal_mode` and :meth:`fs_journal_mode`
+    replace the module-private lookup dicts that used to live in
+    ``repro.bench.runner``.
+    """
+
+    RBJ = "RBJ"
+    WAL = "WAL"
+    XFTL = "X-FTL"
+    # Extra file-system-only modes for Figures 8/9 and ablations.
+    FS_ORDERED = "ordered-journal"
+    FS_FULL = "full-journal"
+    FS_NONE = "no-journal"
+
+    @property
+    def is_database_mode(self) -> bool:
+        """Whether this mode runs SQLite (vs. a file-system-only ablation)."""
+        return self in (Mode.RBJ, Mode.WAL, Mode.XFTL)
+
+    def sqlite_journal_mode(self) -> SqliteJournalMode:
+        """The SQLite journal mode this stack mode runs the pager in.
+
+        Raises :class:`ValueError` for the file-system-only ablation modes,
+        which have no database layer to configure.
+        """
+        if self is Mode.RBJ:
+            return SqliteJournalMode.ROLLBACK
+        if self is Mode.WAL:
+            return SqliteJournalMode.WAL
+        if self is Mode.XFTL:
+            return SqliteJournalMode.OFF
+        raise ValueError(
+            f"mode {self.value!r} is a file-system-only mode and has no SQLite "
+            f"journal mode; open databases only on RBJ, WAL or XFTL stacks"
+        )
+
+    def fs_journal_mode(self) -> JournalMode:
+        """The ext4 journaling mode this stack mode mounts with."""
+        if self in (Mode.RBJ, Mode.WAL, Mode.FS_ORDERED):
+            return JournalMode.ORDERED
+        if self is Mode.XFTL:
+            return JournalMode.XFTL
+        if self is Mode.FS_FULL:
+            return JournalMode.FULL
+        if self is Mode.FS_NONE:
+            return JournalMode.NONE
+        raise ValueError(f"mode {self.value!r} has no file-system journal mode")
+
+    @classmethod
+    def coerce(cls, mode: "Mode | str") -> "Mode":
+        """Accept a :class:`Mode`, its value (``"X-FTL"``) or name (``"xftl"``)."""
+        if isinstance(mode, cls):
+            return mode
+        for member in cls:
+            if mode == member.value or mode.upper() == member.name:
+                return member
+        valid = ", ".join(sorted({m.value for m in cls} | {m.name for m in cls}))
+        raise ValueError(f"unknown stack mode {mode!r}; expected one of: {valid}")
+
+
+@dataclass
+class StackConfig:
+    """Everything needed to build one simulated machine."""
+
+    mode: Mode = Mode.XFTL
+    num_blocks: int = 1024
+    pages_per_block: int = 128
+    page_size: int = 8192
+    profile: LatencyProfile = OPENSSD_PROFILE
+    ftl: FtlConfig = field(default_factory=FtlConfig)
+    journal_pages: int = 256
+    fs_cache_pages: int = 8192
+    max_inodes: int = 128
+    # Observability: ``metrics`` enables the counter registry, ``trace``
+    # additionally records cross-layer spans.  An explicit ``obs`` handle
+    # overrides both (and an installed ObservabilityHub overrides neither —
+    # the hub only applies when ``obs`` is None and metrics are not forced
+    # off; see build_stack).
+    metrics: bool = False
+    trace: bool = False
+    obs: Observability | None = None
+
+
+@dataclass
+class BenchStack:
+    """One assembled machine: chip, FTL, device, file system."""
+
+    config: StackConfig
+    clock: SimClock
+    chip: FlashChip
+    ftl: PageMappingFTL
+    device: StorageDevice
+    fs: Ext4
+    crash_plan: CrashPlan
+    obs: Observability = NULL_OBS
+
+    def open_database(
+        self, name: str = "test.db", cache_pages: int = 4096, **kwargs
+    ) -> Connection:
+        return Connection(
+            self.fs,
+            name,
+            self.config.mode.sqlite_journal_mode(),
+            cache_pages=cache_pages,
+            **kwargs,
+        )
+
+    def remount_after_crash(self) -> "BenchStack":
+        """Power-cycle the device and remount the file system in place."""
+        self.device.power_off()
+        self.device.power_on()
+        self.fs = Ext4.mount(
+            self.device,
+            self.config.mode.fs_journal_mode(),
+            journal_pages=self.config.journal_pages,
+            cache_capacity=self.config.fs_cache_pages,
+            max_inodes=self.config.max_inodes,
+        )
+        return self
+
+
+def _resolve_obs(config: StackConfig) -> Observability:
+    if config.obs is not None:
+        return config.obs
+    hub = default_hub()
+    if hub is not None:
+        return hub.session(label=config.mode.value)
+    if config.metrics:
+        return Observability(enabled=True, trace=config.trace, label=config.mode.value)
+    return NULL_OBS
+
+
+def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
+    """Build a fresh machine for ``config`` (keyword overrides accepted)."""
+    if config is None:
+        config = StackConfig(**overrides)
+    elif overrides:
+        raise ValueError("pass either a StackConfig or keyword overrides, not both")
+
+    clock = SimClock()
+    crash_plan = CrashPlan()
+    obs = _resolve_obs(config)
+    obs.bind_clock(clock)
+    geometry = FlashGeometry(
+        page_size=config.page_size,
+        pages_per_block=config.pages_per_block,
+        num_blocks=config.num_blocks,
+    )
+    chip = FlashChip(
+        geometry, clock=clock, profile=config.profile, crash_plan=crash_plan, obs=obs
+    )
+    # X-FTL firmware is a strict superset of the stock FTL; non-XFTL modes
+    # use the stock page-mapping firmware, exactly as the paper's testbed.
+    if config.mode is Mode.XFTL:
+        ftl: PageMappingFTL = XFTL(chip, config.ftl)
+    else:
+        ftl = PageMappingFTL(chip, config.ftl)
+    device = StorageDevice(ftl)
+    fs = Ext4.mkfs(
+        device,
+        config.mode.fs_journal_mode(),
+        journal_pages=config.journal_pages,
+        cache_capacity=config.fs_cache_pages,
+        max_inodes=config.max_inodes,
+    )
+    if obs.enabled:
+        obs.flash_stats = chip.stats
+        obs.annotate("mode", config.mode.value)
+        obs.annotate("fs_journal_mode", config.mode.fs_journal_mode().value)
+        if config.mode.is_database_mode:
+            obs.annotate("sqlite_journal_mode", config.mode.sqlite_journal_mode().value)
+        obs.annotate(
+            "geometry",
+            f"{config.num_blocks}x{config.pages_per_block}x{config.page_size}",
+        )
+    return BenchStack(
+        config=config,
+        clock=clock,
+        chip=chip,
+        ftl=ftl,
+        device=device,
+        fs=fs,
+        crash_plan=crash_plan,
+        obs=obs,
+    )
+
+
+def open_stack(
+    mode: Mode | str = Mode.XFTL,
+    metrics: bool = False,
+    trace: bool = False,
+    **overrides,
+) -> BenchStack:
+    """Build a stack by mode name — the front door of the package.
+
+    ``mode`` accepts the enum, its paper name (``"X-FTL"``) or its enum
+    name in any case (``"xftl"``)::
+
+        import repro
+
+        stack = repro.open_stack("X-FTL", metrics=True)
+        db = stack.open_database()
+    """
+    config = StackConfig(mode=Mode.coerce(mode), metrics=metrics, trace=trace, **overrides)
+    return build_stack(config)

@@ -65,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered crash-point surface and exit",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect per-layer metrics across the sweep and print a merged report",
+    )
     parser.add_argument("-v", "--verbose", action="store_true")
     return parser
 
@@ -122,15 +127,29 @@ def main(argv: list[str] | None = None) -> int:
             f" x{scenario.after} tear={scenario.tear}"
         )
 
-    report = sweep(
-        layers=layers,
-        points=point_filter,
-        budget=args.budget,
-        seed=args.seed,
-        ops_limit=args.ops,
-        progress=progress if args.verbose else None,
-    )
+    hub = None
+    if args.metrics:
+        from repro.obs import install_default_hub, uninstall_default_hub
+
+        hub = install_default_hub()
+    try:
+        report = sweep(
+            layers=layers,
+            points=point_filter,
+            budget=args.budget,
+            seed=args.seed,
+            ops_limit=args.ops,
+            progress=progress if args.verbose else None,
+        )
+    finally:
+        if hub is not None:
+            uninstall_default_hub()
     print(report.summary())
+    if hub is not None:
+        merged = hub.merged_registry()
+        title = f"metrics merged across {len(hub.sessions)} crash-sweep stacks"
+        print()
+        print(merged.report(title=title))
     return 0 if report.ok else 1
 
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 from repro.errors import PowerFailure, ReproError
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.bench.runner import BenchStack
+from repro.stack import BenchStack
 from repro.sim.rng import make_rng
 from repro.sqlite.database import Connection
 

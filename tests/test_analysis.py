@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.analysis import lifespan_ratio, write_amplification
 from repro.bench.aging import age_device
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 from repro.flash.stats import FlashStats
 from repro.ftl.base import FtlConfig
 from repro.workloads.synthetic import SyntheticWorkload

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.aging import age_device
 from repro.bench.reporting import format_table
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 from repro.ftl import FtlConfig, XFTL, PageMappingFTL
 from repro.fs.ext4 import JournalMode
 

@@ -95,7 +95,7 @@ class TestPowerLossPropagation:
 
 class TestCrashPointRegistry:
     def test_all_stack_layers_register_points(self):
-        import repro.bench.runner  # noqa: F401  (imports every layer)
+        import repro.stack  # noqa: F401  (imports every layer)
 
         names = {spec.name for spec in registered_crash_points()}
         expected = {

@@ -12,7 +12,7 @@ held to the identical contract as rollback-journal and WAL modes.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 from repro.errors import PowerFailure
 
 MODES = [Mode.RBJ, Mode.WAL, Mode.XFTL]

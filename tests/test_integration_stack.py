@@ -7,7 +7,7 @@ workloads with GC churn, and multi-database coexistence on one device.
 
 import pytest
 
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 from repro.ftl.base import FtlConfig
 
 
@@ -23,17 +23,17 @@ class TestCrossLayerAccounting:
         stack = make_stack(mode)
         db = stack.open_database("x.db")
         db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
-        chip_before = stack.ftl.stats.page_programs
+        chip_before = stack.ftl.stats.snapshot()
         fs_before = stack.fs.stats.snapshot()
         db.execute("BEGIN")
         for i in range(30):
             db.execute("INSERT INTO t VALUES (?, ?)", (i, f"v{i}"))
         db.execute("COMMIT")
-        fs_diff = stack.fs.stats.diff(fs_before)
+        fs_delta = stack.fs.stats.delta(fs_before)
         fs_writes = (
-            fs_diff.data_page_writes + fs_diff.meta_page_writes + fs_diff.journal_page_writes
+            fs_delta.data_page_writes + fs_delta.meta_page_writes + fs_delta.journal_page_writes
         )
-        chip_programs = stack.ftl.stats.page_programs - chip_before
+        chip_programs = stack.ftl.stats.delta(chip_before).page_programs
         # Every fs-level write lands on the chip, plus map/X-L2P overhead.
         assert chip_programs >= fs_writes > 0
 
@@ -41,10 +41,10 @@ class TestCrossLayerAccounting:
         stack = make_stack(Mode.XFTL)
         db = stack.open_database("x.db")
         db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
-        commits_before = stack.ftl.stats.commits
+        commits_before = stack.ftl.stats.snapshot()
         for i in range(10):
             db.execute("INSERT INTO t VALUES (?)", (i,))  # autocommit each
-        assert stack.ftl.stats.commits - commits_before == 10
+        assert stack.ftl.stats.delta(commits_before).commits == 10
 
     def test_ftl_invariants_after_long_workload(self):
         stack = make_stack(Mode.XFTL)

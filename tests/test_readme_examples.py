@@ -4,7 +4,7 @@ import pathlib
 import subprocess
 import sys
 
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 
 
 class TestQuickstartSnippet:

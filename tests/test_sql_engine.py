@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 from repro.errors import SqlError
 from repro.sqlite.sql import ast, parse
 from repro.sqlite.sql.engine import (

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bench.runner import Mode, StackConfig, build_stack
+from repro.stack import Mode, StackConfig, build_stack
 from repro.errors import IntegrityError, SchemaError, SqlError
 
 

@@ -12,7 +12,7 @@ of each mode and assert the same contract every time:
 
 import pytest
 
-from repro.bench.runner import BenchStack, Mode, StackConfig, build_stack
+from repro.stack import BenchStack, Mode, StackConfig, build_stack
 from repro.errors import PowerFailure
 
 ALL_MODES = [Mode.RBJ, Mode.WAL, Mode.XFTL]

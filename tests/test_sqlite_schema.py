@@ -55,7 +55,7 @@ class TestTable:
 
 class TestCatalogPersistence:
     def test_catalog_round_trip_through_reopen(self):
-        from repro.bench.runner import Mode, StackConfig, build_stack
+        from repro.stack import Mode, StackConfig, build_stack
         from repro.sqlite.database import Connection
 
         stack = build_stack(StackConfig(mode=Mode.XFTL, num_blocks=128, pages_per_block=32))
@@ -75,7 +75,7 @@ class TestCatalogPersistence:
         assert db2.execute("SELECT x FROM a WHERE id = 1") == [("one",)]
 
     def test_dropped_table_gone_after_reopen(self):
-        from repro.bench.runner import Mode, StackConfig, build_stack
+        from repro.stack import Mode, StackConfig, build_stack
         from repro.sqlite.database import Connection
 
         stack = build_stack(StackConfig(mode=Mode.XFTL, num_blocks=128, pages_per_block=32))

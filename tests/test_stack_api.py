@@ -1,0 +1,141 @@
+"""Tests for the redesigned top-level stack API.
+
+``repro.stack`` (and its ``repro.open_stack`` front door) replaced
+``repro.bench.runner`` as the home of stack assembly.  These tests pin the
+new surface: mode coercion, the Mode enum as single source of truth for
+journal modes, the deprecation shim's identity guarantees, and the
+``snapshot()``/``delta()`` protocol on the stats accumulators.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.device.commands import DeviceCounters
+from repro.flash.stats import FlashStats
+from repro.fs.ext4 import FsStats, JournalMode
+from repro.sqlite.pager import SqliteJournalMode
+from repro.stack import Mode, StackConfig, build_stack, open_stack
+
+
+class TestOpenStack:
+    def test_top_level_reexport(self):
+        assert repro.open_stack is open_stack
+        assert repro.Mode is Mode
+        assert repro.StackConfig is StackConfig
+        assert repro.build_stack is build_stack
+
+    @pytest.mark.parametrize("spec", ["X-FTL", "xftl", "XFTL", Mode.XFTL])
+    def test_mode_coercion_spellings(self, spec):
+        stack = open_stack(spec, num_blocks=64, pages_per_block=32)
+        assert stack.config.mode is Mode.XFTL
+
+    def test_unknown_mode_lists_valid_names(self):
+        with pytest.raises(ValueError, match="unknown stack mode"):
+            Mode.coerce("btrfs")
+
+    def test_overrides_reach_the_config(self):
+        stack = open_stack("wal", num_blocks=64, pages_per_block=32, journal_pages=99)
+        assert stack.config.num_blocks == 64
+        assert stack.config.journal_pages == 99
+
+    def test_metrics_off_by_default(self):
+        stack = open_stack("rbj", num_blocks=64, pages_per_block=32)
+        assert not stack.obs.enabled
+
+    def test_metrics_flag_enables_registry(self):
+        stack = open_stack("rbj", metrics=True, num_blocks=64, pages_per_block=32)
+        assert stack.obs.enabled
+        assert stack.obs.meta["mode"] == "RBJ"
+        assert stack.obs.flash_stats is stack.chip.stats
+
+    def test_config_and_overrides_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            build_stack(StackConfig(), num_blocks=64)
+
+
+class TestModeSingleSourceOfTruth:
+    @pytest.mark.parametrize(
+        ("mode", "expected"),
+        [
+            (Mode.RBJ, SqliteJournalMode.ROLLBACK),
+            (Mode.WAL, SqliteJournalMode.WAL),
+            (Mode.XFTL, SqliteJournalMode.OFF),
+        ],
+    )
+    def test_sqlite_journal_modes(self, mode, expected):
+        assert mode.sqlite_journal_mode() is expected
+
+    @pytest.mark.parametrize(
+        ("mode", "expected"),
+        [
+            (Mode.RBJ, JournalMode.ORDERED),
+            (Mode.WAL, JournalMode.ORDERED),
+            (Mode.XFTL, JournalMode.XFTL),
+            (Mode.FS_ORDERED, JournalMode.ORDERED),
+            (Mode.FS_FULL, JournalMode.FULL),
+            (Mode.FS_NONE, JournalMode.NONE),
+        ],
+    )
+    def test_fs_journal_modes(self, mode, expected):
+        assert mode.fs_journal_mode() is expected
+
+    @pytest.mark.parametrize("mode", [Mode.FS_ORDERED, Mode.FS_FULL, Mode.FS_NONE])
+    def test_fs_only_modes_have_no_sqlite_journal_mode(self, mode):
+        assert not mode.is_database_mode
+        with pytest.raises(ValueError, match="file-system-only"):
+            mode.sqlite_journal_mode()
+
+    @pytest.mark.parametrize("mode", [Mode.RBJ, Mode.WAL, Mode.XFTL])
+    def test_database_modes_flagged(self, mode):
+        assert mode.is_database_mode
+
+
+class TestDeprecationShim:
+    def test_runner_reexports_same_objects(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            import repro.bench.runner as runner
+        assert runner.Mode is Mode
+        assert runner.StackConfig is StackConfig
+        assert runner.build_stack is build_stack
+        assert runner.open_stack is open_stack
+
+    def test_enum_identity_across_old_and_new_imports(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.bench.runner import Mode as OldMode
+        # Stacks built via the old path compare equal against new enums.
+        assert OldMode.XFTL is Mode.XFTL
+
+
+class TestStatsDelta:
+    def test_flash_stats_delta(self):
+        stats = FlashStats(page_programs=10, barriers=2)
+        before = stats.snapshot()
+        stats.page_programs += 5
+        stats.barriers += 1
+        delta = stats.delta(before)
+        assert delta.page_programs == 5
+        assert delta.barriers == 1
+        assert delta.page_reads == 0
+        # snapshot() is an independent copy, not an alias.
+        assert before.page_programs == 10
+        assert stats.diff(before).page_programs == 5  # legacy alias
+
+    def test_fs_stats_delta(self):
+        stats = FsStats(data_page_writes=4, fsync_calls=1)
+        before = stats.snapshot()
+        stats.data_page_writes += 3
+        assert stats.delta(before).data_page_writes == 3
+        assert stats.diff(before).data_page_writes == 3
+
+    def test_device_counters_delta(self):
+        counters = DeviceCounters(writes=7)
+        before = counters.snapshot()
+        counters.writes += 2
+        counters.commits += 1
+        delta = counters.delta(before)
+        assert delta.writes == 2
+        assert delta.commits == 1
