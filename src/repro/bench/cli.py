@@ -6,6 +6,7 @@ Run any of the paper's experiments directly::
     python -m repro.bench fig5 table1 table5
     python -m repro.bench all
     REPRO_SCALE=5 python -m repro.bench fig7
+    python -m repro.bench channels --channels 8 --queue-depth 8
 
 ``--metrics`` installs an :class:`~repro.obs.ObservabilityHub` around each
 experiment, so every stack the experiment builds gets its own labeled
@@ -21,6 +22,8 @@ Results are printed and can be written to ``--results-dir`` /
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import pathlib
 import sys
 import time
@@ -73,6 +76,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --metrics: also record cross-layer spans (memory-heavy)",
     )
+    parser.add_argument(
+        "--channels",
+        type=int,
+        default=None,
+        metavar="N",
+        help="flash channels for every stack built (sets REPRO_CHANNELS; default 1)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="NCQ command-queue depth for every stack built "
+        "(sets REPRO_QUEUE_DEPTH; default 1, needs --channels > 1 to matter)",
+    )
     return parser
 
 
@@ -101,6 +119,31 @@ def _report_metrics(name: str, hub: ObservabilityHub, args: argparse.Namespace) 
     return 1 if failures else 0
 
 
+@contextlib.contextmanager
+def _device_env(args: argparse.Namespace):
+    """Scope --channels/--queue-depth to this run via the REPRO_* env vars.
+
+    The experiment stack builders read ``REPRO_CHANNELS`` /
+    ``REPRO_QUEUE_DEPTH``; setting them only for the duration of ``main``
+    keeps in-process callers (tests, notebooks) side-effect free.
+    """
+    overrides = {}
+    if args.channels is not None:
+        overrides["REPRO_CHANNELS"] = str(args.channels)
+    if args.queue_depth is not None:
+        overrides["REPRO_QUEUE_DEPTH"] = str(args.queue_depth)
+    saved = {name: os.environ.get(name) for name in overrides}
+    os.environ.update(overrides)
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -115,22 +158,23 @@ def main(argv: list[str] | None = None) -> int:
 
     results_dir = pathlib.Path(args.results_dir) if args.results_dir else None
     exit_code = 0
-    for name in names:
-        started = time.time()
-        hub = install_default_hub(trace=args.trace) if args.metrics else None
-        try:
-            result = ALL_EXPERIMENTS[name]()
-        finally:
+    with _device_env(args):
+        for name in names:
+            started = time.time()
+            hub = install_default_hub(trace=args.trace) if args.metrics else None
+            try:
+                result = ALL_EXPERIMENTS[name]()
+            finally:
+                if hub is not None:
+                    uninstall_default_hub()
+            text = result.render()
+            print(text)
+            print(f"[{name} finished in {time.time() - started:.1f}s wall]\n")
+            if results_dir is not None:
+                results_dir.mkdir(parents=True, exist_ok=True)
+                (results_dir / f"{name}.txt").write_text(text + "\n")
             if hub is not None:
-                uninstall_default_hub()
-        text = result.render()
-        print(text)
-        print(f"[{name} finished in {time.time() - started:.1f}s wall]\n")
-        if results_dir is not None:
-            results_dir.mkdir(parents=True, exist_ok=True)
-            (results_dir / f"{name}.txt").write_text(text + "\n")
-        if hub is not None:
-            exit_code |= _report_metrics(name, hub, args)
+                exit_code |= _report_metrics(name, hub, args)
     return exit_code
 
 

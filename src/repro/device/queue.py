@@ -1,0 +1,135 @@
+"""NCQ-style device command queue.
+
+SATA NCQ (and every modern NVMe device) lets the host keep several commands
+outstanding; the controller spreads them over its flash channels and
+completes them out of band.  :class:`CommandQueue` models the host-visible
+half of that: a bounded set of *in-flight* commands, each known by its
+completion time on the device's channel timelines.
+
+The simulation keeps its state-mutates-immediately style: a queued command
+has already updated chip/FTL state when it is dispatched — only its *time*
+is still in flight.  That matches the durability contract the crash oracle
+already enforces: an acknowledged-but-unflushed write may or may not
+survive power loss, and only ``flush``/``commit`` order anything.
+
+Mechanics:
+
+- :meth:`admit` applies backpressure: when the queue is full the host
+  blocks (``clock.wait_until``) until the earliest in-flight command
+  completes.  Completions are retired by clock events
+  (:meth:`~repro.sim.clock.SimClock.schedule_at`), not polling.
+- :meth:`push` records a dispatched command's completion time.
+- :meth:`drain` is the barrier used by flush/commit/abort: the clock joins
+  the latest in-flight completion and the queue empties.
+- :meth:`reset` forgets all in-flight commands on power loss (their chip
+  state effects stand or fall with the crash oracle's rules, exactly like
+  acknowledged-but-unflushed writes always have).
+
+Two crash points make power loss with a non-empty queue reachable from the
+verification sweep: ``dev.queue.dispatch`` (a new command about to enter a
+non-empty queue) and ``dev.queue.barrier`` (a barrier arriving while
+commands are still in flight).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.obs import Observability
+from repro.sim.clock import SimClock
+from repro.sim.crash import register_crash_point
+
+CP_QUEUE_DISPATCH = register_crash_point(
+    "dev.queue.dispatch",
+    "device.queue",
+    "dispatching a command while earlier commands are still in flight",
+)
+CP_QUEUE_BARRIER = register_crash_point(
+    "dev.queue.barrier",
+    "device.queue",
+    "flush/commit barrier issued with commands still in flight",
+)
+
+
+class CommandQueue:
+    """Bounded in-flight command tracker for one device."""
+
+    def __init__(self, clock: SimClock, depth: int, obs: Observability) -> None:
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        self.clock = clock
+        self.depth = depth
+        # Min-heap of (end_us, command id); ids make retire-by-event exact
+        # even when two commands share a completion time.
+        self._in_flight: list[tuple[float, int]] = []
+        self._live_ids: set[int] = set()
+        self._next_id = 0
+        self._obs_depth = obs.gauge("dev.queue.depth")
+        self._obs_dispatch_depth = obs.histogram("dev.queue.dispatch_depth")
+        self._obs_admit_stalls = obs.counter("dev.queue.admit_stalls")
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def in_flight(self) -> int:
+        """Commands dispatched but not yet completed (at current sim time)."""
+        self._retire_due()
+        return len(self._live_ids)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def admit(self) -> None:
+        """Backpressure: block until a queue slot is free."""
+        self._retire_due()
+        if len(self._live_ids) >= self.depth:
+            self._obs_admit_stalls.inc()
+            while self._in_flight and len(self._live_ids) >= self.depth:
+                end_us, _ = self._in_flight[0]
+                self.clock.wait_until(end_us)
+                self._retire_due()
+        self._obs_dispatch_depth.observe(float(len(self._live_ids)))
+
+    def push(self, end_us: float) -> None:
+        """Record a dispatched command completing at ``end_us``.
+
+        Commands whose work already finished (``end_us`` not in the future)
+        never enter the queue — they completed synchronously.
+        """
+        if end_us <= self.clock.now_us:
+            return
+        self._next_id += 1
+        command_id = self._next_id
+        heapq.heappush(self._in_flight, (end_us, command_id))
+        self._live_ids.add(command_id)
+        self._obs_depth.set(float(len(self._live_ids)))
+        self.clock.schedule_at(end_us, lambda: self._complete(command_id))
+
+    def drain(self) -> None:
+        """Barrier: the host waits for every in-flight command to complete."""
+        while self._in_flight:
+            latest = max(end for end, _ in self._in_flight)
+            self.clock.wait_until(latest)
+            self._retire_due()
+        self._obs_depth.set(0.0)
+
+    def reset(self) -> None:
+        """Power loss: forget all in-flight commands without waiting."""
+        self._in_flight.clear()
+        self._live_ids.clear()
+        self._obs_depth.set(0.0)
+
+    # ------------------------------------------------------------ internals
+
+    def _complete(self, command_id: int) -> None:
+        """Clock-event completion; stale events (post-reset) are no-ops."""
+        self._live_ids.discard(command_id)
+        self._retire_due()
+        self._obs_depth.set(float(len(self._live_ids)))
+
+    def _retire_due(self) -> None:
+        now = self.clock.now_us
+        while self._in_flight and (
+            self._in_flight[0][0] <= now or self._in_flight[0][1] not in self._live_ids
+        ):
+            _, command_id = heapq.heappop(self._in_flight)
+            self._live_ids.discard(command_id)

@@ -1,9 +1,14 @@
-"""The storage device: command front-end, bus costs, power state.
+"""The storage device: command front-end, bus costs, queueing, power state.
 
 ``StorageDevice`` wraps an FTL and models the host-visible interface:
 
 - per-command fixed overhead and per-page bus transfer time (the NAND array
   time itself is charged inside the chip);
+- an optional NCQ-style command queue (``queue_depth > 1``): reads and
+  writes dispatch asynchronously — their flash time lands on the chip's
+  per-channel timelines while the host continues — and ``flush`` /
+  ``commit`` / ``abort`` drain the queue as barriers.  Depth 1 is the
+  seed's fully synchronous device, bit for bit;
 - the extended command set when the FTL is an :class:`~repro.ftl.XFTL`
   (tagged reads/writes, commit/abort — carried over trim in the prototype);
 - power-off / power-on with FTL recovery, used by crash experiments.
@@ -11,10 +16,11 @@
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import DeviceError
 from repro.device.commands import DeviceCounters
+from repro.device.queue import CP_QUEUE_BARRIER, CP_QUEUE_DISPATCH, CommandQueue
 from repro.ftl.base import Ftl
 from repro.ftl.xftl import XFTL
 
@@ -22,13 +28,26 @@ from repro.ftl.xftl import XFTL
 class StorageDevice:
     """A SATA-attached SSD built from a flash chip and an FTL."""
 
-    def __init__(self, ftl: Ftl) -> None:
+    def __init__(self, ftl: Ftl, queue_depth: int = 1) -> None:
         self.ftl = ftl
         self.chip = ftl.chip
         self.clock = ftl.chip.clock
         self.profile = ftl.chip.profile
         self.counters = DeviceCounters()
         self.obs = ftl.chip.obs
+        if queue_depth < 1:
+            raise DeviceError(f"queue depth must be >= 1, got {queue_depth}")
+        if queue_depth > 1 and not self.chip.supports_overlap:
+            raise DeviceError(
+                "queue_depth > 1 requires a flash array with overlap support "
+                "(FlashArray); the serial FlashChip cannot overlap commands"
+            )
+        self.queue_depth = queue_depth
+        # Depth 1 keeps the seed's synchronous command paths untouched (no
+        # queue object at all), which the channel-equivalence test pins.
+        self.queue = (
+            CommandQueue(self.clock, queue_depth, self.obs) if queue_depth > 1 else None
+        )
         obs = self.obs
         self._obs_reads = obs.counter("dev.reads")
         self._obs_writes = obs.counter("dev.writes")
@@ -48,6 +67,8 @@ class StorageDevice:
 
     def _crash_power_loss(self) -> None:
         self._on = False
+        if self.queue is not None:
+            self.queue.reset()
 
     # --------------------------------------------------------------- state
 
@@ -69,10 +90,12 @@ class StorageDevice:
         return self._on
 
     def power_off(self) -> None:
-        """Cut power: all device DRAM state is lost."""
+        """Cut power: all device DRAM state is lost (in-flight queue included)."""
         if self._on:
             self.ftl.power_fail()
             self._on = False
+            if self.queue is not None:
+                self.queue.reset()
 
     def power_on(self) -> None:
         """Restore power and run FTL mount-time recovery."""
@@ -89,6 +112,32 @@ class StorageDevice:
             self.profile.command_overhead_us + transfers * self.profile.bus_transfer_us
         )
 
+    def _dispatch(self, op: Callable[[], Any]) -> Any:
+        """Issue one queued command: admit, run with deferred flash time.
+
+        The FTL/chip state mutates now (program order); the flash durations
+        accumulate on the channel timelines inside the overlap region, and
+        the command stays in flight until its latest reservation completes.
+        A crash point fires before dispatch whenever earlier commands are
+        still outstanding — the window where power loss catches a non-empty
+        queue.
+        """
+        queue = self.queue
+        queue.admit()
+        if queue.in_flight:
+            self.chip.crash_plan.hit(CP_QUEUE_DISPATCH)
+        with self.chip.overlap() as region:
+            result = op()
+        queue.push(region.end_us)
+        return result
+
+    def _drain_barrier(self) -> None:
+        """Complete all in-flight commands before a flush/commit/abort."""
+        queue = self.queue
+        if queue is not None and queue.in_flight:
+            self.chip.crash_plan.hit(CP_QUEUE_BARRIER)
+            queue.drain()
+
     # ---------------------------------------------------- standard commands
 
     def read(self, lpn: int) -> Any:
@@ -96,7 +145,9 @@ class StorageDevice:
         self.counters.reads += 1
         self._obs_reads.inc()
         self._charge(transfers=1)
-        return self.ftl.read(lpn)
+        if self.queue is None:
+            return self.ftl.read(lpn)
+        return self._dispatch(lambda: self.ftl.read(lpn))
 
     def write(self, lpn: int, data: Any) -> None:
         self._check_on()
@@ -104,7 +155,10 @@ class StorageDevice:
         self._obs_writes.inc()
         with self.obs.tracer.span("write", "dev", lpn=lpn):
             self._charge(transfers=1)
-            self.ftl.write(lpn, data)
+            if self.queue is None:
+                self.ftl.write(lpn, data)
+            else:
+                self._dispatch(lambda: self.ftl.write(lpn, data))
 
     def trim(self, lpn: int) -> None:
         self._check_on()
@@ -121,6 +175,7 @@ class StorageDevice:
         start_us = self.clock.now_us
         with self.obs.tracer.span("flush", "dev"):
             self._charge()
+            self._drain_barrier()
             self.ftl.barrier()
         self._obs_flush_us.observe(self.clock.now_us - start_us)
 
@@ -137,7 +192,9 @@ class StorageDevice:
         self.counters.tagged_reads += 1
         self._obs_tagged_reads.inc()
         self._charge(transfers=1)
-        return ftl.read_tx(tid, lpn)
+        if self.queue is None:
+            return ftl.read_tx(tid, lpn)
+        return self._dispatch(lambda: ftl.read_tx(tid, lpn))
 
     def write_tx(self, tid: int, lpn: int, data: Any) -> None:
         self._check_on()
@@ -146,7 +203,10 @@ class StorageDevice:
         self._obs_tagged_writes.inc()
         with self.obs.tracer.span("write_tx", "dev", lpn=lpn, tid=tid):
             self._charge(transfers=1)
-            ftl.write_tx(tid, lpn, data)
+            if self.queue is None:
+                ftl.write_tx(tid, lpn, data)
+            else:
+                self._dispatch(lambda: ftl.write_tx(tid, lpn, data))
 
     def commit(self, tid: int) -> None:
         """commit(t), carried over the trim command's parameter set (§5.2)."""
@@ -157,6 +217,7 @@ class StorageDevice:
         start_us = self.clock.now_us
         with self.obs.tracer.span("commit", "dev", tid=tid):
             self._charge()
+            self._drain_barrier()
             ftl.commit(tid)
         self._obs_commit_us.observe(self.clock.now_us - start_us)
 
@@ -167,4 +228,5 @@ class StorageDevice:
         self.counters.aborts += 1
         self._obs_aborts.inc()
         self._charge()
+        self._drain_barrier()
         ftl.abort(tid)

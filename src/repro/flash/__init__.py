@@ -1,7 +1,16 @@
-"""NAND flash chip simulation: geometry, raw chip operations, statistics."""
+"""NAND flash simulation: geometry, chip/array operations, statistics."""
 
 from repro.flash.geometry import FlashGeometry
-from repro.flash.chip import FlashChip, PageState
+from repro.flash.chip import FlashChip, OverlapRegion, PageState
+from repro.flash.array import FlashArray, FlashDie
 from repro.flash.stats import FlashStats
 
-__all__ = ["FlashGeometry", "FlashChip", "PageState", "FlashStats"]
+__all__ = [
+    "FlashGeometry",
+    "FlashChip",
+    "FlashArray",
+    "FlashDie",
+    "OverlapRegion",
+    "PageState",
+    "FlashStats",
+]

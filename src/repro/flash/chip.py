@@ -55,6 +55,40 @@ class PageState(enum.Enum):
     TORN = "torn"
 
 
+class OverlapRegion:
+    """Handle for one ``chip.overlap()`` region.
+
+    While the region is active, flash operations on a
+    :class:`~repro.flash.array.FlashArray` reserve channel time without
+    blocking the clock; :attr:`end_us` tracks the latest completion of any
+    reservation made inside the region (the command's finish time).  On the
+    serial base chip the region is inert and ``end_us`` just mirrors the
+    clock.  Regions nest: an inner region's reservations also extend every
+    enclosing region's horizon.
+    """
+
+    __slots__ = ("_array", "end_us")
+
+    def __init__(self, array) -> None:
+        self._array = array
+        self.end_us = 0.0
+
+    def note(self, end_us: float) -> None:
+        if end_us > self.end_us:
+            self.end_us = end_us
+
+    def __enter__(self) -> "OverlapRegion":
+        if self._array is not None:
+            self._array._enter_region(self)
+        else:
+            self.end_us = 0.0
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._array is not None:
+            self._array._exit_region(self)
+
+
 class FlashChip:
     """One simulated NAND chip.
 
@@ -92,6 +126,37 @@ class FlashChip:
         # Next programmable page index within each block (sequential rule).
         self._write_point: list[int] = [0] * self.geometry.num_blocks
         self.erase_counts: list[int] = [0] * self.geometry.num_blocks
+
+    # ----------------------------------------------------------- parallelism
+    #
+    # The base chip is strictly serial: every operation advances the global
+    # clock by its full latency, and the overlap/drain hooks are no-ops.
+    # :class:`~repro.flash.array.FlashArray` overrides these to reserve time
+    # on per-channel resource timelines instead.
+
+    #: Whether deferred (overlapping) charging is meaningful on this chip.
+    supports_overlap = False
+
+    @property
+    def num_channels(self) -> int:
+        """Channels this chip can overlap across (1: strictly serial)."""
+        return 1
+
+    def _charge_flash(self, duration_us: float, block: int) -> None:
+        """Charge one flash-array operation's time.  Serial: advance the clock."""
+        self.clock.advance(duration_us)
+
+    def overlap(self) -> "OverlapRegion":
+        """Context manager for a region whose flash ops may overlap.
+
+        On the serial base chip this is inert — operations inside still
+        advance the clock one after another — so FTL code can bracket its
+        fan-out sections unconditionally.
+        """
+        return OverlapRegion(None)
+
+    def drain(self) -> None:
+        """Cross-channel barrier: wait until all channels are idle (no-op here)."""
 
     # ------------------------------------------------------------------ ops
 
@@ -136,7 +201,7 @@ class FlashChip:
         self.stats.page_programs += 1
         self._obs_programs.inc()
         with self.obs.tracer.span("program", "flash"):
-            self.clock.advance(self.profile.page_program_us)
+            self._charge_flash(self.profile.page_program_us, block)
         self.crash_plan.hit(CP_PROGRAM_AFTER)
 
     def read(self, ppn: int) -> Any:
@@ -149,7 +214,7 @@ class FlashChip:
             raise FlashError(f"read of erased page ppn={ppn}")
         self.stats.page_reads += 1
         self._obs_reads.inc()
-        self.clock.advance(self.profile.page_read_us)
+        self._charge_flash(self.profile.page_read_us, ppn // self.geometry.pages_per_block)
         return self._data[ppn]
 
     def read_oob(self, ppn: int) -> Any:
@@ -174,7 +239,7 @@ class FlashChip:
         self.stats.block_erases += 1
         self._obs_erases.inc()
         with self.obs.tracer.span("erase", "flash"):
-            self.clock.advance(self.profile.block_erase_us)
+            self._charge_flash(self.profile.block_erase_us, block)
 
     # ---------------------------------------------------------- inspection
 

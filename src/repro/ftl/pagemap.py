@@ -8,6 +8,13 @@ This models the OpenSSD board's stock firmware (§5.3, §6.1):
 - when the free-block pool runs low, a greedy garbage collector picks the
   block with the fewest valid pages, copies its valid pages into the active
   block and erases it;
+- on a multi-channel chip (:class:`~repro.flash.array.FlashArray`) the FTL
+  keeps one active block, free pool and garbage collector *per channel*:
+  host writes round-robin across channels so consecutive appends land on
+  different channels and overlap, and GC is channel-local (victim and
+  copyback target share a channel), so its read->program data dependencies
+  serialize naturally on the channel's own timeline.  With one channel all
+  of this degenerates to exactly the single-pool behaviour;
 - a *write barrier* (the device-level effect of a host fsync / FUA) persists
   all dirty mapping-table chunks plus a fixed set of firmware metadata pages
   to flash.  This is the hidden cost that makes fsync-heavy hosts slow on
@@ -99,9 +106,16 @@ class PageMappingFTL(Ftl):
         self._l2p: dict[int, int] = {}
         self._owner: dict[int, tuple] = {}
         self._valid_count: list[int] = [0] * geo.num_blocks
-        self._free_blocks: list[int] = list(range(geo.num_blocks))
-        self._alloc_order: list[int] = []  # blocks in allocation-age order
-        self._active_block: int | None = None
+        # Space management is striped per channel: each channel has its own
+        # free pool, active block and allocation-age order, so appends on
+        # different channels never contend.  With channels == 1 this is the
+        # single free pool / single active block of the stock firmware.
+        self._free_by_channel: list[list[int]] = [
+            list(geo.channel_blocks(channel)) for channel in range(geo.channels)
+        ]
+        self._alloc_order: list[list[int]] = [[] for _ in range(geo.channels)]
+        self._active_blocks: list[int | None] = [None] * geo.channels
+        self._write_channel = 0  # round-robin cursor for host/map appends
         self._seq = 0
         self._dirty_segments: set[int] = set()
         self._map_dir: dict[int, int] = {}
@@ -164,6 +178,12 @@ class PageMappingFTL(Ftl):
         immediately: they stay valid (GC-pinned) until the new root record
         is published, so a crash mid-barrier still finds every page the old
         root references.
+
+        On a multi-channel array the flush fans out: map/meta pages are
+        DRAM-sourced, so their programs round-robin across channels inside
+        one overlap region, and the root is published only after
+        ``chip.drain()`` — the cross-channel ordering point that preserves
+        barrier durability semantics.
         """
         self._check_power()
         self.stats.barriers += 1
@@ -171,8 +191,10 @@ class PageMappingFTL(Ftl):
         start_us = self.chip.clock.now_us
         with self.obs.tracer.span("barrier", "ftl"):
             self.chip.clock.advance(self.chip.profile.barrier_overhead_us)
-            self._flush_map()
-            self._flush_meta()
+            with self.chip.overlap():
+                self._flush_map()
+                self._flush_meta()
+            self.chip.drain()
             self._publish_root()
             for ppn in list(self._pending_retired):
                 self._invalidate(ppn)
@@ -183,13 +205,15 @@ class PageMappingFTL(Ftl):
 
     def power_fail(self) -> None:
         """Drop all DRAM state.  The chip (and the root record) persist."""
+        geo = self.chip.geometry
         self._powered = False
         self._l2p = {}
         self._owner = {}
-        self._valid_count = [0] * self.chip.geometry.num_blocks
-        self._free_blocks = []
-        self._alloc_order = []
-        self._active_block = None
+        self._valid_count = [0] * geo.num_blocks
+        self._free_by_channel = [[] for _ in range(geo.channels)]
+        self._alloc_order = [[] for _ in range(geo.channels)]
+        self._active_blocks = [None] * geo.channels
+        self._write_channel = 0
         self._dirty_segments = set()
         self._map_dir = {}
         self._meta_dir = {}
@@ -294,54 +318,72 @@ class PageMappingFTL(Ftl):
 
     # -------- space management ----------------------------------------
 
-    def _program(self, data: Any, oob: tuple) -> int:
-        """Append one page into the active block, garbage-collecting if needed."""
-        # Keep at least one block's worth of erased pages at all times: any
-        # GC victim has at most pages_per_block - 1 valid pages, so as long
-        # as a full block of headroom exists *before* each host program, GC
-        # can always relocate a victim and make progress.  Waiting until the
-        # free pool is empty (the old behaviour) let the host consume the
-        # copyback headroom page by page and wedge an in-capacity workload.
-        if self._gc_headroom_pages() <= self.chip.geometry.pages_per_block:
-            self._garbage_collect(target_blocks=0)
-        block = self._ensure_active_block()
+    def _pick_channel(self) -> int:
+        """Round-robin channel for the next append (always 0 when serial)."""
+        channel = self._write_channel
+        self._write_channel = (channel + 1) % self.chip.geometry.channels
+        return channel
+
+    def _program(self, data: Any, oob: tuple, channel: int | None = None) -> int:
+        """Append one page into a channel's active block, GCing if needed."""
+        if channel is None:
+            channel = self._pick_channel()
+        # Keep at least one block's worth of erased pages per channel at all
+        # times: any GC victim has at most pages_per_block - 1 valid pages,
+        # so as long as a full block of headroom exists *before* each host
+        # program, GC can always relocate a victim and make progress.
+        # Waiting until the free pool is empty (the old behaviour) let the
+        # host consume the copyback headroom page by page and wedge an
+        # in-capacity workload.
+        if self._gc_headroom_pages(channel) <= self.chip.geometry.pages_per_block:
+            self._garbage_collect(channel, target_blocks=0)
+        block = self._ensure_active_block(channel)
         ppn = self.chip.geometry.ppn_of(block, self.chip.block_write_point(block))
         self.chip.program(ppn, data, oob)
         if self.chip.block_is_full(block):
-            self._active_block = None
+            self._active_blocks[channel] = None
         return ppn
 
-    def _ensure_active_block(self) -> int:
-        if self._active_block is not None and not self.chip.block_is_full(self._active_block):
-            return self._active_block
-        if len(self._free_blocks) <= self.config.gc_free_block_threshold:
-            self._garbage_collect()
-        if not self._free_blocks:
-            raise OutOfSpaceError("no free blocks after garbage collection")
-        self._active_block = self._free_blocks.pop()
-        self._alloc_order.append(self._active_block)
-        return self._active_block
+    def _ensure_active_block(self, channel: int) -> int:
+        active = self._active_blocks[channel]
+        if active is not None and not self.chip.block_is_full(active):
+            return active
+        if len(self._free_by_channel[channel]) <= self.config.gc_free_block_threshold:
+            self._garbage_collect(channel)
+        free = self._free_by_channel[channel]
+        if not free:
+            raise OutOfSpaceError(f"no free blocks on channel {channel} after GC")
+        block = free.pop()
+        self._active_blocks[channel] = block
+        self._alloc_order[channel].append(block)
+        return block
 
-    def _gc_headroom_pages(self) -> int:
-        """Erased pages GC may program into right now (free pool + active)."""
+    def _gc_headroom_pages(self, channel: int) -> int:
+        """Erased pages GC may program into on ``channel`` (free pool + active)."""
         geo = self.chip.geometry
-        pages = len(self._free_blocks) * geo.pages_per_block
-        if self._active_block is not None:
-            pages += geo.pages_per_block - self.chip.block_write_point(self._active_block)
+        pages = len(self._free_by_channel[channel]) * geo.pages_per_block
+        active = self._active_blocks[channel]
+        if active is not None:
+            pages += geo.pages_per_block - self.chip.block_write_point(active)
         return pages
 
-    def _garbage_collect(self, target_blocks: int | None = None) -> None:
-        """Greedy GC: reclaim victims until the free pool is above threshold.
+    def _garbage_collect(self, channel: int, target_blocks: int | None = None) -> None:
+        """Greedy channel-local GC: reclaim until the pool is above threshold.
 
-        A victim is only collected when the current headroom (erased pages
-        in the free pool plus the active block) covers its valid-page
-        copyback — erasing is how GC *gains* space, so it must never erase
-        itself into a corner.  Independent of the block target, collection
-        continues until the page-granular headroom floor (one block's worth
-        of erased pages) is restored: tight geometries may never stabilise
-        the free pool above one block, yet stay perfectly sustainable by
-        cycling the active block's spare pages.  ``target_blocks=0`` runs a
-        floor-only pass (used before each program).
+        GC never crosses channels: the victim and the copyback target share
+        a channel, so relocation's read->program dependency chains sit on
+        one channel timeline and need no cross-channel synchronisation (and
+        the striped layout keeps every channel's share of invalid pages
+        statistically equal).  A victim is only collected when the current
+        headroom (erased pages in the channel's free pool plus its active
+        block) covers its valid-page copyback — erasing is how GC *gains*
+        space, so it must never erase itself into a corner.  Independent of
+        the block target, collection continues until the page-granular
+        headroom floor (one block's worth of erased pages) is restored:
+        tight geometries may never stabilise the free pool above one block,
+        yet stay perfectly sustainable by cycling the active block's spare
+        pages.  ``target_blocks=0`` runs a floor-only pass (used before
+        each program).
         """
         geo = self.chip.geometry
         if target_blocks is None:
@@ -349,31 +391,31 @@ class PageMappingFTL(Ftl):
         floor_pages = geo.pages_per_block
         guard = geo.total_pages + geo.num_blocks
         while (
-            len(self._free_blocks) < target_blocks
-            or self._gc_headroom_pages() <= floor_pages
+            len(self._free_by_channel[channel]) < target_blocks
+            or self._gc_headroom_pages(channel) <= floor_pages
         ):
             guard -= 1
             if guard < 0:
                 raise OutOfSpaceError("garbage collection cannot make progress")
-            victim = self._pick_victim()
-            if victim is None or self._valid_count[victim] > self._gc_headroom_pages():
-                if self._free_blocks or self._gc_headroom_pages() > 0:
+            victim = self._pick_victim(channel)
+            if victim is None or self._valid_count[victim] > self._gc_headroom_pages(channel):
+                if self._free_by_channel[channel] or self._gc_headroom_pages(channel) > 0:
                     return  # nothing reclaimable; live with what we have
                 raise OutOfSpaceError("no GC victim and no free blocks")
             self._collect_block(victim)
 
-    def _pick_victim(self) -> int | None:
+    def _pick_victim(self, channel: int) -> int | None:
         if self.config.gc_policy == "fifo":
-            victim = self._pick_victim_fifo()
+            victim = self._pick_victim_fifo(channel)
             if victim is not None:
                 return victim
-        return self._pick_victim_greedy()
+        return self._pick_victim_greedy(channel)
 
-    def _pick_victim_fifo(self) -> int | None:
-        """Oldest reclaimable block in allocation order (wear-rotation)."""
+    def _pick_victim_fifo(self, channel: int) -> int | None:
+        """Oldest reclaimable block in the channel's allocation order."""
         geo = self.chip.geometry
-        for block in self._alloc_order:
-            if block == self._active_block:
+        for block in self._alloc_order[channel]:
+            if block == self._active_blocks[channel]:
                 continue
             used = self.chip.block_write_point(block)
             if used == 0:
@@ -383,13 +425,13 @@ class PageMappingFTL(Ftl):
                     return block
         return None
 
-    def _pick_victim_greedy(self) -> int | None:
-        """Block with the fewest valid pages among written, non-active blocks."""
+    def _pick_victim_greedy(self, channel: int) -> int | None:
+        """Channel block with the fewest valid pages among written, non-active."""
         geo = self.chip.geometry
         best = None
         best_valid = None
-        for block in range(geo.num_blocks):
-            if block == self._active_block:
+        for block in geo.channel_blocks(channel):
+            if block == self._active_blocks[channel]:
                 continue
             used = self.chip.block_write_point(block)
             if used == 0:
@@ -405,6 +447,7 @@ class PageMappingFTL(Ftl):
 
     def _collect_block(self, victim: int) -> None:
         geo = self.chip.geometry
+        channel = geo.channel_of_block(victim)
         used = self.chip.block_write_point(victim)
         valid_before = self._valid_count[victim]
         self.stats.gc_invocations += 1
@@ -421,31 +464,33 @@ class PageMappingFTL(Ftl):
                 data = self.chip.read(ppn)
                 self.stats.gc_copyback_reads += 1
                 self._obs_gc_reads.inc()
-                new_ppn = self._program_for_gc(data, self._gc_oob(owner, ppn))
+                new_ppn = self._program_for_gc(data, self._gc_oob(owner, ppn), channel)
                 self.stats.gc_copyback_writes += 1
                 self._obs_gc_writes.inc()
                 self._drop_owner(ppn)
                 self._set_owner_raw(new_ppn, owner)
                 self._apply_relocation(owner, ppn, new_ppn)
             self.chip.erase(victim)
-        self._free_blocks.append(victim)
+        self._free_by_channel[channel].append(victim)
         try:
-            self._alloc_order.remove(victim)
+            self._alloc_order[channel].remove(victim)
         except ValueError:
             pass
 
-    def _program_for_gc(self, data: Any, oob: tuple) -> int:
-        """Program during GC, drawing directly on the free pool (no recursion)."""
-        if self._active_block is None or self.chip.block_is_full(self._active_block):
-            if not self._free_blocks:
+    def _program_for_gc(self, data: Any, oob: tuple, channel: int) -> int:
+        """Program during GC, drawing directly on the channel's free pool."""
+        active = self._active_blocks[channel]
+        if active is None or self.chip.block_is_full(active):
+            free = self._free_by_channel[channel]
+            if not free:
                 raise OutOfSpaceError("GC ran out of headroom blocks")
-            self._active_block = self._free_blocks.pop()
-            self._alloc_order.append(self._active_block)
-        block = self._active_block
-        ppn = self.chip.geometry.ppn_of(block, self.chip.block_write_point(block))
+            active = free.pop()
+            self._active_blocks[channel] = active
+            self._alloc_order[channel].append(active)
+        ppn = self.chip.geometry.ppn_of(active, self.chip.block_write_point(active))
         self.chip.program(ppn, data, oob)
-        if self.chip.block_is_full(block):
-            self._active_block = None
+        if self.chip.block_is_full(active):
+            self._active_blocks[channel] = None
         return ppn
 
     def _gc_oob(self, owner: tuple, old_ppn: int) -> tuple:
@@ -586,22 +631,26 @@ class PageMappingFTL(Ftl):
         self._valid_count = [0] * geo.num_blocks
         for ppn in self._owner:
             self._valid_count[ppn // geo.pages_per_block] += 1
-        self._free_blocks = [
-            block for block in range(geo.num_blocks) if self.chip.block_write_point(block) == 0
+        self._free_by_channel = [
+            [b for b in geo.channel_blocks(ch) if self.chip.block_write_point(b) == 0]
+            for ch in range(geo.channels)
         ]
         # Allocation-age order is volatile; approximate by block number.
         self._alloc_order = [
-            block for block in range(geo.num_blocks) if self.chip.block_write_point(block) > 0
+            [b for b in geo.channel_blocks(ch) if self.chip.block_write_point(b) > 0]
+            for ch in range(geo.channels)
         ]
-        self._active_block = None
-        # Resume appending into the fullest partially-written block, if any.
-        partials = [
-            block
-            for block in range(geo.num_blocks)
-            if 0 < self.chip.block_write_point(block) < geo.pages_per_block
-        ]
-        if partials:
-            self._active_block = max(partials, key=self.chip.block_write_point)
+        self._active_blocks = [None] * geo.channels
+        self._write_channel = 0
+        # Resume appending into each channel's fullest partially-written block.
+        for channel in range(geo.channels):
+            partials = [
+                block
+                for block in geo.channel_blocks(channel)
+                if 0 < self.chip.block_write_point(block) < geo.pages_per_block
+            ]
+            if partials:
+                self._active_blocks[channel] = max(partials, key=self.chip.block_write_point)
 
     # -------- inspection --------------------------------------------------
 
@@ -610,7 +659,10 @@ class PageMappingFTL(Ftl):
         return self._l2p.get(lpn)
 
     def free_block_count(self) -> int:
-        return len(self._free_blocks)
+        return sum(len(free) for free in self._free_by_channel)
+
+    def free_block_count_by_channel(self) -> list[int]:
+        return [len(free) for free in self._free_by_channel]
 
     def utilization(self) -> float:
         """Fraction of raw flash pages currently holding valid data."""
@@ -650,3 +702,12 @@ class PageMappingFTL(Ftl):
         for lpn, ppn in self._l2p.items():
             if self._owner.get(ppn) != (OWNER_L2P, lpn):
                 raise FtlError(f"l2p[{lpn}]={ppn} not owned by l2p")
+        for channel in range(geo.channels):
+            active = self._active_blocks[channel]
+            if active is not None and geo.channel_of_block(active) != channel:
+                raise FtlError(f"active block {active} not on channel {channel}")
+            for block in self._free_by_channel[channel]:
+                if geo.channel_of_block(block) != channel:
+                    raise FtlError(f"free block {block} on wrong channel list {channel}")
+                if self.chip.block_write_point(block) != 0:
+                    raise FtlError(f"free block {block} is not erased")

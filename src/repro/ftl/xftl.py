@@ -199,16 +199,25 @@ class XFTL(PageMappingFTL):
                 del self._writers_by_lpn[lpn]
 
     def _flush_xl2p(self) -> None:
-        """Write the whole X-L2P table copy-on-write and republish the root."""
+        """Write the whole X-L2P table copy-on-write and republish the root.
+
+        On a multi-channel array the table pages (DRAM-sourced) round-robin
+        across channels and overlap inside one region; ``chip.drain()`` is
+        the cross-channel barrier that makes every page durable *before*
+        the root repoints at them, preserving the commit ordering of
+        Figure 4 step 3.
+        """
         images = self.xl2p.serialize(self.chip.geometry.page_size)
         new_ppns: list[int] = []
-        for index, image in enumerate(images):
-            self._seq += 1
-            ppn = self._program(image, (OOB_XL2P_TABLE, index, self._seq, None))
-            self._set_owner(ppn, (OWNER_XL2P_TABLE, index))
-            new_ppns.append(ppn)
-            self.stats.xl2p_page_writes += 1
-            self._obs_xl2p_writes.inc()
+        with self.chip.overlap():
+            for index, image in enumerate(images):
+                self._seq += 1
+                ppn = self._program(image, (OOB_XL2P_TABLE, index, self._seq, None))
+                self._set_owner(ppn, (OWNER_XL2P_TABLE, index))
+                new_ppns.append(ppn)
+                self.stats.xl2p_page_writes += 1
+                self._obs_xl2p_writes.inc()
+        self.chip.drain()
         self._obs_xl2p_flush_pages.observe(float(len(images)))
         for index, old in enumerate(self._xl2p_page_ppns):
             if old in self._owner:

@@ -33,9 +33,11 @@ from repro.obs.registry import (
     DEFAULT_LATENCY_BOUNDS_US,
     DEFAULT_SIZE_BOUNDS,
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     NULL_COUNTER,
+    NULL_GAUGE,
     NULL_HISTOGRAM,
 )
 from repro.obs.tracing import NULL_SPAN, Span, Tracer
@@ -44,9 +46,11 @@ __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BOUNDS_US",
     "DEFAULT_SIZE_BOUNDS",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_COUNTER",
+    "NULL_GAUGE",
     "NULL_HISTOGRAM",
     "NULL_OBS",
     "NULL_SPAN",
@@ -101,6 +105,9 @@ class Observability:
 
     def histogram(self, name: str, bounds: tuple[float, ...] = DEFAULT_LATENCY_BOUNDS_US):
         return self.registry.histogram(name, bounds)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.registry.gauge(name)
 
     def span(self, name: str, layer: str, lpn: int | None = None, tid: int | None = None):
         return self.tracer.span(name, layer, lpn=lpn, tid=tid)

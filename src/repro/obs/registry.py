@@ -108,6 +108,33 @@ class Histogram:
         }
 
 
+class Gauge:
+    """A current-value instrument (queue depth, pool occupancy).
+
+    Tracks the latest value plus the high-water mark; unlike a counter it
+    may go up and down.  ``set`` takes the absolute value, ``add`` moves it
+    relatively (convenient for enter/exit style call sites).
+    """
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value}, max={self.max_value})"
+
+
 class _NullCounter:
     """Shared no-op counter handed out by disabled registries."""
 
@@ -137,8 +164,24 @@ class _NullHistogram:
         return {"count": 0, "total": 0.0, "min": None, "max": None, "mean": 0.0, "buckets": {}}
 
 
+class _NullGauge:
+    """Shared no-op gauge handed out by disabled registries."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0.0
+    max_value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
 NULL_COUNTER = _NullCounter()
 NULL_HISTOGRAM = _NullHistogram()
+NULL_GAUGE = _NullGauge()
 
 
 class MetricsRegistry:
@@ -153,6 +196,7 @@ class MetricsRegistry:
         self.enabled = enabled
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
 
     # ------------------------------------------------------------ acquire
 
@@ -176,6 +220,15 @@ class MetricsRegistry:
             histogram = self._histograms[name] = Histogram(name, bounds)
         return histogram
 
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge called ``name``."""
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
     # ------------------------------------------------------------- query
 
     def counter_value(self, name: str) -> int:
@@ -190,10 +243,13 @@ class MetricsRegistry:
     def histograms(self) -> dict[str, Histogram]:
         return {name: self._histograms[name] for name in sorted(self._histograms)}
 
+    def gauges(self) -> dict[str, Gauge]:
+        return {name: self._gauges[name] for name in sorted(self._gauges)}
+
     def layers(self) -> list[str]:
         """Layer prefixes (text before the first dot) present in the registry."""
         seen: dict[str, None] = {}
-        for name in sorted(set(self._counters) | set(self._histograms)):
+        for name in sorted(set(self._counters) | set(self._histograms) | set(self._gauges)):
             seen.setdefault(name.split(".", 1)[0], None)
         return list(seen)
 
@@ -211,6 +267,10 @@ class MetricsRegistry:
             "histograms": {
                 name: histogram.as_dict() for name, histogram in self.histograms().items()
             },
+            "gauges": {
+                name: {"value": gauge.value, "max": gauge.max_value}
+                for name, gauge in self.gauges().items()
+            },
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -225,6 +285,9 @@ class MetricsRegistry:
             lines.append(f"histogram,{name},count,{histogram.count}")
             lines.append(f"histogram,{name},total,{histogram.total:g}")
             lines.append(f"histogram,{name},mean,{histogram.mean:g}")
+        for name, gauge in self.gauges().items():
+            lines.append(f"gauge,{name},value,{gauge.value:g}")
+            lines.append(f"gauge,{name},max,{gauge.max_value:g}")
         return "\n".join(lines) + "\n"
 
     def report(self, title: str = "metrics") -> str:
@@ -240,6 +303,13 @@ class MetricsRegistry:
                 lines.append(
                     f"    {name:<34s} {histogram.count:>12d} obs"
                     f"  mean {histogram.mean:.1f}  max {histogram.max or 0:.1f}"
+                )
+            for name, gauge in self.gauges().items():
+                if not name.startswith(layer + "."):
+                    continue
+                lines.append(
+                    f"    {name:<34s} {gauge.value:>12g}"
+                    f"  max {gauge.max_value:g}"
                 )
         if len(lines) == 1:
             lines.append("  (no metrics recorded)")
@@ -263,4 +333,8 @@ class MetricsRegistry:
                     mine.min = histogram.min
                 if histogram.max is not None and (mine.max is None or histogram.max > mine.max):
                     mine.max = histogram.max
+            for name, gauge in other.gauges().items():
+                mine_gauge = self.gauge(name)
+                mine_gauge.set(max(mine_gauge.max_value, gauge.max_value))
+                mine_gauge.value = gauge.value
         return self

@@ -1,6 +1,7 @@
-"""Simulation substrate: virtual clock, latency profiles, RNG, crash points."""
+"""Simulation substrate: clock, event scheduler, latency, RNG, crash points."""
 
 from repro.sim.clock import SimClock
+from repro.sim.events import EventScheduler, ResourceTimeline
 from repro.sim.crash import (
     CrashPlan,
     CrashPoint,
@@ -9,10 +10,18 @@ from repro.sim.crash import (
     register_crash_point,
     registered_crash_points,
 )
-from repro.sim.latency import LatencyProfile, OPENSSD_PROFILE, S830_PROFILE
+from repro.sim.latency import (
+    LatencyProfile,
+    OPENSSD_PROFILE,
+    S830_PROFILE,
+    effective_channel_parallelism,
+    effective_channel_profile,
+)
 
 __all__ = [
     "SimClock",
+    "EventScheduler",
+    "ResourceTimeline",
     "CrashPlan",
     "CrashPoint",
     "CrashPointSpec",
@@ -22,4 +31,6 @@ __all__ = [
     "LatencyProfile",
     "OPENSSD_PROFILE",
     "S830_PROFILE",
+    "effective_channel_parallelism",
+    "effective_channel_profile",
 ]

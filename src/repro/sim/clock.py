@@ -8,21 +8,37 @@ simulation.
 
 Times are kept in *microseconds* as floats (flash latencies are naturally
 expressed in microseconds; experiments report seconds or milliseconds).
+
+The clock is also the event spine of the discrete-event scheduler in
+:mod:`repro.sim.events`: completion callbacks registered with
+:meth:`SimClock.schedule_at` fire as simulated time passes them, which is
+how the device command queue retires in-flight commands without polling.
 """
 
 from __future__ import annotations
+
+import heapq
+from typing import Callable
 
 
 class SimClock:
     """Monotonically advancing virtual clock.
 
     The clock only ever moves forward.  Components call :meth:`advance` with
-    the latency of the operation they just performed.  ``busy_us`` breakdowns
-    can be tracked by callers; the clock itself only knows total time.
+    the latency of the operation they just performed, or :meth:`wait_until`
+    to join a completion time computed on a resource timeline.  ``busy_us``
+    breakdowns can be tracked by callers; the clock itself only knows total
+    time plus the pending completion events.
     """
 
     def __init__(self, start_us: float = 0.0) -> None:
         self._now_us = float(start_us)
+        # Completion-event heap: (when_us, sequence, callback).  The
+        # sequence number makes heap ordering total (callbacks are not
+        # comparable) and keeps same-time events in registration order.
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._event_seq = 0
+        self._firing = False
 
     @property
     def now_us(self) -> float:
@@ -47,19 +63,70 @@ class SimClock:
         if delta_us < 0:
             raise ValueError(f"cannot advance clock by negative time: {delta_us}")
         self._now_us += delta_us
+        if self._events:
+            self._fire_due()
         return self._now_us
 
     def advance_to(self, when_us: float) -> float:
-        """Advance the clock to an absolute time, if it is in the future.
+        """Advance the clock to an absolute time **in the future**.
 
-        Used when modelling overlapping work (e.g. multiple FIO threads
-        keeping a device busy): the clock jumps to the completion time of the
-        latest finishing operation.  Times in the past are a no-op rather
-        than an error, which makes ``advance_to(max(completions))`` safe.
+        Past times are rejected: an ``advance_to`` into the past used to
+        no-op silently, which made scheduling bugs indistinguishable from
+        intentional joins.  Callers that legitimately join a completion
+        time that may already have passed (overlapping work finishing
+        "behind" the clock) should use :meth:`wait_until` instead.
+        """
+        if when_us < self._now_us:
+            raise ValueError(
+                f"advance_to({when_us}) is in the past (now={self._now_us}); "
+                "use wait_until() to join a completion that may already be done"
+            )
+        return self.wait_until(when_us)
+
+    def wait_until(self, when_us: float) -> float:
+        """Join an absolute completion time: advance if it is in the future.
+
+        This is the explicit overlap API: modelling concurrent work, the
+        host blocks until the latest completion — which may already be in
+        the past, in which case the wait costs nothing.  Used by
+        :class:`~repro.sim.events.ResourceTimeline` reservations and the
+        device queue's barrier drain.
         """
         if when_us > self._now_us:
             self._now_us = when_us
+        if self._events:
+            self._fire_due()
         return self._now_us
+
+    def schedule_at(self, when_us: float, callback: Callable[[], None]) -> None:
+        """Register a completion event fired when time reaches ``when_us``.
+
+        Events in the past fire on the next time movement (or immediately
+        if one is due now and the clock is not already firing).  Callbacks
+        must not assume any particular clock position beyond ``now_us >=
+        when_us``.
+        """
+        self._event_seq += 1
+        heapq.heappush(self._events, (float(when_us), self._event_seq, callback))
+        if not self._firing:
+            self._fire_due()
+
+    @property
+    def pending_events(self) -> int:
+        """Completion events not yet fired (due or future)."""
+        return len(self._events)
+
+    def _fire_due(self) -> None:
+        """Fire every event with ``when_us <= now``; reentrancy-safe."""
+        if self._firing:
+            return  # the outer loop will drain anything a callback added
+        self._firing = True
+        try:
+            while self._events and self._events[0][0] <= self._now_us:
+                _, _, callback = heapq.heappop(self._events)
+                callback()
+        finally:
+            self._firing = False
 
     def elapsed_since(self, t0_us: float) -> float:
         """Microseconds elapsed since an earlier reading of this clock."""

@@ -16,7 +16,11 @@ Two concrete profiles are provided:
 ``S830_PROFILE``
     The Samsung S830 consumer SSD used for Figure 9: a newer-generation
     controller with channel parallelism and SATA 3.0, modelled as lower
-    *effective* per-page costs.
+    *effective* per-page costs **derived** from the OpenSSD NAND numbers by
+    :func:`effective_channel_profile` rather than hand-copied, so the legacy
+    serial shortcut and the real multi-channel model (a
+    :class:`~repro.flash.array.FlashArray` with ``channels > 1``) cannot
+    drift apart.
 
 Absolute values are calibrated to the magnitude of the paper's numbers (the
 synthetic workload at 5 pages/txn lands in hundreds of seconds for rollback
@@ -25,7 +29,7 @@ mode and tens of seconds for X-FTL); the experiments only rely on ratios.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -86,14 +90,62 @@ OPENSSD_PROFILE = LatencyProfile(
     host_fsync_us=120.0,
 )
 
-S830_PROFILE = LatencyProfile(
+# How much of an n-channel controller's parallelism one host-visible
+# command stream actually sees.  A single stream of dependent commands
+# cannot keep all channels busy (striping granularity, firmware
+# serialization, bus sharing), so the *effective* per-op speedup follows a
+# sub-linear law: parallelism(n) = n ** CHANNEL_SCALING_EXPONENT.  The
+# exponent is calibrated once against the paper's Figure 9 relation — the
+# OpenSSD sustains roughly 25-35% of the 8-channel S830's throughput, i.e.
+# the S830 is ~1.9x faster per op: 8 ** 0.31 ≈ 1.9.
+CHANNEL_SCALING_EXPONENT = 0.31
+
+
+def effective_channel_parallelism(channels: int) -> float:
+    """Effective per-op speedup a serial host stream gets from ``channels``."""
+    if channels < 1:
+        raise ValueError(f"channels must be >= 1, got {channels}")
+    return float(channels) ** CHANNEL_SCALING_EXPONENT
+
+
+def effective_channel_profile(
+    base: LatencyProfile, channels: int, name: str | None = None
+) -> LatencyProfile:
+    """Derive a serial-model "effective" profile from base NAND + channels.
+
+    This is the *legacy shortcut*: instead of simulating overlapping
+    channels, divide every device-side cost by the effective parallelism so
+    a strictly serial clock lands at roughly the same elapsed time a
+    saturated n-channel device would.  Host-side costs (syscalls, fsync
+    wakeups, SQL CPU) are unaffected by device parallelism and stay as-is.
+
+    The real model — a :class:`~repro.flash.array.FlashArray` with
+    ``channels > 1`` and a queued device — uses the **base** profile and
+    gets its speedup from actual overlap; this derivation only exists so
+    single-clock experiments (Figure 9's S830 rows) share one calibration
+    source with it.
+    """
+    if channels == 1:
+        return base if name is None else replace(base, name=name)
+    parallelism = effective_channel_parallelism(channels)
+    return replace(
+        base,
+        name=name or f"{base.name} [effective x{channels} channels]",
+        page_read_us=base.page_read_us / parallelism,
+        page_program_us=base.page_program_us / parallelism,
+        block_erase_us=base.block_erase_us / parallelism,
+        bus_transfer_us=base.bus_transfer_us / parallelism,
+        command_overhead_us=base.command_overhead_us / parallelism,
+        barrier_overhead_us=base.barrier_overhead_us / parallelism,
+    )
+
+
+# The S830's MLC NAND is the same device class as the OpenSSD's (the boards
+# are one controller generation apart; the NAND array times are comparable).
+# What makes the S830 fast is its 8-channel controller and SATA 3.0 link —
+# which is exactly what the derivation models.
+S830_PROFILE = effective_channel_profile(
+    OPENSSD_PROFILE,
+    channels=8,
     name="Samsung S830 (8-channel controller, SATA 3.0)",
-    page_read_us=120.0,
-    page_program_us=680.0,
-    block_erase_us=1_050.0,
-    bus_transfer_us=16.0,
-    command_overhead_us=32.0,
-    barrier_overhead_us=105.0,
-    host_syscall_us=15.0,
-    host_fsync_us=120.0,
 )

@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.device.ssd import StorageDevice
+from repro.flash.array import FlashArray
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry
 from repro.fs.ext4 import Ext4, JournalMode
@@ -114,6 +115,12 @@ class StackConfig:
     num_blocks: int = 1024
     pages_per_block: int = 128
     page_size: int = 8192
+    # Device parallelism: flash channels (ops overlap across them), dies
+    # per channel, and the NCQ command-queue depth.  The defaults (1/1/1)
+    # reproduce the seed's strictly serial device bit for bit.
+    channels: int = 1
+    dies_per_channel: int = 1
+    queue_depth: int = 1
     profile: LatencyProfile = OPENSSD_PROFILE
     ftl: FtlConfig = field(default_factory=FtlConfig)
     journal_pages: int = 256
@@ -193,8 +200,13 @@ def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
         page_size=config.page_size,
         pages_per_block=config.pages_per_block,
         num_blocks=config.num_blocks,
+        channels=config.channels,
+        dies_per_channel=config.dies_per_channel,
     )
-    chip = FlashChip(
+    # Always a FlashArray: with channels=1 it performs the identical float
+    # arithmetic as the serial FlashChip (locked by the channel-equivalence
+    # regression test) and with channels>1 operations overlap for real.
+    chip: FlashChip = FlashArray(
         geometry, clock=clock, profile=config.profile, crash_plan=crash_plan, obs=obs
     )
     # X-FTL firmware is a strict superset of the stock FTL; non-XFTL modes
@@ -203,7 +215,7 @@ def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
         ftl: PageMappingFTL = XFTL(chip, config.ftl)
     else:
         ftl = PageMappingFTL(chip, config.ftl)
-    device = StorageDevice(ftl)
+    device = StorageDevice(ftl, queue_depth=config.queue_depth)
     fs = Ext4.mkfs(
         device,
         config.mode.fs_journal_mode(),
@@ -221,6 +233,8 @@ def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
             "geometry",
             f"{config.num_blocks}x{config.pages_per_block}x{config.page_size}",
         )
+        obs.annotate("channels", config.channels)
+        obs.annotate("queue_depth", config.queue_depth)
     return BenchStack(
         config=config,
         clock=clock,

@@ -13,6 +13,10 @@ Layers (bottom to top):
 
 - ``ftl.pagemap``  — plain writes + barriers on the stock FTL;
 - ``ftl.xftl``     — write_tx/commit/abort transactions on X-FTL;
+- ``device.queue`` — plain writes through a queued (NCQ) device over a
+  two-channel flash array: crashes land with commands in flight;
+- ``device.queue.xftl`` — the transactional command set through the same
+  queued device, exercising commit barriers against a non-empty queue;
 - ``fs.ext4``      — file page writes + fsync on ordered-journal ext4
   over the stock FTL;
 - ``sqlite.xftl``  — SQL transactions on the full paper stack (SQLite
@@ -28,7 +32,9 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.stack import Mode, StackConfig, build_stack
+from repro.device.ssd import StorageDevice
 from repro.errors import PowerFailure, ReproError
+from repro.flash.array import FlashArray
 from repro.flash.chip import FlashChip
 from repro.flash.geometry import FlashGeometry
 from repro.ftl.base import FtlConfig
@@ -146,6 +152,103 @@ def _run_xftl(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]
         ftl.power_fail()
 
     ftl.remount()
+    ftl.check_invariants()
+    return fired, op, oracle.check(ftl.read)
+
+
+# ------------------------------------------------------------ device queue
+
+# Two channels so queued commands genuinely overlap; small enough that GC
+# and the queue crash points interleave within the ops budget.
+_QUEUE_GEOMETRY = FlashGeometry(
+    page_size=512, pages_per_block=8, num_blocks=24, channels=2
+)
+_QUEUE_DEPTH = 4
+
+
+def _run_device_queue(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]]:
+    """Plain writes through an NCQ device: crash with commands in flight."""
+    plan = CrashPlan()
+    ftl = PageMappingFTL(FlashArray(_QUEUE_GEOMETRY, crash_plan=plan), _FTL_CONFIG)
+    device = StorageDevice(ftl, queue_depth=_QUEUE_DEPTH)
+    rng = make_rng(seed, "verify.device.queue")
+    oracle = PlainWriteOracle()
+    hot = min(ftl.exported_pages, 24)
+
+    for lpn in range(hot):
+        device.write(lpn, ("base", lpn))
+        oracle.note_write(lpn, ("base", lpn))
+    device.flush()
+    oracle.note_durable()
+
+    plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    op = 0
+    try:
+        for op in range(1, ops_limit + 1):
+            lpn = rng.randrange(hot)
+            value = ("v", op)
+            oracle.note_write(lpn, value)  # attempted: may survive the crash
+            device.write(lpn, value)
+            if op % 7 == 0:
+                device.flush()
+                oracle.note_durable()
+    except PowerFailure:
+        fired = True
+    else:
+        plan.disarm_all()
+        device.power_off()
+
+    device.power_on()
+    ftl.check_invariants()
+    violations = oracle.check(ftl.read)
+    for lpn in range(hot, min(hot + 4, ftl.exported_pages)):
+        if ftl.read(lpn) is not None:
+            violations.append(f"lpn {lpn}: never written but reads {ftl.read(lpn)!r}")
+    return fired, op, violations
+
+
+def _run_xftl_queue(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]]:
+    """Transactions through an NCQ device: commit barriers vs. a live queue."""
+    plan = CrashPlan()
+    ftl = XFTL(FlashArray(_QUEUE_GEOMETRY, crash_plan=plan), _FTL_CONFIG)
+    device = StorageDevice(ftl, queue_depth=_QUEUE_DEPTH)
+    rng = make_rng(seed, "verify.device.queue.xftl")
+    hot = min(ftl.exported_pages, 24)
+
+    oracle = TransactionOracle()
+    for lpn in range(hot):
+        device.write(lpn, ("base", lpn))
+        oracle.note_baseline(lpn, ("base", lpn))
+    device.flush()
+
+    plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    op = 0
+    tid = 0
+    try:
+        while op < ops_limit:
+            tid += 1
+            for _ in range(rng.randrange(1, 4)):
+                op += 1
+                lpn = rng.randrange(hot)
+                value = ("t", tid, op)
+                oracle.note_tx_write(tid, lpn, value)
+                device.write_tx(tid, lpn, value)
+            if rng.random() < 0.2:
+                device.abort(tid)
+                oracle.note_aborted(tid)
+            else:
+                oracle.note_commit_started(tid)
+                device.commit(tid)
+                oracle.note_committed(tid)
+    except PowerFailure:
+        fired = True
+    else:
+        plan.disarm_all()
+        device.power_off()
+
+    device.power_on()
     ftl.check_invariants()
     return fired, op, oracle.check(ftl.read)
 
@@ -292,6 +395,16 @@ LAYERS: dict[str, Layer] = {
     for layer in (
         Layer("ftl.pagemap", ("flash", "ftl.pagemap"), _run_pagemap),
         Layer("ftl.xftl", ("flash", "ftl.pagemap", "ftl.xftl"), _run_xftl),
+        Layer(
+            "device.queue",
+            ("flash", "ftl.pagemap", "device.queue"),
+            _run_device_queue,
+        ),
+        Layer(
+            "device.queue.xftl",
+            ("flash", "ftl.pagemap", "ftl.xftl", "device.queue"),
+            _run_xftl_queue,
+        ),
         Layer("fs.ext4", ("flash", "ftl.pagemap", "fs.ext4"), _run_ext4),
         Layer(
             "sqlite.xftl",

@@ -1,0 +1,113 @@
+"""Regression lock: ``channels=1, queue_depth=1`` must equal the seed serial model.
+
+The multi-channel refactor rebuilt the clock/flash/FTL/device timing path
+around per-channel resource timelines and an NCQ-style device queue.  Its
+safety net is exact equivalence in the degenerate configuration: with one
+channel and a queue depth of one, every FlashStats counter, every device
+counter and the simulated elapsed time must be *bit-identical* to what the
+seed's strictly serial model produced.
+
+``tests/data/channel_baseline.json`` was recorded by running this module's
+workloads against the seed code (before the refactor); re-record only with
+a deliberate, explained baseline bump::
+
+    PYTHONPATH=src python tests/test_channel_equivalence.py --record
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.stack import Mode, StackConfig, build_stack
+from repro.workloads.fio import FioBenchmark
+from repro.workloads.synthetic import SyntheticWorkload
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "data" / "channel_baseline.json"
+
+_FIO_STACK = dict(
+    num_blocks=96,
+    pages_per_block=16,
+    page_size=1024,
+    journal_pages=32,
+    fs_cache_pages=64,
+    max_inodes=8,
+)
+
+_SQLITE_STACK = dict(
+    num_blocks=160,
+    pages_per_block=32,
+    page_size=4096,
+    journal_pages=64,
+    fs_cache_pages=256,
+    max_inodes=16,
+)
+
+
+def _capture(stack) -> dict:
+    """Everything the baseline pins: counters and exact simulated time."""
+    return {
+        "flash_stats": stack.chip.stats.as_dict(),
+        "device_counters": stack.device.counters.as_dict(),
+        "elapsed_us": stack.clock.now_us,
+    }
+
+
+def _run_fio(mode: Mode) -> dict:
+    stack = build_stack(StackConfig(mode=Mode.coerce(mode), **_FIO_STACK))
+    fio = FioBenchmark(stack, file_pages=256, seed=7)
+    fio.run(runtime_s=3600.0, fsync_interval=5, threads=1, max_writes=400)
+    return _capture(stack)
+
+
+def _run_synthetic(mode: Mode) -> dict:
+    stack = build_stack(StackConfig(mode=Mode.coerce(mode), **_SQLITE_STACK))
+    db = stack.open_database("test.db")
+    workload = SyntheticWorkload(db, rows=400)
+    workload.load()
+    workload.run(transactions=15, updates_per_txn=5)
+    return _capture(stack)
+
+
+SCENARIOS = {
+    "fio.fs_ordered": lambda: _run_fio(Mode.FS_ORDERED),
+    "fio.fs_full": lambda: _run_fio(Mode.FS_FULL),
+    "fio.xftl": lambda: _run_fio(Mode.XFTL),
+    "synthetic.rbj": lambda: _run_synthetic(Mode.RBJ),
+    "synthetic.wal": lambda: _run_synthetic(Mode.WAL),
+    "synthetic.xftl": lambda: _run_synthetic(Mode.XFTL),
+}
+
+
+def record() -> dict:
+    return {name: run() for name, run in SCENARIOS.items()}
+
+
+@pytest.fixture(scope="module")
+def baseline() -> dict:
+    if not BASELINE_PATH.exists():  # pragma: no cover - setup error
+        pytest.fail(f"baseline file missing: {BASELINE_PATH}")
+    return json.loads(BASELINE_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_serial_config_matches_seed_baseline(name: str, baseline: dict) -> None:
+    expected = baseline[name]
+    actual = SCENARIOS[name]()
+    assert actual["flash_stats"] == expected["flash_stats"], name
+    assert actual["device_counters"] == expected["device_counters"], name
+    # Exact float equality on purpose: the degenerate single-channel path
+    # must perform the *same arithmetic* as the seed's serial clock.
+    assert actual["elapsed_us"] == expected["elapsed_us"], name
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--record" not in sys.argv:
+        sys.exit("usage: PYTHONPATH=src python tests/test_channel_equivalence.py --record")
+    BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    BASELINE_PATH.write_text(json.dumps(record(), indent=2, sort_keys=True) + "\n")
+    print(f"recorded {len(SCENARIOS)} scenario baselines to {BASELINE_PATH}")

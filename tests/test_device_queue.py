@@ -1,0 +1,280 @@
+"""Tests for the NCQ-style device command queue.
+
+Covers the queue mechanics (admission backpressure, event-driven retire,
+barrier drain, power-loss reset), the device wiring (async dispatch for
+reads/writes, flush/commit as drain barriers, depth-1 passthrough), and
+crash injection with commands still in flight — the new ``dev.queue.*``
+crash points.
+"""
+
+import pytest
+
+from repro.device.ssd import StorageDevice
+from repro.errors import DeviceError, PowerFailure
+from repro.flash.array import FlashArray
+from repro.flash.chip import FlashChip
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.base import FtlConfig
+from repro.ftl.pagemap import PageMappingFTL
+from repro.ftl.xftl import XFTL
+from repro.obs import NULL_OBS, Observability
+from repro.sim.clock import SimClock
+from repro.sim.crash import CrashPlan
+
+GEOMETRY = FlashGeometry(page_size=512, pages_per_block=8, num_blocks=24, channels=2)
+FTL_CONFIG = FtlConfig(
+    overprovision=0.25, map_entries_per_page=32, barrier_meta_pages=1, xl2p_capacity=64
+)
+
+
+def make_queue(depth=4, obs=NULL_OBS):
+    from repro.device.queue import CommandQueue
+
+    clock = SimClock()
+    return clock, CommandQueue(clock, depth, obs)
+
+
+class TestCommandQueue:
+    def test_depth_must_be_positive(self):
+        clock = SimClock()
+        from repro.device.queue import CommandQueue
+
+        with pytest.raises(ValueError):
+            CommandQueue(clock, 0, NULL_OBS)
+
+    def test_push_and_event_driven_retire(self):
+        clock, queue = make_queue()
+        queue.push(100.0)
+        queue.push(200.0)
+        assert queue.in_flight == 2
+        clock.advance(150.0)  # completion event at 100 fires during advance
+        assert queue.in_flight == 1
+        clock.advance(100.0)
+        assert queue.in_flight == 0
+
+    def test_push_ignores_already_complete_commands(self):
+        clock, queue = make_queue()
+        clock.advance(50.0)
+        queue.push(50.0)  # not in the future: completed synchronously
+        queue.push(10.0)
+        assert queue.in_flight == 0
+
+    def test_admit_blocks_until_slot_frees(self):
+        clock, queue = make_queue(depth=2)
+        queue.push(100.0)
+        queue.push(300.0)
+        assert queue.in_flight == 2
+        queue.admit()  # full: must wait for the earliest completion
+        assert clock.now_us == 100.0
+        assert queue.in_flight == 1
+
+    def test_admit_with_free_slot_does_not_wait(self):
+        clock, queue = make_queue(depth=2)
+        queue.push(100.0)
+        queue.admit()
+        assert clock.now_us == 0.0
+
+    def test_drain_joins_latest_completion(self):
+        clock, queue = make_queue()
+        queue.push(100.0)
+        queue.push(400.0)
+        queue.push(250.0)
+        queue.drain()
+        assert clock.now_us == 400.0
+        assert queue.in_flight == 0
+
+    def test_reset_forgets_in_flight_without_waiting(self):
+        clock, queue = make_queue()
+        queue.push(100.0)
+        queue.push(200.0)
+        queue.reset()
+        assert queue.in_flight == 0
+        assert clock.now_us == 0.0
+        # Stale completion events must be harmless after the reset.
+        clock.advance(500.0)
+        assert queue.in_flight == 0
+
+    def test_depth_gauge_tracks_high_water(self):
+        obs = Observability(enabled=True, label="queue-test")
+        clock, queue = make_queue(depth=8, obs=obs)
+        for end in (100.0, 200.0, 300.0):
+            queue.push(end)
+        queue.drain()
+        gauge = obs.gauge("dev.queue.depth")
+        assert gauge.value == 0.0
+        assert gauge.max_value == 3.0
+
+
+class TestDeviceWiring:
+    def _device(self, channels=2, queue_depth=4, xftl=False, plan=None):
+        geo = FlashGeometry(
+            page_size=512, pages_per_block=8, num_blocks=24, channels=channels
+        )
+        chip = FlashArray(geo, crash_plan=plan)
+        ftl = XFTL(chip, FTL_CONFIG) if xftl else PageMappingFTL(chip, FTL_CONFIG)
+        return StorageDevice(ftl, queue_depth=queue_depth)
+
+    def test_depth_one_has_no_queue(self):
+        device = self._device(queue_depth=1)
+        assert device.queue is None
+
+    def test_depth_below_one_rejected(self):
+        with pytest.raises(DeviceError):
+            self._device(queue_depth=0)
+
+    def test_serial_chip_rejects_queue(self):
+        geo = FlashGeometry(page_size=512, pages_per_block=8, num_blocks=24)
+        ftl = PageMappingFTL(FlashChip(geo), FTL_CONFIG)
+        with pytest.raises(DeviceError):
+            StorageDevice(ftl, queue_depth=4)
+
+    def test_writes_leave_commands_in_flight(self):
+        device = self._device()
+        for lpn in range(4):
+            device.write(lpn, ("v", lpn))
+        assert device.queue.in_flight > 0
+
+    def test_flush_drains_the_queue(self):
+        device = self._device()
+        for lpn in range(4):
+            device.write(lpn, ("v", lpn))
+        device.flush()
+        assert device.queue.in_flight == 0
+
+    def test_commit_drains_the_queue(self):
+        device = self._device(xftl=True)
+        tid = 1
+        for lpn in range(4):
+            device.write_tx(tid, lpn, ("t", lpn))
+        assert device.queue.in_flight > 0
+        device.commit(tid)
+        assert device.queue.in_flight == 0
+        for lpn in range(4):
+            assert device.read(lpn) == ("t", lpn)
+
+    def test_queued_writes_overlap_across_channels(self):
+        serial = self._device(channels=1, queue_depth=1)
+        parallel = self._device(channels=4, queue_depth=4)
+        for device in (serial, parallel):
+            for lpn in range(16):
+                device.write(lpn, ("v", lpn))
+            device.flush()
+        assert parallel.clock.now_us < serial.clock.now_us
+        # Same data work either way — only the timing overlaps.
+        assert parallel.chip.stats.page_programs == serial.chip.stats.page_programs
+        for lpn in range(16):
+            assert parallel.ftl.read(lpn) == ("v", lpn)
+
+    def test_power_cycle_resets_queue(self):
+        device = self._device()
+        for lpn in range(4):
+            device.write(lpn, ("v", lpn))
+        assert device.queue.in_flight > 0
+        device.power_off()
+        assert device.queue.in_flight == 0
+        device.power_on()
+        device.ftl.check_invariants()
+
+
+class TestQueueCrashInjection:
+    """Power loss with commands still in flight (satellite 3)."""
+
+    def _crash_stack(self, xftl=False):
+        plan = CrashPlan()
+        geo = FlashGeometry(
+            page_size=512, pages_per_block=8, num_blocks=24, channels=2
+        )
+        chip = FlashArray(geo, crash_plan=plan)
+        ftl = XFTL(chip, FTL_CONFIG) if xftl else PageMappingFTL(chip, FTL_CONFIG)
+        device = StorageDevice(ftl, queue_depth=4)
+        return plan, ftl, device
+
+    def test_crash_on_dispatch_with_inflight_commands(self):
+        plan, ftl, device = self._crash_stack()
+        baseline = min(ftl.exported_pages, 8)
+        for lpn in range(baseline):
+            device.write(lpn, ("base", lpn))
+        device.flush()
+
+        plan.arm("dev.queue.dispatch")
+        with pytest.raises(PowerFailure):
+            for lpn in range(baseline):
+                device.write(lpn, ("new", lpn))
+        assert not device.is_on  # power loss propagated to the device
+
+        device.power_on()
+        ftl.check_invariants()
+        # Flushed baseline data survives; each page reads either its durable
+        # baseline or an acknowledged-but-unflushed overwrite — never garbage.
+        for lpn in range(baseline):
+            assert ftl.read(lpn) in (("base", lpn), ("new", lpn))
+
+    def test_crash_on_barrier_with_inflight_commands(self):
+        plan, ftl, device = self._crash_stack()
+        baseline = min(ftl.exported_pages, 8)
+        for lpn in range(baseline):
+            device.write(lpn, ("base", lpn))
+        device.flush()
+
+        plan.arm("dev.queue.barrier")
+        with pytest.raises(PowerFailure):
+            for lpn in range(baseline):
+                device.write(lpn, ("new", lpn))
+            device.flush()
+
+        device.power_on()
+        ftl.check_invariants()
+        for lpn in range(baseline):
+            assert ftl.read(lpn) in (("base", lpn), ("new", lpn))
+
+    def test_xftl_commit_barrier_crash_rolls_back_uncommitted(self):
+        plan, ftl, device = self._crash_stack(xftl=True)
+        baseline = min(ftl.exported_pages, 8)
+        for lpn in range(baseline):
+            device.write(lpn, ("base", lpn))
+        device.flush()
+
+        # Commit one transaction durably, then crash at the commit barrier
+        # of a second one while its tagged writes are still in flight.
+        device.write_tx(1, 0, ("committed", 0))
+        device.commit(1)
+
+        plan.arm("dev.queue.barrier")
+        with pytest.raises(PowerFailure):
+            for lpn in range(baseline):
+                device.write_tx(2, lpn, ("uncommitted", lpn))
+            device.commit(2)
+
+        device.power_on()
+        ftl.check_invariants()
+        # The committed transaction is durable; the in-flight one vanished.
+        assert ftl.read(0) == ("committed", 0)
+        for lpn in range(1, baseline):
+            assert ftl.read(lpn) == ("base", lpn)
+
+    def test_xftl_dispatch_crash_preserves_committed_state(self):
+        plan, ftl, device = self._crash_stack(xftl=True)
+        baseline = min(ftl.exported_pages, 8)
+        for lpn in range(baseline):
+            device.write(lpn, ("base", lpn))
+        device.flush()
+        device.write_tx(1, 1, ("committed", 1))
+        device.commit(1)
+
+        plan.arm("dev.queue.dispatch")
+        with pytest.raises(PowerFailure):
+            for lpn in range(baseline):
+                device.write_tx(2, lpn, ("uncommitted", lpn))
+
+        device.power_on()
+        ftl.check_invariants()
+        assert ftl.read(1) == ("committed", 1)
+        for lpn in range(baseline):
+            if lpn != 1:
+                assert ftl.read(lpn) == ("base", lpn)
+
+    def test_queue_crash_points_are_registered(self):
+        from repro.sim.crash import registered_crash_points
+
+        names = {spec.name for spec in registered_crash_points("device.queue")}
+        assert names == {"dev.queue.dispatch", "dev.queue.barrier"}

@@ -59,6 +59,19 @@ class TestExperimentFunctions:
         assert len(result.rows) == 3
         assert all(row[2] for row in result.rows)  # data intact everywhere
 
+    def test_channel_scaling_structure(self):
+        result = experiments.channel_scaling(
+            channel_counts=(1, 4), queue_depth=4, runtime_s=1.0,
+            transactions=5, rows=300,
+        )
+        # 3 FIO modes x 2 counts + 3 SQLite modes x 2 counts.
+        assert len(result.rows) == 12
+        iops = result.extras["fio_iops"]
+        assert iops["ordered-journal/4"] > iops["ordered-journal/1"]
+        elapsed = result.extras["synthetic_elapsed_s"]
+        for channels in (1, 4):
+            assert elapsed[f"X-FTL/{channels}"] < elapsed[f"RBJ/{channels}"]
+
     def test_render_produces_text(self):
         result = experiments.table2_trace_characteristics(trace_scale=0.01)
         text = result.render()
@@ -68,7 +81,7 @@ class TestExperimentFunctions:
     def test_registry_complete(self):
         assert set(experiments.ALL_EXPERIMENTS) == {
             "fig5", "table1", "fig6", "table2", "fig7", "table4",
-            "fig8", "fig9", "table5",
+            "fig8", "fig9", "table5", "channels",
         }
 
 
@@ -87,3 +100,14 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+    def test_cli_channels_flag_scoped_to_run(self, capsys):
+        import os
+
+        from repro.bench.cli import main
+
+        assert "REPRO_CHANNELS" not in os.environ
+        code = main(["table2", "--channels", "8", "--queue-depth", "8"])
+        assert code == 0
+        assert "REPRO_CHANNELS" not in os.environ  # restored after the run
+        assert "REPRO_QUEUE_DEPTH" not in os.environ

@@ -1,8 +1,8 @@
-"""Unit tests for the virtual clock."""
+"""Unit tests for the virtual clock and the discrete-event scheduler."""
 
 import pytest
 
-from repro.sim import SimClock
+from repro.sim import EventScheduler, ResourceTimeline, SimClock
 
 
 class TestSimClock:
@@ -42,10 +42,23 @@ class TestSimClock:
         clock.advance_to(100.0)
         assert clock.now_us == 100.0
 
-    def test_advance_to_past_is_noop(self):
+    def test_advance_to_past_rejected(self):
+        # advance_to used to no-op silently on past times, hiding
+        # scheduling bugs; joins of possibly-past times use wait_until.
         clock = SimClock()
         clock.advance(50.0)
-        clock.advance_to(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(10.0)
+
+    def test_wait_until_future_advances(self):
+        clock = SimClock()
+        clock.wait_until(30.0)
+        assert clock.now_us == 30.0
+
+    def test_wait_until_past_is_noop(self):
+        clock = SimClock()
+        clock.advance(50.0)
+        clock.wait_until(10.0)
         assert clock.now_us == 50.0
 
     def test_elapsed_since(self):
@@ -53,3 +66,116 @@ class TestSimClock:
         t0 = clock.now_us
         clock.advance(7.0)
         assert clock.elapsed_since(t0) == pytest.approx(7.0)
+
+
+class TestClockEvents:
+    def test_event_fires_when_time_passes(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule_at(25.0, lambda: fired.append(clock.now_us))
+        clock.advance(10.0)
+        assert fired == []
+        clock.advance(20.0)
+        assert fired == [pytest.approx(30.0)]
+        assert clock.pending_events == 0
+
+    def test_past_event_fires_immediately(self):
+        clock = SimClock()
+        clock.advance(100.0)
+        fired = []
+        clock.schedule_at(40.0, lambda: fired.append(True))
+        assert fired == [True]
+
+    def test_same_time_events_fire_in_registration_order(self):
+        clock = SimClock()
+        order = []
+        clock.schedule_at(10.0, lambda: order.append("a"))
+        clock.schedule_at(10.0, lambda: order.append("b"))
+        clock.wait_until(10.0)
+        assert order == ["a", "b"]
+
+    def test_callback_may_schedule_more_events(self):
+        clock = SimClock()
+        order = []
+
+        def first():
+            order.append("first")
+            clock.schedule_at(clock.now_us, lambda: order.append("second"))
+
+        clock.schedule_at(5.0, first)
+        clock.advance(5.0)
+        assert order == ["first", "second"]
+
+
+class TestResourceTimeline:
+    def test_reserve_from_idle_starts_now(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        timeline = ResourceTimeline(clock, "ch0")
+        start, end = timeline.reserve(5.0)
+        assert start == pytest.approx(10.0)
+        assert end == pytest.approx(15.0)
+        assert timeline.busy_until_us == pytest.approx(15.0)
+
+    def test_reservations_on_one_resource_serialize(self):
+        clock = SimClock()
+        timeline = ResourceTimeline(clock, "ch0")
+        timeline.reserve(5.0)
+        start, end = timeline.reserve(5.0)
+        # Clock never moved, but the second reservation queues behind the first.
+        assert start == pytest.approx(5.0)
+        assert end == pytest.approx(10.0)
+        assert clock.now_us == 0.0
+
+    def test_reservations_on_different_resources_overlap(self):
+        clock = SimClock()
+        sched = EventScheduler(clock)
+        _, end_a = sched.timeline("ch0").reserve(5.0)
+        _, end_b = sched.timeline("ch1").reserve(5.0)
+        assert end_a == end_b == pytest.approx(5.0)
+        assert sched.horizon_us() == pytest.approx(5.0)
+
+    def test_after_us_dependency_delays_start(self):
+        clock = SimClock()
+        timeline = ResourceTimeline(clock, "ch0")
+        start, end = timeline.reserve(3.0, after_us=7.0)
+        assert start == pytest.approx(7.0)
+        assert end == pytest.approx(10.0)
+
+    def test_negative_reservation_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            ResourceTimeline(clock, "ch0").reserve(-1.0)
+
+    def test_serial_join_matches_advance_arithmetic(self):
+        # The channels=1 equivalence in miniature: reserve+wait_until must
+        # perform the same float arithmetic as advance.
+        durations = [220.0, 1_300.0, 0.1, 2_000.0, 30.0, 1e-3]
+        serial = SimClock()
+        for d in durations:
+            serial.advance(d)
+        overlapped = SimClock()
+        timeline = ResourceTimeline(overlapped, "ch0")
+        for d in durations:
+            _, end = timeline.reserve(d)
+            overlapped.wait_until(end)
+        assert overlapped.now_us == serial.now_us  # exact, not approx
+
+    def test_barrier_joins_all_resources(self):
+        clock = SimClock()
+        sched = EventScheduler(clock)
+        sched.timeline("ch0").reserve(5.0)
+        sched.timeline("ch1").reserve(9.0)
+        sched.barrier()
+        assert clock.now_us == pytest.approx(9.0)
+        assert all(t.idle for t in sched.timelines())
+
+    def test_utilization_reports_busy_fraction(self):
+        clock = SimClock()
+        sched = EventScheduler(clock)
+        sched.timeline("ch0").reserve(5.0)
+        sched.timeline("ch1").reserve(10.0)
+        sched.barrier()
+        util = sched.utilization()
+        assert util["ch0"] == pytest.approx(0.5)
+        assert util["ch1"] == pytest.approx(1.0)
