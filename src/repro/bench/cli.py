@@ -91,6 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="NCQ command-queue depth for every stack built "
         "(sets REPRO_QUEUE_DEPTH; default 1, needs --channels > 1 to matter)",
     )
+    parser.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max concurrent sessions for the concurrency experiment "
+        "(sets REPRO_SESSIONS; default 4)",
+    )
     return parser
 
 
@@ -132,6 +140,8 @@ def _device_env(args: argparse.Namespace):
         overrides["REPRO_CHANNELS"] = str(args.channels)
     if args.queue_depth is not None:
         overrides["REPRO_QUEUE_DEPTH"] = str(args.queue_depth)
+    if args.sessions is not None:
+        overrides["REPRO_SESSIONS"] = str(args.sessions)
     saved = {name: os.environ.get(name) for name in overrides}
     os.environ.update(overrides)
     try:

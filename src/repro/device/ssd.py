@@ -221,6 +221,32 @@ class StorageDevice:
             ftl.commit(tid)
         self._obs_commit_us.observe(self.clock.now_us - start_us)
 
+    def commit_group(self, tids: list[int]) -> None:
+        """Vectored commit: one drain barrier serves a whole commit group.
+
+        Each member still costs a commit command on the wire (the host
+        issues one trim-carried ``commit(t)`` per transaction), but the
+        queue barrier and the FTL's X-L2P flush are scoped to the group
+        as a whole rather than to each transaction.
+        """
+        self._check_on()
+        ftl = self._require_tx()
+        tids = list(dict.fromkeys(tids))
+        if not tids:
+            return
+        if len(tids) == 1:
+            self.commit(tids[0])
+            return
+        self.counters.commits += len(tids)
+        self._obs_commits.inc(len(tids))
+        start_us = self.clock.now_us
+        with self.obs.tracer.span("commit_group", "dev"):
+            for _ in tids:
+                self._charge()
+            self._drain_barrier()
+            ftl.commit_group(tids)
+        self._obs_commit_us.observe(self.clock.now_us - start_us)
+
     def abort(self, tid: int) -> None:
         """abort(t), carried over the trim command's parameter set (§5.2)."""
         self._check_on()

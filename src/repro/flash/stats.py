@@ -27,6 +27,9 @@ class FlashStats:
         xl2p_page_writes: X-L2P table pages persisted on transaction commits
         barriers: flush/barrier commands processed
         commits / aborts: transactional commands processed (X-FTL only)
+        xl2p_flushes: X-L2P CoW table flushes (one per commit sweep; group
+            commit amortizes one flush over many commits)
+        group_commits: commit sweeps that served two or more transactions
     """
 
     page_reads: int = 0
@@ -43,6 +46,8 @@ class FlashStats:
     barriers: int = 0
     commits: int = 0
     aborts: int = 0
+    xl2p_flushes: int = 0
+    group_commits: int = 0
 
     def snapshot(self) -> "FlashStats":
         """Return an independent copy of the current counters."""

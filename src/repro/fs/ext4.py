@@ -171,6 +171,7 @@ class Ext4:
         self._dirty_meta: set[int] = set()
         self._dirty_data: dict[int, int] = {}  # lpn -> ino
         self._stolen: dict[int, int] = {}  # lpn -> tid (uncommitted, on device)
+        self._txn_manager = None  # lazily built TxnManager (see txn_manager)
         self.cache = PageCache(cache_capacity, writeback=self._evict_writeback, obs=obs)
         self.journal: Jbd2Journal | None = None
         if mode in (JournalMode.ORDERED, JournalMode.FULL):
@@ -283,25 +284,64 @@ class Ext4:
         """
         return max(self._alloc_cursor, self.data_start)
 
-    # ---------------------------------------------------------- tid / sync
+    # ---------------------------------------------------------- txn / sync
 
-    def begin_tx(self) -> int:
-        """Allocate a transaction id (tids are managed by the fs, §5.2)."""
+    @property
+    def txn_manager(self):
+        """The :class:`~repro.stack.txn.TxnManager` minting this fs's contexts.
+
+        Built lazily with a function-level import: ``repro.stack`` imports
+        this module at package init, so importing it back at module top
+        would cycle.
+        """
+        if self._txn_manager is None:
+            from repro.stack.txn import TxnManager
+
+            self._txn_manager = TxnManager(self)
+        return self._txn_manager
+
+    def _allocate_tid(self) -> int:
+        """Next tid from the persistent sequence (superblock + mount gap)."""
         tid = self._next_tid
         self._next_tid += 1
         return tid
 
-    def fsync(self, handle: "FileHandle", tid: int | None = None) -> None:
+    def begin_tx(self) -> int:
+        """Allocate a raw transaction id (tids are managed by the fs, §5.2).
+
+        Legacy entry point for callers that thread integer tids by hand;
+        session-aware callers mint a full context via
+        ``fs.txn_manager.begin()`` instead.  Both draw from the same
+        persistent sequence.
+        """
+        return self._allocate_tid()
+
+    def _coerce_txn(self, txn):
+        """Normalize ``txn`` to a TransactionContext (or None).
+
+        Raw integer tids — legacy callers, hand-crafted test tids — are
+        adopted into the manager so cache tagging and lifecycle tracking
+        see one object per tid.
+        """
+        if txn is None:
+            return None
+        if isinstance(txn, int):
+            return self.txn_manager.adopt(txn)
+        return txn
+
+    def fsync(self, handle: "FileHandle", txn=None) -> None:
         """Force the file's dirty data (and all dirty metadata) durable.
 
         In XFTL mode this ends with a ``commit(tid)`` on the device —
         making every page the transaction wrote (whether force-written now
-        or stolen earlier) atomically durable.
+        or stolen earlier) atomically durable.  ``txn`` may be a
+        :class:`TransactionContext` or a raw int tid (legacy callers).
         """
+        txn = self._coerce_txn(txn)
         self.stats.fsync_calls += 1
         self._obs_fsyncs.inc()
         start_us = self._clock.now_us
-        with self.obs.tracer.span("fsync", "fs", tid=tid):
+        with self.obs.tracer.span("fsync", "fs", tid=None if txn is None else txn.tid):
             self._clock.advance(self._profile.host_fsync_us)
             dirty = self._drain_dirty_data(handle.inode.ino)
             if self.mode is JournalMode.ORDERED:
@@ -309,12 +349,12 @@ class Ext4:
             elif self.mode is JournalMode.FULL:
                 self._fsync_full(dirty)
             elif self.mode is JournalMode.XFTL:
-                self._fsync_xftl(dirty, tid)
+                self._fsync_xftl(dirty, txn)
             else:
                 self._fsync_none(dirty)
         self._obs_fsync_us.observe(self._clock.now_us - start_us)
 
-    def fsync_group(self, handles: list["FileHandle"], tid: int) -> None:
+    def fsync_group(self, handles: list["FileHandle"], txn) -> None:
         """Atomically force several files' dirty data under one transaction.
 
         This is the §4.3 multi-file case: where stock SQLite needs a master
@@ -324,45 +364,109 @@ class Ext4:
         """
         if self.mode is not JournalMode.XFTL:
             raise FsError("fsync_group requires XFTL mode")
+        txn = self._coerce_txn(txn)
         self.stats.fsync_calls += 1
         self._obs_fsyncs.inc()
         start_us = self._clock.now_us
-        with self.obs.tracer.span("fsync_group", "fs", tid=tid):
+        with self.obs.tracer.span(
+            "fsync_group", "fs", tid=None if txn is None else txn.tid
+        ):
             self._clock.advance(self._profile.host_fsync_us)
             dirty: list[tuple[int, Any]] = []
             for handle in handles:
                 dirty.extend(self._drain_dirty_data(handle.inode.ino))
-            self._fsync_xftl(dirty, tid)
+            self._fsync_xftl(dirty, txn)
         self._obs_fsync_us.observe(self._clock.now_us - start_us)
 
-    def sync_metadata(self, tid: int | None = None) -> None:
+    def stage_tx(self, handle: "FileHandle", txn) -> None:
+        """Group commit, phase 1: fsync minus the device commit.
+
+        Drains the file's dirty data and writes it (plus all dirty
+        metadata) tagged under ``txn``, leaving the transaction staged
+        (COMMITTING) on the device.  A later :meth:`commit_tx_group`
+        makes a whole batch of staged transactions durable with one
+        commit sweep.  XFTL mode only.
+        """
+        if self.mode is not JournalMode.XFTL:
+            raise FsError("stage_tx requires XFTL mode")
+        txn = self._coerce_txn(txn)
+        if txn is None:
+            raise FsError("stage_tx requires a transaction")
+        self.stats.fsync_calls += 1
+        self._obs_fsyncs.inc()
+        start_us = self._clock.now_us
+        with self.obs.tracer.span("stage_tx", "fs", tid=txn.tid):
+            self._clock.advance(self._profile.host_fsync_us)
+            dirty = self._drain_dirty_data(handle.inode.ino)
+            txn.begin_commit()
+            try:
+                for lpn, data in dirty:
+                    self._device_write_data(lpn, data, tid=txn.tid)
+                for lpn, image in self._render_dirty_meta():
+                    self._device_write_meta_raw(lpn, image, tid=txn.tid)
+            except BaseException:
+                for lpn, _data in dirty:
+                    self.cache.drop(lpn)
+                raise
+            self._dirty_meta.clear()
+            self.device.chip.crash_plan.hit(CP_FSYNC_MID)
+        self._obs_fsync_us.observe(self._clock.now_us - start_us)
+
+    def commit_tx_group(self, txns) -> None:
+        """Group commit, phase 2: one commit sweep for all staged ``txns``.
+
+        The device pays a single drain barrier and the X-FTL firmware a
+        single X-L2P CoW flush for the whole batch; afterwards every
+        member is durable (all-or-nothing under a crash).
+        """
+        if self.mode is not JournalMode.XFTL:
+            raise FsError("commit_tx_group requires XFTL mode")
+        txns = [self._coerce_txn(txn) for txn in txns if txn is not None]
+        if not txns:
+            return
+        self.device.commit_group([txn.tid for txn in txns])
+        for txn in txns:
+            for lpn in [
+                lpn for lpn, owner in self._stolen.items() if owner == txn.tid
+            ]:
+                del self._stolen[lpn]
+            txn.mark_committed()
+            self.txn_manager.release(txn)
+
+    def sync_metadata(self, txn=None) -> None:
         """Directory-style fsync: flush only metadata (after create/unlink)."""
+        txn = self._coerce_txn(txn)
         self.stats.fsync_calls += 1
         self._obs_fsyncs.inc()
         self._clock.advance(self._profile.host_fsync_us)
         if self.mode is JournalMode.ORDERED or self.mode is JournalMode.FULL:
             self._journal_metadata()
         elif self.mode is JournalMode.XFTL:
-            self._fsync_xftl([], tid)
+            self._fsync_xftl([], txn)
         else:
             for lpn in sorted(self._dirty_meta):
                 self._write_meta_home(lpn)
             self._dirty_meta.clear()
             self.device.flush()
 
-    def ioctl_abort(self, tid: int) -> None:
+    def ioctl_abort(self, txn) -> None:
         """Abort a transaction (the new ioctl request type, §5.1).
 
         Cached dirty pages of the transaction are dropped; changes already
         stolen to the device are rolled back by the device's abort command.
         """
+        txn = self._coerce_txn(txn)
+        if txn is None:
+            raise FsError("ioctl_abort requires a transaction")
         self._charge_syscall()
-        for lpn in self.cache.drop_tid(tid):
+        for lpn in self.cache.drop_txn(txn):
             self._dirty_data.pop(lpn, None)
         if self.mode is JournalMode.XFTL:
-            self.device.abort(tid)
-        for lpn in [lpn for lpn, owner in self._stolen.items() if owner == tid]:
+            self.device.abort(txn.tid)
+        for lpn in [lpn for lpn, owner in self._stolen.items() if owner == txn.tid]:
             del self._stolen[lpn]
+        txn.mark_aborted()
+        self.txn_manager.release(txn)
 
     # ----------------------------------------------------- fsync mode paths
 
@@ -393,29 +497,32 @@ class Ext4:
             self.stats.journal_page_writes += len(records) + 2
         self._dirty_meta.clear()
 
-    def _fsync_xftl(self, dirty: list[tuple[int, Any]], tid: int | None) -> None:
+    def _fsync_xftl(self, dirty: list[tuple[int, Any]], txn) -> None:
         """Tagged writes + commit(t): one barrier-equivalent per fsync.
 
         If any tagged write fails (e.g. the device's X-L2P table is full),
         the affected pages are dropped from the cache: their cached images
-        are uncommitted, and the caller is expected to abort ``tid``.
+        are uncommitted, and the caller is expected to abort ``txn``.
         """
-        if tid is None:
-            tid = self.begin_tx()
+        if txn is None:
+            txn = self.txn_manager.begin()
+        txn.begin_commit()
         try:
             for lpn, data in dirty:
-                self._device_write_data(lpn, data, tid=tid)
+                self._device_write_data(lpn, data, tid=txn.tid)
             for lpn, image in self._render_dirty_meta():
-                self._device_write_meta_raw(lpn, image, tid=tid)
+                self._device_write_meta_raw(lpn, image, tid=txn.tid)
         except BaseException:
             for lpn, _data in dirty:
                 self.cache.drop(lpn)
             raise
         self._dirty_meta.clear()
         self.device.chip.crash_plan.hit(CP_FSYNC_MID)
-        self.device.commit(tid)
-        for lpn in [lpn for lpn, owner in self._stolen.items() if owner == tid]:
+        self.device.commit(txn.tid)
+        for lpn in [lpn for lpn, owner in self._stolen.items() if owner == txn.tid]:
             del self._stolen[lpn]
+        txn.mark_committed()
+        self.txn_manager.release(txn)
 
     def _fsync_none(self, dirty: list[tuple[int, Any]]) -> None:
         for lpn, data in dirty:
@@ -632,10 +739,23 @@ class Ext4:
 
     # ------------------------------------------------------------ data path
 
-    def read_lpn(self, lpn: int) -> Any:
-        """Read one file data page through cache/journal/device layers."""
+    def read_lpn(self, lpn: int, txn=None) -> Any:
+        """Read one file data page through cache/journal/device layers.
+
+        Snapshot-read isolation: a dirty cache page tagged by some *other*
+        transaction is invisible — the reader gets the committed copy from
+        the device instead (uncached, since the committed copy goes stale
+        the moment the writer commits).  A transaction always sees its own
+        dirty pages; untagged dirty pages (non-XFTL modes, plain writes)
+        are shared as before.
+        """
+        txn = self._coerce_txn(txn)
         page = self.cache.get(lpn)
         if page is not None:
+            owner = page.txn
+            if page.dirty and owner is not None and (txn is None or owner.tid != txn.tid):
+                self._charge_syscall()
+                return self.device.read(lpn)
             return page.data
         self._charge_syscall()
         if self.journal is not None:
@@ -653,19 +773,19 @@ class Ext4:
             self.cache.put(lpn, data)
         return data
 
-    def write_lpn(self, lpn: int, data: Any, ino: int, tid: int | None) -> None:
-        """Buffer one file data page write in the cache (dirty)."""
+    def write_lpn(self, lpn: int, data: Any, ino: int, txn) -> None:
+        """Buffer one file data page write in the cache (dirty, txn-tagged)."""
         self._charge_syscall()
-        self.cache.put(lpn, data, dirty=True, tid=tid)
+        self.cache.put(lpn, data, dirty=True, txn=self._coerce_txn(txn))
         self._dirty_data[lpn] = ino
 
-    def _evict_writeback(self, lpn: int, data: Any, tid: int | None) -> None:
+    def _evict_writeback(self, lpn: int, data: Any, txn) -> None:
         """Steal path: a dirty page leaves the cache before any fsync."""
         self._dirty_data.pop(lpn, None)
         self._obs_steal_writes.inc()
-        if self.mode is JournalMode.XFTL and tid is not None:
-            self._device_write_data(lpn, data, tid=tid)
-            self._stolen[lpn] = tid
+        if self.mode is JournalMode.XFTL and txn is not None:
+            self._device_write_data(lpn, data, tid=txn.tid)
+            self._stolen[lpn] = txn.tid
         elif self.mode is JournalMode.FULL:
             assert self.journal is not None
             self.journal.commit([(lpn, data)])
@@ -693,38 +813,48 @@ class FileHandle:
     def n_pages(self) -> int:
         return math.ceil(self.inode.size_bytes / self.fs.device.page_size)
 
-    def read_page(self, index: int) -> Any:
-        """Read file page ``index``; None if unallocated (sparse read)."""
+    def read_page(self, index: int, txn=None) -> Any:
+        """Read file page ``index``; None if unallocated (sparse read).
+
+        ``txn`` identifies the reader for snapshot isolation: without it,
+        another transaction's dirty cached pages are bypassed in favor of
+        the committed copy (see :meth:`Ext4.read_lpn`).
+        """
         lpn = self.fs._lookup_block(self.inode, index)
         if lpn is None:
             return None
-        return self.fs.read_lpn(lpn)
+        return self.fs.read_lpn(lpn, txn=txn)
 
-    def write_page(self, index: int, data: Any, tid: int | None = None) -> None:
-        """Buffer a page write; ``tid`` tags it for XFTL-mode transactions."""
+    def write_page(self, index: int, data: Any, txn=None) -> None:
+        """Buffer a page write; ``txn`` tags it for XFTL-mode transactions."""
         lpn = self.fs._ensure_block(self.inode, index)
-        self.fs.write_lpn(lpn, data, self.inode.ino, tid)
+        self.fs.write_lpn(lpn, data, self.inode.ino, txn)
 
-    def read_page_tx(self, index: int, tid: int) -> Any:
-        """Tagged read: transaction ``tid`` sees its own stolen writes.
+    def read_page_tx(self, index: int, txn) -> Any:
+        """Tagged read: transaction ``txn`` sees its own stolen writes.
 
         Pages that were never stolen read through the shared cache like any
-        committed data.  Stolen (uncommitted, on-device) pages bypass the
-        cache — other readers must keep seeing the committed copy.
+        committed data (with the reader's identity, so the transaction sees
+        its own dirty cached pages but not a foreign writer's).  Stolen
+        (uncommitted, on-device) pages bypass the cache — other readers
+        must keep seeing the committed copy.
         """
         fs = self.fs
+        txn = fs._coerce_txn(txn)
         lpn = fs._lookup_block(self.inode, index)
         if lpn is None:
             return None
         stolen_tid = fs._stolen.get(lpn)
         if stolen_tid is None:
-            return fs.read_lpn(lpn)
+            return fs.read_lpn(lpn, txn=txn)
         page = fs.cache.peek(lpn)
-        if page is not None:
+        if page is not None and (
+            page.txn is None or (txn is not None and page.txn.tid == txn.tid)
+        ):
             return page.data
         fs._charge_syscall()
-        if stolen_tid == tid and fs.mode is JournalMode.XFTL:
-            return fs.device.read_tx(tid, lpn)
+        if txn is not None and stolen_tid == txn.tid and fs.mode is JournalMode.XFTL:
+            return fs.device.read_tx(txn.tid, lpn)
         return fs.device.read(lpn)  # someone else's steal: committed copy
 
     def fallocate(self, n_pages: int) -> None:
@@ -760,5 +890,5 @@ class FileHandle:
         inode.size_bytes = min(inode.size_bytes, n_pages * fs.device.page_size)
         fs._mark_meta_dirty_for_inode(inode.ino)
 
-    def fsync(self, tid: int | None = None) -> None:
-        self.fs.fsync(self, tid=tid)
+    def fsync(self, txn=None) -> None:
+        self.fs.fsync(self, txn=txn)

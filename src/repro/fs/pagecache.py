@@ -2,9 +2,12 @@
 
 Models the kernel page cache: reads and writes go through cached pages;
 dirty pages are written back on fsync (force) or on eviction under memory
-pressure (steal).  Each dirty page remembers the transaction id that last
-dirtied it, so that the X-FTL mode can tag the eventual device write and so
-that an aborting transaction can drop exactly its own cached changes (§5.2).
+pressure (steal).  Each dirty page remembers the transaction (an opaque
+token — in the full stack a ``TransactionContext``) that last dirtied it,
+so the X-FTL mode can tag the eventual device write, an aborting
+transaction can drop exactly its own cached changes (§5.2), and readers
+from *other* transactions can be routed to the committed copy instead
+(snapshot-read isolation).
 """
 
 from __future__ import annotations
@@ -23,20 +26,20 @@ class CachedPage:
     lpn: int
     data: Any
     dirty: bool = False
-    tid: int | None = None
+    txn: object | None = None
 
 
 class PageCache:
     """LRU page cache with dirty write-back on eviction.
 
-    ``writeback`` is called as ``writeback(lpn, data, tid)`` when a dirty
+    ``writeback`` is called as ``writeback(lpn, data, txn)`` when a dirty
     page is evicted (the *steal* path).  Clean pages are evicted silently.
     """
 
     def __init__(
         self,
         capacity: int,
-        writeback: Callable[[int, Any, int | None], None],
+        writeback: Callable[[int, Any, object | None], None],
         obs: Observability = NULL_OBS,
     ) -> None:
         if capacity < 1:
@@ -75,17 +78,17 @@ class PageCache:
         """Look up without touching LRU order or hit statistics."""
         return self._pages.get(lpn)
 
-    def put(self, lpn: int, data: Any, dirty: bool = False, tid: int | None = None) -> CachedPage:
+    def put(self, lpn: int, data: Any, dirty: bool = False, txn: object | None = None) -> CachedPage:
         """Insert or update a page, evicting LRU pages beyond capacity."""
         page = self._pages.get(lpn)
         if page is None:
-            page = CachedPage(lpn=lpn, data=data, dirty=dirty, tid=tid)
+            page = CachedPage(lpn=lpn, data=data, dirty=dirty, txn=txn)
             self._pages[lpn] = page
         else:
             page.data = data
             if dirty:
                 page.dirty = True
-                page.tid = tid
+                page.txn = txn
             self._pages.move_to_end(lpn)
         self._evict_to_capacity()
         return page
@@ -94,19 +97,19 @@ class PageCache:
         page = self._pages.get(lpn)
         if page is not None:
             page.dirty = False
-            page.tid = None
+            page.txn = None
 
     def drop(self, lpn: int) -> None:
         """Remove a page without write-back (used by abort)."""
         self._pages.pop(lpn, None)
 
-    def drop_tid(self, tid: int) -> list[int]:
-        """Drop every dirty page belonging to ``tid``; return their lpns.
+    def drop_txn(self, txn: object) -> list[int]:
+        """Drop every dirty page belonging to ``txn``; return their lpns.
 
         This is how an aborting transaction's cached (not-yet-stolen)
         changes are undone (§5.2).
         """
-        doomed = [lpn for lpn, page in self._pages.items() if page.dirty and page.tid == tid]
+        doomed = [lpn for lpn, page in self._pages.items() if page.dirty and page.txn == txn]
         for lpn in doomed:
             del self._pages[lpn]
         return doomed
@@ -123,9 +126,9 @@ class PageCache:
         """Force write-back of one dirty page (stays cached, now clean)."""
         page = self._pages.get(lpn)
         if page is not None and page.dirty:
-            self._writeback(page.lpn, page.data, page.tid)
+            self._writeback(page.lpn, page.data, page.txn)
             page.dirty = False
-            page.tid = None
+            page.txn = None
 
     def invalidate_all(self) -> None:
         """Drop everything (crash simulation: cache contents are volatile)."""
@@ -140,7 +143,7 @@ class PageCache:
             if page.dirty:
                 self.dirty_evictions += 1
                 self._obs_steals.inc()
-                self._writeback(page.lpn, page.data, page.tid)
+                self._writeback(page.lpn, page.data, page.txn)
 
     def _pick_eviction_victim(self) -> int:
         """Prefer the least-recently-used clean page; else LRU dirty (steal)."""

@@ -33,7 +33,7 @@ which *is* the rollback.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterable
 
 from repro.errors import TransactionError
 from repro.flash.chip import FlashChip, PageState
@@ -55,6 +55,16 @@ CP_COMMIT_BEFORE_FLUSH = register_crash_point(
 )
 CP_COMMIT_AFTER_FLUSH = register_crash_point(
     "xftl.commit.after-flush", "ftl.xftl", "X-L2P flushed and root republished, L2P fold pending"
+)
+CP_GROUP_FLUSH = register_crash_point(
+    "xftl.group.flush",
+    "ftl.xftl",
+    "group commit: all members marked committed in DRAM, shared X-L2P flush not started",
+)
+CP_GROUP_PUBLISH = register_crash_point(
+    "xftl.group.publish",
+    "ftl.xftl",
+    "group commit: shared X-L2P flush durable and root republished, L2P folds pending",
 )
 
 
@@ -82,6 +92,9 @@ class XFTL(PageMappingFTL):
             "ftl.xl2p.flush_pages", DEFAULT_SIZE_BOUNDS
         )
         self._obs_commit_us = obs.histogram("ftl.commit.latency_us")
+        self._obs_xl2p_flushes = obs.counter("ftl.xl2p.flushes")
+        self._obs_group_commits = obs.counter("ftl.group_commits")
+        self._obs_group_size = obs.histogram("ftl.group_commit.size", DEFAULT_SIZE_BOUNDS)
 
     # ------------------------------------------------------ transactional IO
 
@@ -166,6 +179,77 @@ class XFTL(PageMappingFTL):
         if self._commits_since_checkpoint >= self.config.map_checkpoint_interval:
             self._checkpoint_map()
 
+    def commit_group(self, tids: Iterable[int]) -> None:
+        """Durably commit several transactions under ONE X-L2P flush.
+
+        Group commit (§4's natural extension once many host transactions
+        share the firmware): every member is marked committed in DRAM,
+        then a single CoW flush + root republish makes the whole batch
+        durable atomically — a crash before the republish loses every
+        member, after it loses none.  The drain barrier inside
+        :meth:`_flush_xl2p` is paid once per group instead of once per
+        transaction, so on a multi-channel array the flush fans out
+        across channels exactly once.
+
+        Order within ``tids`` is the commit order for L2P folding (the
+        callers' transactions are conflict-free, so the order is
+        unobservable unless conflict detection is disabled).
+        """
+        self._check_power()
+        tids = list(dict.fromkeys(tids))
+        live: list[int] = []
+        for tid in tids:
+            if self.xl2p.entries_of(tid):
+                live.append(tid)
+                continue
+            # Same semantics as commit() for an empty tid: stale handles
+            # are host protocol errors, never-wrote transactions are freed
+            # without paying for a flush.
+            if tid in self._committed_tids:
+                raise TransactionError(f"tid {tid} is already committed")
+            if tid in self._aborted_tids:
+                raise TransactionError(f"tid {tid} was aborted; cannot commit")
+            self._release_write_locks(tid)
+            self._started_tids.discard(tid)
+            self.stats.commits += 1
+            self._obs_commits.inc()
+        if not live:
+            return
+        if len(live) == 1:
+            # Degenerate group: the plain commit path, bit for bit.
+            self.commit(live[0])
+            return
+        start_us = self.chip.clock.now_us
+        with self.obs.tracer.span("xftl_commit_group", "ftl"):
+            for tid in live:
+                self.xl2p.set_status(tid, TxStatus.COMMITTED)
+            self.chip.crash_plan.hit(CP_GROUP_FLUSH)
+            self._committed_tids.update(live)
+            self._flush_xl2p()
+            self.chip.crash_plan.hit(CP_GROUP_PUBLISH)
+            for tid in live:
+                for entry in self.xl2p.entries_of(tid):
+                    old = self._l2p.get(entry.lpn)
+                    if old is not None:
+                        self._invalidate(old)
+                    self._drop_owner(entry.new_ppn)
+                    self._l2p[entry.lpn] = entry.new_ppn
+                    self._set_owner(entry.new_ppn, (OWNER_L2P, entry.lpn))
+                    self._mark_dirty(entry.lpn)
+                self.xl2p.remove_tid(tid)
+        for tid in live:
+            self._release_write_locks(tid)
+            self._started_tids.discard(tid)
+        self.stats.commits += len(live)
+        self.stats.group_commits += 1
+        self._obs_commits.inc(len(live))
+        self._obs_group_commits.inc()
+        self._obs_group_size.observe(float(len(live)))
+        self._obs_commit_us.observe(self.chip.clock.now_us - start_us)
+        self._commits_since_checkpoint += len(live)
+        if self._commits_since_checkpoint >= self.config.map_checkpoint_interval:
+            self._checkpoint_map()
+
     def abort(self, tid: int) -> None:
         """Roll back ``tid``: drop its entries, invalidate its new pages.
 
@@ -218,6 +302,8 @@ class XFTL(PageMappingFTL):
                 self.stats.xl2p_page_writes += 1
                 self._obs_xl2p_writes.inc()
         self.chip.drain()
+        self.stats.xl2p_flushes += 1
+        self._obs_xl2p_flushes.inc()
         self._obs_xl2p_flush_pages.observe(float(len(images)))
         for index, old in enumerate(self._xl2p_page_ppns):
             if old in self._owner:

@@ -152,6 +152,8 @@ class Observability:
             "ftl.barriers": "barriers",
             "ftl.commits": "commits",
             "ftl.aborts": "aborts",
+            "ftl.xl2p.flushes": "xl2p_flushes",
+            "ftl.group_commits": "group_commits",
         }
         mismatches = []
         for obs_name, stats_field in pairs.items():

@@ -26,6 +26,11 @@ Registered points (one per persistent-state transition):
 - ``ftl.barrier.mid`` — between mapping pages of a barrier flush
 - ``xftl.commit.before-flush`` / ``xftl.commit.after-flush`` — around the
   X-L2P copy-on-write flush that is the commit point
+- ``xftl.group.flush`` / ``xftl.group.publish`` — inside a group commit:
+  after the batch X-L2P flush (no member durable yet) and after the root
+  republish (every member durable, DRAM fold pending)
+- ``dev.queue.dispatch`` / ``dev.queue.barrier`` — around the NCQ-style
+  command queue's dispatch and drain-barrier transitions
 - ``fs.fsync.mid`` — between an fsync's data writes and its commit record
   (journal frame or device ``commit(t)``)
 - ``sqlite.commit.mid`` — between journal sync and database-file writes

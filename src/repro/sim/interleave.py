@@ -1,0 +1,76 @@
+"""Deterministic cooperative interleaving of generator tasks.
+
+The simulator is single-threaded by design (one :class:`SimClock`, no
+real concurrency), so "N concurrent sessions" means N generator tasks
+interleaved at explicit yield points.  :class:`RoundRobinInterleaver`
+runs tasks in strict round-robin order, which keeps every run exactly
+reproducible for a given seed — the property the verify layer and the
+channel-equivalence baseline depend on.
+
+A task communicates with the scheduler through its yield value:
+
+- ``yield None`` — plain switch point; the task is requeued at the tail.
+- ``yield Park(token)`` — the task parks until the scheduler *services*
+  a batch of parked tokens (e.g. a group commit), then resumes.
+
+The service callback fires when every runnable task has parked (the
+natural group-commit coalescing point: nobody can make progress until
+the batch is served) or when ``max_batch`` parked tasks accumulate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+
+class Park:
+    """Yield value asking the scheduler to hold the task for batch service."""
+
+    __slots__ = ("token",)
+
+    def __init__(self, token: object) -> None:
+        self.token = token
+
+
+class RoundRobinInterleaver:
+    """Run generator tasks round-robin, batching their parked tokens.
+
+    ``service`` is called with the list of parked tokens (in park order)
+    every time a batch fires; the parked tasks are then requeued in the
+    same order.  Exceptions from tasks or from ``service`` propagate to
+    the caller — the verify drivers rely on :class:`PowerFailure`
+    escaping mid-interleave.
+    """
+
+    def __init__(
+        self,
+        service: Callable[[list[object]], None],
+        max_batch: int | None = None,
+    ) -> None:
+        if max_batch is not None and max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.service = service
+        self.max_batch = max_batch
+        self.batches_served = 0
+
+    def run(self, tasks: Iterable) -> None:
+        runnable = deque(tasks)
+        parked: list[tuple[object, object]] = []  # (task, token)
+        while runnable or parked:
+            batch_full = self.max_batch is not None and len(parked) >= self.max_batch
+            if parked and (not runnable or batch_full):
+                batch, parked = parked, []
+                self.service([token for _task, token in batch])
+                self.batches_served += 1
+                runnable.extend(task for task, _token in batch)
+                continue
+            task = runnable.popleft()
+            try:
+                item = next(task)
+            except StopIteration:
+                continue
+            if isinstance(item, Park):
+                parked.append((task, item.token))
+            else:
+                runnable.append(task)

@@ -43,10 +43,12 @@ class Connection:
         journal_mode: SqliteJournalMode = SqliteJournalMode.ROLLBACK,
         cache_pages: int = 512,
         checkpoint_interval: int = 1000,
+        session=None,
     ) -> None:
         self.fs = fs
         self.name = name
         self.journal_mode = journal_mode
+        self.session = session  # owning Session, if any (concurrency runs)
         existed = fs.exists(name)
         self.pager = Pager(
             fs,
@@ -55,11 +57,18 @@ class Connection:
             page_decoder=page_from_image,
             cache_pages=cache_pages,
             checkpoint_interval=checkpoint_interval,
+            session=session,
         )
         self.last_recovery_us = self.pager.last_recovery_us
         self.obs = fs.obs
         self._obs_statements = fs.obs.counter("sqlite.statements")
         self._explicit_txn = False
+        # Group commit: when True (and in OFF mode), COMMIT stages the
+        # transaction via Pager.stage_commit instead of committing inline;
+        # a SessionScheduler later commits the batch and calls
+        # finish_commit().  Inert in every other mode.
+        self.defer_commits = False
+        self._staged_txn = None
         self.statements_executed = 0
         self._parse_cache: dict[str, object] = {}
         self._profile = fs.device.profile
@@ -93,30 +102,77 @@ class Connection:
         self.pager.begin()
         self._explicit_txn = True
 
-    def begin_with_tid(self, tid: int) -> None:
-        """Join a shared device transaction (multi-file commit, §4.3)."""
+    def begin_with_txn(self, txn) -> None:
+        """Join a shared device transaction (multi-file commit, §4.3).
+
+        ``txn`` is a :class:`~repro.stack.txn.TransactionContext` (or a raw
+        int tid from legacy callers — the pager adopts it).
+        """
         if self._explicit_txn:
             raise DatabaseError("cannot start a transaction within a transaction")
-        self.pager.begin(tid=tid)
+        self.pager.begin(txn=txn)
         self._explicit_txn = True
 
     def end_external_txn(self) -> None:
         """Close the explicit-transaction flag after a coordinator commit."""
         self._explicit_txn = False
 
+    @property
+    def pending_commit(self) -> bool:
+        """Whether a deferred COMMIT is staged, awaiting its group."""
+        return self._staged_txn is not None
+
+    @property
+    def staged_txn(self):
+        """The staged transaction context (None unless pending_commit)."""
+        return self._staged_txn
+
     def commit(self) -> None:
-        """Commit the explicit transaction."""
+        """Commit the explicit transaction.
+
+        With :attr:`defer_commits` set (OFF mode), the transaction is
+        *staged* instead: its pages land on the device tagged, but the
+        device commit is left for the session scheduler's group sweep.
+        """
         if not self._explicit_txn:
             raise DatabaseError("no transaction is active")
+        if self._staged_txn is not None:
+            raise DatabaseError("a staged commit is already pending")
+        if self.defer_commits and self.journal_mode is SqliteJournalMode.OFF:
+            staged = self.pager.stage_commit()
+            if staged is None:
+                # Read-only transaction: already fully committed locally.
+                self._explicit_txn = False
+                if self.session is not None:
+                    self.session.note_commit()
+            else:
+                self._staged_txn = staged
+            return
         self.pager.commit()
         self._explicit_txn = False
+        if self.session is not None:
+            self.session.note_commit()
+
+    def finish_commit(self) -> None:
+        """Complete a deferred COMMIT after its group became durable."""
+        if self._staged_txn is None:
+            raise DatabaseError("no staged commit to finish")
+        self.pager.finish_commit()
+        self._staged_txn = None
+        self._explicit_txn = False
+        if self.session is not None:
+            self.session.note_commit()
 
     def rollback(self) -> None:
         """Roll back the explicit transaction (DDL included)."""
         if not self._explicit_txn:
             raise DatabaseError("no transaction is active")
+        if self._staged_txn is not None:
+            raise DatabaseError("cannot roll back a staged commit")
         self.pager.rollback()
         self._explicit_txn = False
+        if self.session is not None:
+            self.session.note_rollback()
         self._load_schema()  # DDL in the aborted txn must be forgotten
 
     def _begin_internal(self) -> None:

@@ -41,7 +41,7 @@ class MultiFileTransaction:
                 raise DatabaseError("all databases must share one file system")
         self.connections = connections
         self.fs = fs
-        self.tid: int | None = None
+        self.txn = None
         self._active = False
 
     @property
@@ -49,15 +49,20 @@ class MultiFileTransaction:
         """Whether the shared transaction is currently open."""
         return self._active
 
+    @property
+    def tid(self) -> int | None:
+        """The shared transaction id (compat accessor for the context)."""
+        return self.txn.tid if self.txn is not None else None
+
     def begin(self) -> None:
         """Open the shared transaction on every participating database."""
         if self._active:
             raise DatabaseError("multi-file transaction already active")
-        self.tid = self.fs.begin_tx()
+        self.txn = self.fs.txn_manager.begin()
         started = []
         try:
             for connection in self.connections:
-                connection.begin_with_tid(self.tid)
+                connection.begin_with_txn(self.txn)
                 started.append(connection)
         except PowerFailure:
             raise  # machine is down: no in-process rollback is possible
@@ -71,16 +76,16 @@ class MultiFileTransaction:
         """Two-phase local flush, then one atomic device commit."""
         if not self._active:
             raise DatabaseError("no multi-file transaction active")
-        assert self.tid is not None
+        assert self.txn is not None
         for connection in self.connections:
             connection.pager.stage_for_group_commit()
         handles = [connection.pager.file for connection in self.connections]
-        self.fs.fsync_group(handles, self.tid)
+        self.fs.fsync_group(handles, self.txn)
         for connection in self.connections:
             connection.pager.finish_group_commit()
             connection.end_external_txn()
         self._active = False
-        self.tid = None
+        self.txn = None
 
     def rollback(self) -> None:
         """Abort the shared transaction everywhere (one device abort)."""
@@ -89,4 +94,4 @@ class MultiFileTransaction:
         for connection in self.connections:
             connection.rollback()
         self._active = False
-        self.tid = None
+        self.txn = None

@@ -93,6 +93,7 @@ class Pager:
         page_decoder: Callable[[tuple], Any],
         cache_pages: int = 512,
         checkpoint_interval: int = 1000,
+        session=None,
     ) -> None:
         self.fs = fs
         self.name = name
@@ -100,6 +101,7 @@ class Pager:
         self._decode = page_decoder
         self.cache_pages = cache_pages
         self.checkpoint_interval = checkpoint_interval
+        self.session = session  # owning Session, if any (concurrency runs)
         self.obs = fs.obs
         obs = fs.obs
         obs.annotate(f"sqlite.{name}.journal_mode", mode.value)
@@ -112,7 +114,8 @@ class Pager:
 
         self._cache: OrderedDict[int, _Entry] = OrderedDict()
         self.in_txn = False
-        self._tid: int | None = None  # X-FTL transaction id (OFF mode)
+        self._txn = None  # TransactionContext (OFF mode / X-FTL)
+        self._stage_start_us = 0.0  # commit latency anchor for staged commits
         self._journal: FileHandle | None = None
         self._journaled: dict[int, tuple | None] = {}  # pno -> original image
         self._txn_counter = 0
@@ -165,22 +168,34 @@ class Pager:
 
     # ------------------------------------------------------------ txn API
 
-    def begin(self, tid: int | None = None) -> None:
+    @property
+    def current_txn(self):
+        """The open transaction's :class:`TransactionContext` (OFF mode)."""
+        return self._txn
+
+    def begin(self, txn=None) -> None:
         """Start a transaction.
 
-        ``tid`` lets a multi-file coordinator (§4.3) make several databases
-        share one device transaction; only meaningful in OFF mode.
+        ``txn`` lets a multi-file coordinator (§4.3) make several databases
+        share one device transaction context; only meaningful in OFF mode.
+        Without it, OFF mode mints a fresh context from the file system's
+        transaction manager, attributed to this pager's session.
         """
         if self.in_txn:
             raise DatabaseError("transaction already active")
-        if tid is not None and self.mode is not SqliteJournalMode.OFF:
-            raise DatabaseError("external tids are only supported in OFF mode")
+        if txn is not None and self.mode is not SqliteJournalMode.OFF:
+            raise DatabaseError(
+                "external transaction contexts are only supported in OFF mode"
+            )
         self.in_txn = True
         self._journaled = {}
         self._txn_frames = []
         self._txn_wrote = False
         if self.mode is SqliteJournalMode.OFF:
-            self._tid = tid if tid is not None else self.fs.begin_tx()
+            if txn is not None:
+                self._txn = self.fs._coerce_txn(txn)
+            else:
+                self._txn = self.fs.txn_manager.begin(session=self.session)
         # ROLLBACK mode creates its journal file lazily, on the first page
         # modification — read-only transactions never touch the journal
         # (SQLite defers journal creation the same way).
@@ -191,7 +206,9 @@ class Pager:
             raise DatabaseError("no active transaction")
         dirty = [(pno, entry) for pno, entry in self._cache.items() if entry.dirty]
         start_us = self.fs.device.clock.now_us
-        with self.obs.tracer.span("commit", "sqlite", tid=self._tid):
+        with self.obs.tracer.span(
+            "commit", "sqlite", tid=None if self._txn is None else self._txn.tid
+        ):
             if self.mode is SqliteJournalMode.ROLLBACK:
                 self._commit_rollback(dirty)
             elif self.mode is SqliteJournalMode.WAL:
@@ -219,14 +236,21 @@ class Pager:
             self._txn_frames = []
             self._wal_frames = self._wal_committed_frames
         else:
-            assert self._tid is not None
-            self.fs.ioctl_abort(self._tid)
+            if self._txn is None:
+                raise DatabaseError(
+                    "OFF-mode transaction lost its context before rollback"
+                )
+            self.fs.ioctl_abort(self._txn)
         self.header = self._read_header_from_disk()
         self._end_txn()
 
     def _end_txn(self) -> None:
+        if self._txn is not None:
+            # Idempotent: commit/abort paths already released the context;
+            # this catches read-only transactions that never reached the fs.
+            self.fs.txn_manager.release(self._txn)
         self.in_txn = False
-        self._tid = None
+        self._txn = None
         self._journaled = {}
         self._txn_frames = []
 
@@ -312,9 +336,9 @@ class Pager:
                 assert self._wal is not None
                 frame = self._wal.read_page(slot)
                 return frame[2]
-        if self.mode is SqliteJournalMode.OFF and self._tid is not None:
+        if self.mode is SqliteJournalMode.OFF and self._txn is not None:
             # Tagged read: this transaction must see its own stolen writes.
-            return self.file.read_page_tx(pno, self._tid)
+            return self.file.read_page_tx(pno, self._txn)
         return self.file.read_page(pno)
 
     def _read_header_from_disk(self) -> DbHeader:
@@ -365,7 +389,7 @@ class Pager:
             slot = self._append_wal_frame(pno, image, commit_size=0)
             self._txn_frames.append((pno, slot))
         else:
-            self.file.write_page(pno, image, tid=self._tid)
+            self.file.write_page(pno, image, txn=self._txn)
         entry.dirty = False
 
     # ----------------------------------------------------- ROLLBACK journal
@@ -562,16 +586,67 @@ class Pager:
     # ------------------------------------------------------------ OFF mode
 
     def _commit_off(self, dirty: list[tuple[int, _Entry]]) -> None:
-        assert self._tid is not None
+        if self._txn is None:
+            raise DatabaseError("OFF-mode transaction lost its context before commit")
         if not dirty and not self._txn_wrote:
             return  # read-only transaction: no fsync, no device commit
         for pno, entry in dirty:
-            self.file.write_page(pno, entry.page.to_image(), tid=self._tid)
-        self.fs.fsync(self.file, tid=self._tid)
+            self.file.write_page(pno, entry.page.to_image(), txn=self._txn)
+        self.fs.fsync(self.file, txn=self._txn)
+
+    def stage_commit(self):
+        """Group commit, phase 1 (OFF mode): stage this transaction's pages
+        on the device without committing it.
+
+        Dirty pages are force-written tagged and ``fs.stage_tx`` pushes
+        them (plus metadata) to the device, leaving the transaction
+        COMMITTING.  Returns the staged :class:`TransactionContext`, or
+        ``None`` when the transaction was read-only (in which case it has
+        already fully committed locally — there is nothing to make
+        durable).  A group coordinator later calls
+        ``TxnManager.commit_group`` and then :meth:`finish_commit`.
+        """
+        if self.mode is not SqliteJournalMode.OFF:
+            raise DatabaseError("staged commits require OFF mode")
+        if not self.in_txn:
+            raise DatabaseError("no active transaction")
+        txn = self._txn
+        if txn is None:
+            raise DatabaseError("OFF-mode transaction lost its context before commit")
+        dirty = [(pno, entry) for pno, entry in self._cache.items() if entry.dirty]
+        if not dirty and not self._txn_wrote:
+            # Read-only: same as _commit_off's early return — count the
+            # commit and close out locally, no device work to defer.
+            self._obs_commits.inc()
+            self._end_txn()
+            return None
+        self._stage_start_us = self.fs.device.clock.now_us
+        with self.obs.tracer.span("commit_stage", "sqlite", tid=txn.tid):
+            for pno, entry in dirty:
+                self.file.write_page(pno, entry.page.to_image(), txn=txn)
+            self.fs.stage_tx(self.file, txn)
+        self._obs_page_writes.inc(len(dirty))
+        for _pno, entry in dirty:
+            entry.dirty = False
+        return txn
+
+    def finish_commit(self) -> None:
+        """Group commit, phase 2: account and close the local transaction.
+
+        Called after the group coordinator's commit sweep made the staged
+        transaction durable.  The commit latency histogram spans staging
+        through the group's device commit, so the queueing delay a
+        transaction spends waiting for its group is visible.
+        """
+        if not self.in_txn:
+            raise DatabaseError("no active transaction")
+        self._obs_commits.inc()
+        self._obs_commit_us.observe(self.fs.device.clock.now_us - self._stage_start_us)
+        self._end_txn()
 
     def stage_for_group_commit(self) -> None:
         """Multi-file commit, phase 1: push this database's dirty pages into
-        the file-system cache tagged with the shared tid (OFF mode only).
+        the file-system cache tagged with the shared context (OFF mode only).
 
         The coordinator then issues one ``fsync_group``/``commit(t)`` for
         all participating databases, and each pager finishes locally with
@@ -581,10 +656,11 @@ class Pager:
             raise DatabaseError("group commit requires OFF mode")
         if not self.in_txn:
             raise DatabaseError("no active transaction")
-        assert self._tid is not None
+        if self._txn is None:
+            raise DatabaseError("OFF-mode transaction lost its context before commit")
         for pno, entry in self._cache.items():
             if entry.dirty:
-                self.file.write_page(pno, entry.page.to_image(), tid=self._tid)
+                self.file.write_page(pno, entry.page.to_image(), txn=self._txn)
                 entry.dirty = False
 
     def finish_group_commit(self) -> None:

@@ -38,7 +38,12 @@ from repro.sqlite.pager import SqliteJournalMode
 __all__ = [
     "BenchStack",
     "Mode",
+    "Session",
+    "SessionScheduler",
     "StackConfig",
+    "TransactionContext",
+    "TxnManager",
+    "TxnState",
     "build_stack",
     "open_stack",
 ]
@@ -148,6 +153,7 @@ class BenchStack:
     fs: Ext4
     crash_plan: CrashPlan
     obs: Observability = NULL_OBS
+    _session_seq: int = 0
 
     def open_database(
         self, name: str = "test.db", cache_pages: int = 4096, **kwargs
@@ -159,6 +165,13 @@ class BenchStack:
             cache_pages=cache_pages,
             **kwargs,
         )
+
+    def open_session(self, name: str | None = None) -> "Session":
+        """Open a named :class:`Session` — one logical client of this stack."""
+        if name is None:
+            name = f"s{self._session_seq}"
+        self._session_seq += 1
+        return Session(self, name)
 
     def remount_after_crash(self) -> "BenchStack":
         """Power-cycle the device and remount the file system in place."""
@@ -265,3 +278,10 @@ def open_stack(
     """
     config = StackConfig(mode=Mode.coerce(mode), metrics=metrics, trace=trace, **overrides)
     return build_stack(config)
+
+
+# Imported last: session/txn modules depend on the sqlite/fs layers above,
+# and Ext4 reaches back into repro.stack.txn lazily (txn_manager property),
+# so the submodules must not be imported until this module body is built.
+from repro.stack.session import Session, SessionScheduler  # noqa: E402
+from repro.stack.txn import TransactionContext, TxnManager, TxnState  # noqa: E402

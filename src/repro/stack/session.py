@@ -1,0 +1,142 @@
+"""Sessions and the interleaving scheduler with group commit.
+
+A :class:`Session` is one logical client of a shared stack — a TPC-C
+terminal, one smartphone app in the paper's §6.3 scenario.  Each session
+opens its own SQLite connections; all sessions share the one simulated
+device, so their transactions contend for (and amortize) the same X-FTL
+firmware.
+
+:class:`SessionScheduler` interleaves session tasks (generators) with
+the deterministic round-robin interleaver from :mod:`repro.sim` and
+implements **group commit** on X-FTL stacks: when several sessions reach
+their commit point together, their staged transactions are committed by
+one ``TxnManager.commit_group`` call — a single X-L2P CoW flush and a
+single drain barrier serve the whole batch, instead of one flush per
+transaction.  On non-transactional stacks (RBJ/WAL) commits simply run
+inline at the same yield points, so cross-mode comparisons see identical
+statement streams.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import DatabaseError
+from repro.sim.interleave import Park, RoundRobinInterleaver
+from repro.sqlite.database import Connection
+from repro.sqlite.pager import SqliteJournalMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.stack import BenchStack
+
+
+class Session:
+    """One logical client (terminal / app) of a shared stack.
+
+    Owns its connections and a small per-session metrics namespace
+    (``session.<name>.commits`` etc.) so concurrency experiments can
+    attribute work to individual terminals.
+    """
+
+    def __init__(self, stack: "BenchStack", name: str) -> None:
+        self.stack = stack
+        self.name = name
+        self.connections: list[Connection] = []
+        self.commits = 0
+        self.rollbacks = 0
+        obs = stack.obs
+        self._obs_commits = obs.counter(f"session.{name}.commits")
+        self._obs_rollbacks = obs.counter(f"session.{name}.rollbacks")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Session {self.name!r} connections={len(self.connections)}>"
+
+    def open_database(self, name: str, **kwargs) -> Connection:
+        """Open a database owned by this session on the shared stack."""
+        conn = self.stack.open_database(name, session=self, **kwargs)
+        self.connections.append(conn)
+        return conn
+
+    # Called by Connection at transaction boundaries.
+    def note_commit(self) -> None:
+        self.commits += 1
+        self._obs_commits.inc()
+
+    def note_rollback(self) -> None:
+        self.rollbacks += 1
+        self._obs_rollbacks.inc()
+
+
+class SessionScheduler:
+    """Interleave session tasks and coalesce their commits.
+
+    Tasks are generators following a small protocol:
+
+    - ``yield None`` — switch point (lets other sessions run);
+    - ``yield scheduler.commit_token(conn)`` — commit intent: if the
+      connection staged a deferred commit, the task parks until the
+      scheduler commits the whole batch in one group commit.
+
+    Call :meth:`prepare` on every connection before running so its
+    ``COMMIT`` statements stage instead of committing inline (only
+    effective in OFF mode on a transactional device; everywhere else the
+    flag is inert and commits run eagerly at the same program points).
+    """
+
+    def __init__(
+        self,
+        stack: "BenchStack",
+        group_commit: bool = True,
+        max_group: int | None = None,
+    ) -> None:
+        self.stack = stack
+        # Group commit needs a device that understands transactions
+        # (X-FTL); on stock firmware commits are plain fsyncs already.
+        self.group_commit = group_commit and stack.device.supports_transactions
+        self.max_group = max_group
+        self.groups_committed = 0
+        self.transactions_grouped = 0
+        self._interleaver = RoundRobinInterleaver(
+            self._commit_batch, max_batch=max_group
+        )
+
+    # ------------------------------------------------------- task protocol
+
+    def prepare(self, connection: Connection) -> None:
+        """Route this connection's COMMITs through the group-commit path."""
+        connection.defer_commits = (
+            self.group_commit
+            and connection.journal_mode is SqliteJournalMode.OFF
+        )
+
+    def commit_token(self, connection: Connection) -> Park | None:
+        """The value a task yields at its commit intent.
+
+        Returns a park request when the connection staged a commit;
+        ``None`` (a plain switch) when the commit already completed
+        inline (non-deferred modes, read-only transactions).
+        """
+        if connection.pending_commit:
+            return Park(connection)
+        return None
+
+    def run(self, tasks: Iterable) -> None:
+        """Interleave ``tasks`` round-robin until all are exhausted."""
+        self._interleaver.run(list(tasks))
+
+    # ------------------------------------------------------------ batching
+
+    def _commit_batch(self, connections: list[Connection]) -> None:
+        txns = []
+        for conn in connections:
+            if conn.staged_txn is None:  # pragma: no cover - protocol bug
+                raise DatabaseError(
+                    "parked connection has no staged commit; tasks must only "
+                    "park on scheduler.commit_token(conn)"
+                )
+            txns.append(conn.staged_txn)
+        self.stack.fs.txn_manager.commit_group(txns)
+        for conn in connections:
+            conn.finish_commit()
+        self.groups_committed += 1
+        self.transactions_grouped += len(connections)

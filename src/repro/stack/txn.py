@@ -1,0 +1,205 @@
+"""First-class transaction identity: contexts and their manager.
+
+The seed stack threaded bare ``int`` tids from the SQLite pager through
+ext4 and the block device down to the X-FTL firmware.  That was enough
+for one synchronous caller, but the paper's whole point (§4) is many
+independent host transactions sharing one transactional FTL — the
+smartphone-apps scenario, TPC-C terminals.  A
+:class:`TransactionContext` gives each host transaction an explicit
+identity (tid, lifecycle state machine, owning session) so the layers
+can reason about *whose* pages they are holding, and a
+:class:`TxnManager` mints and tracks the live set per file system.
+
+The device wire format is unchanged: FTL and device still speak raw
+integer tids (``context.tid``), exactly as X-FTL carries tids in SATA
+trim/barrier command slack.  Contexts are host-side bookkeeping only,
+which keeps single-session runs bit-identical to the seed.
+
+Lifecycle::
+
+    ACTIVE --> COMMITTING --> COMMITTED
+       \\            \\
+        +-> ABORTED  +-> ABORTED
+
+Illegal transitions (committing an aborted transaction, reusing a
+committed one) raise :class:`~repro.errors.TransactionError` at the host
+layer, mirroring the checks the FTL performs on raw tids.
+
+Note on tracing: contexts deliberately do *not* hold a long-lived obs
+span.  The tracer's span stack is LIFO, and transaction lifetimes from
+different sessions interleave, so a txn-long span would corrupt span
+nesting.  Instead the manager records zero-duration ``txn.begin`` /
+``txn.end`` trace events and a ``txn.lifetime_us`` histogram.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.fs.ext4 import Ext4
+    from repro.stack.session import Session
+
+
+class TxnState(enum.Enum):
+    """Host-side lifecycle of one transaction context."""
+
+    ACTIVE = "active"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (TxnState.COMMITTED, TxnState.ABORTED)
+
+
+_ALLOWED_TRANSITIONS: dict[TxnState, frozenset[TxnState]] = {
+    TxnState.ACTIVE: frozenset({TxnState.COMMITTING, TxnState.ABORTED}),
+    TxnState.COMMITTING: frozenset({TxnState.COMMITTED, TxnState.ABORTED}),
+    TxnState.COMMITTED: frozenset(),
+    TxnState.ABORTED: frozenset(),
+}
+
+
+class TransactionContext:
+    """One host transaction: tid, state machine, owning session.
+
+    Instances are minted by :meth:`TxnManager.begin` (or adopted from a
+    raw int tid by :meth:`TxnManager.adopt` for legacy callers).  The
+    integer ``tid`` is what goes over the device wire; ``int(ctx)``
+    returns it for convenience.
+    """
+
+    __slots__ = ("tid", "session", "manager", "state", "start_us")
+
+    def __init__(
+        self,
+        tid: int,
+        session: "Session | None" = None,
+        manager: "TxnManager | None" = None,
+        start_us: float = 0.0,
+    ) -> None:
+        self.tid = tid
+        self.session = session
+        self.manager = manager
+        self.state = TxnState.ACTIVE
+        self.start_us = start_us
+
+    def __int__(self) -> int:
+        return self.tid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        owner = f" session={self.session.name!r}" if self.session is not None else ""
+        return f"<TransactionContext tid={self.tid} {self.state.value}{owner}>"
+
+    # ------------------------------------------------------ state machine
+
+    def _transition(self, new: TxnState) -> None:
+        if new is self.state:  # idempotent re-entry (multifile staging)
+            return
+        if new not in _ALLOWED_TRANSITIONS[self.state]:
+            raise TransactionError(
+                f"transaction {self.tid}: illegal transition "
+                f"{self.state.value} -> {new.value}"
+            )
+        self.state = new
+
+    def begin_commit(self) -> None:
+        """Enter COMMITTING: pages staged on the device, flush pending."""
+        self._transition(TxnState.COMMITTING)
+
+    def mark_committed(self) -> None:
+        self._transition(TxnState.COMMITTED)
+
+    def mark_aborted(self) -> None:
+        self._transition(TxnState.ABORTED)
+
+
+class TxnManager:
+    """Mints and tracks :class:`TransactionContext`\\ s for one file system.
+
+    There is exactly one manager per mounted :class:`~repro.fs.ext4.Ext4`
+    (reachable via its lazy ``txn_manager`` property); tid allocation
+    delegates to the file system's persistent counter so raw-int callers
+    (``fs.begin_tx()``) and context callers draw from the same sequence
+    and recovery's mount-gap logic applies to both.
+    """
+
+    def __init__(self, fs: "Ext4") -> None:
+        self.fs = fs
+        self.obs = fs.obs
+        self._live: dict[int, TransactionContext] = {}
+        self._obs_begins = self.obs.counter("txn.begins")
+        self._obs_releases = self.obs.counter("txn.releases")
+        self._obs_lifetime_us = self.obs.histogram("txn.lifetime_us")
+
+    # ---------------------------------------------------------- lifecycle
+
+    def begin(self, session: "Session | None" = None) -> TransactionContext:
+        """Mint a fresh context from the file system's tid sequence."""
+        tid = self.fs._allocate_tid()
+        ctx = TransactionContext(
+            tid, session=session, manager=self, start_us=self._now_us()
+        )
+        self._live[tid] = ctx
+        self._obs_begins.inc()
+        self.obs.tracer.event("txn.begin", "stack", tid=tid)
+        return ctx
+
+    def adopt(self, tid: int, session: "Session | None" = None) -> TransactionContext:
+        """Get-or-create a context for a raw integer tid.
+
+        Bridges legacy callers that allocated via ``fs.begin_tx()`` (or
+        crafted tids by hand in OFF-mode tests) into the context world
+        without double-tracking: repeated adoption of the same live tid
+        returns the same object.
+        """
+        ctx = self._live.get(tid)
+        if ctx is None:
+            ctx = TransactionContext(
+                tid, session=session, manager=self, start_us=self._now_us()
+            )
+            self._live[tid] = ctx
+        return ctx
+
+    def get(self, tid: int) -> TransactionContext | None:
+        return self._live.get(tid)
+
+    def release(self, ctx: TransactionContext) -> None:
+        """Drop a context from the live set (idempotent).
+
+        Called after the device has committed/aborted the tid, or when a
+        read-only transaction ends without ever reaching the device (the
+        context is simply abandoned, still ACTIVE).
+        """
+        if self._live.pop(ctx.tid, None) is not None:
+            self._obs_releases.inc()
+            self._obs_lifetime_us.observe(self._now_us() - ctx.start_us)
+            self.obs.tracer.event("txn.end", "stack", tid=ctx.tid)
+
+    # ------------------------------------------------------- group commit
+
+    def commit_group(self, txns: Iterable[TransactionContext | None]) -> int:
+        """Commit several staged transactions under one X-L2P flush.
+
+        Every context must already be staged (COMMITTING) by
+        ``fs.stage_tx``.  Returns the number of transactions committed.
+        """
+        group = [txn for txn in txns if txn is not None]
+        if not group:
+            return 0
+        self.fs.commit_tx_group(group)
+        return len(group)
+
+    # ------------------------------------------------------------ helpers
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def _now_us(self) -> float:
+        return self.fs.device.clock.now_us

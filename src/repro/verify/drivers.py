@@ -13,6 +13,8 @@ Layers (bottom to top):
 
 - ``ftl.pagemap``  — plain writes + barriers on the stock FTL;
 - ``ftl.xftl``     — write_tx/commit/abort transactions on X-FTL;
+- ``ftl.xftl.group`` — commit_group batches on X-FTL: crashes during the
+  group's single X-L2P flush and publish step;
 - ``device.queue`` — plain writes through a queued (NCQ) device over a
   two-channel flash array: crashes land with commands in flight;
 - ``device.queue.xftl`` — the transactional command set through the same
@@ -23,7 +25,10 @@ Layers (bottom to top):
   OFF mode on ext4-XFTL on X-FTL);
 - ``sqlite.rbj``   — the same SQL workload on the unmodified stack
   (rollback journal on ordered ext4 on the stock FTL), which is the
-  only layer where ``sqlite.commit.mid`` is reachable.
+  only layer where ``sqlite.commit.mid`` is reachable;
+- ``sqlite.concurrent`` — two sessions, each with its own OFF-mode
+  database, interleaved through the SessionScheduler with deferred
+  commits coalescing into group commits on one X-FTL device.
 """
 
 from __future__ import annotations
@@ -145,6 +150,61 @@ def _run_xftl(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]
                 oracle.note_commit_started(tid)
                 ftl.commit(tid)
                 oracle.note_committed(tid)
+    except PowerFailure:
+        fired = True
+    else:
+        plan.disarm_all()
+        ftl.power_fail()
+
+    ftl.remount()
+    ftl.check_invariants()
+    return fired, op, oracle.check(ftl.read)
+
+
+def _run_xftl_group(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]]:
+    """Group commit on X-FTL: batches of transactions, one commit sweep.
+
+    Reaches the ``xftl.group.flush`` / ``xftl.group.publish`` points that
+    single-transaction commits never hit, and checks the all-or-nothing
+    contract *per batch*: a crash during the group flush must leave every
+    member undone; after the publish, every member durable.
+    """
+    plan = CrashPlan()
+    ftl = XFTL(FlashChip(_FTL_GEOMETRY, crash_plan=plan), _FTL_CONFIG)
+    rng = make_rng(seed, "verify.xftl.group")
+    hot = min(ftl.exported_pages, 24)
+
+    oracle = TransactionOracle()
+    for lpn in range(hot):
+        ftl.write(lpn, ("base", lpn))
+        oracle.note_baseline(lpn, ("base", lpn))
+    ftl.barrier()
+
+    plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    op = 0
+    tid = 0
+    try:
+        while op < ops_limit:
+            group: list[int] = []
+            for _ in range(rng.randrange(2, 4)):  # 2-3 transactions per batch
+                tid += 1
+                for _ in range(rng.randrange(1, 4)):
+                    op += 1
+                    lpn = rng.randrange(hot)
+                    value = ("t", tid, op)
+                    oracle.note_tx_write(tid, lpn, value)
+                    ftl.write_tx(tid, lpn, value)
+                if rng.random() < 0.2:
+                    ftl.abort(tid)
+                    oracle.note_aborted(tid)
+                else:
+                    group.append(tid)
+            for member in group:
+                oracle.note_commit_started(member)
+            ftl.commit_group(group)
+            for member in group:
+                oracle.note_committed(member)
     except PowerFailure:
         fired = True
     else:
@@ -378,6 +438,87 @@ def _run_sqlite(mode: Mode, point, after, tear, seed, ops_limit):
     return fired, op, violations
 
 
+def _run_sqlite_concurrent(point, after, tear, seed, ops_limit):
+    """Two sessions interleave SQL transactions over one X-FTL device.
+
+    Each session owns its own database (SQLite locks per file); their
+    COMMITs defer and coalesce through the SessionScheduler's group
+    commit, so crashes land between staged transactions, during the
+    group's X-L2P flush, and at the publish point — with the oracle
+    holding both databases to the all-or-nothing contract at once.
+    """
+    from repro.stack import SessionScheduler
+
+    stack = build_stack(StackConfig(mode=Mode.XFTL, **_SQLITE_STACK))
+    n_dbs = 2
+    scheduler = SessionScheduler(stack)
+    dbs = []
+    baseline: dict = {}
+    for index in range(n_dbs):
+        session = stack.open_session(name=f"verify{index}")
+        db = session.open_database(f"verify_{index}.db")
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        db.execute("BEGIN")
+        for row in range(1, _N_ROWS + 1):
+            db.execute("INSERT INTO t VALUES (?, 0)", (row,))
+        db.execute("COMMIT")
+        for row in range(1, _N_ROWS + 1):
+            baseline[(index, row)] = 0
+        dbs.append(db)
+    oracle = TransactionOracle(baseline)
+    for db in dbs:
+        scheduler.prepare(db)
+
+    stack.crash_plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    ops = [0]  # shared across tasks: the limit bounds total work
+    next_tid = [0]
+
+    def terminal(index: int, db):
+        rng = make_rng(seed, "verify.sqlite.concurrent", index)
+        while ops[0] < ops_limit:
+            next_tid[0] += 1
+            tid = next_tid[0]
+            db.execute("BEGIN")
+            for _ in range(rng.randrange(1, 4)):
+                ops[0] += 1
+                row = rng.randrange(1, _N_ROWS + 1)
+                value = tid * 1000 + ops[0]
+                oracle.note_tx_write(tid, (index, row), value)
+                db.execute("UPDATE t SET v = ? WHERE id = ?", (value, row))
+            if rng.random() < 0.2:
+                db.execute("ROLLBACK")
+                oracle.note_aborted(tid)
+            else:
+                oracle.note_commit_started(tid)
+                db.execute("COMMIT")  # stages (deferred); parks until the group
+                yield scheduler.commit_token(db)
+                oracle.note_committed(tid)
+            yield None
+
+    try:
+        scheduler.run(terminal(index, db) for index, db in enumerate(dbs))
+    except PowerFailure:
+        fired = True
+    else:
+        stack.crash_plan.disarm_all()
+        stack.device.power_off()
+
+    stack.remount_after_crash()
+    stack.ftl.check_invariants()
+    violations: list[str] = []
+    recovered: dict = {}
+    for index in range(n_dbs):
+        db2 = stack.open_database(f"verify_{index}.db")
+        rows = dict(db2.execute("SELECT id, v FROM t"))
+        if set(rows) != set(range(1, _N_ROWS + 1)):
+            violations.append(f"db {index}: row set changed: ids {sorted(rows)!r}")
+        for row, value in rows.items():
+            recovered[(index, row)] = value
+    violations.extend(oracle.check(lambda key: recovered.get(key)))
+    return fired, ops[0], violations
+
+
 # ------------------------------------------------------------------ layers
 
 
@@ -395,6 +536,11 @@ LAYERS: dict[str, Layer] = {
     for layer in (
         Layer("ftl.pagemap", ("flash", "ftl.pagemap"), _run_pagemap),
         Layer("ftl.xftl", ("flash", "ftl.pagemap", "ftl.xftl"), _run_xftl),
+        Layer(
+            "ftl.xftl.group",
+            ("flash", "ftl.pagemap", "ftl.xftl"),
+            _run_xftl_group,
+        ),
         Layer(
             "device.queue",
             ("flash", "ftl.pagemap", "device.queue"),
@@ -415,6 +561,11 @@ LAYERS: dict[str, Layer] = {
             "sqlite.rbj",
             ("flash", "ftl.pagemap", "fs.ext4", "sqlite.pager"),
             lambda *a: _run_sqlite(Mode.RBJ, *a),
+        ),
+        Layer(
+            "sqlite.concurrent",
+            ("flash", "ftl.pagemap", "ftl.xftl", "fs.ext4"),
+            _run_sqlite_concurrent,
         ),
     )
 }

@@ -98,8 +98,8 @@ class FioBenchmark:
             handle = fs.create("fio.dat")
             handle.fallocate(self.file_pages)
             if stack.fs.mode.value == "xftl":
-                layout_tid = fs.begin_tx()
-                fs.fsync(handle, tid=layout_tid)
+                layout_txn = fs.txn_manager.begin()
+                fs.fsync(handle, txn=layout_txn)
             else:
                 fs.fsync(handle)
 
@@ -122,13 +122,15 @@ class FioBenchmark:
                 scheduler.timeline(f"fio.thread{index}") for index in range(threads)
             ]
         timeline = None
-        tid = fs.begin_tx() if stack.fs.mode.value == "xftl" else None
+        txn = fs.txn_manager.begin() if stack.fs.mode.value == "xftl" else None
         while clock.now_s < deadline:
             if thread_timelines is not None:
                 timeline = thread_timelines[(writes + reads) % threads]
                 clock.wait_until(timeline.busy_until_us)
             if pattern == "randrw" and rng.random() < read_fraction:
-                handle.read_page(rng.randrange(self.file_pages))
+                # The reader passes its own context so snapshot isolation
+                # keeps serving its uncommitted cached writes.
+                handle.read_page(rng.randrange(self.file_pages), txn=txn)
                 host_overhead_us += profile.host_syscall_us
                 if timeline is not None:
                     timeline.reserve(profile.host_syscall_us)
@@ -139,25 +141,28 @@ class FioBenchmark:
                 sequential_cursor += 1
             else:
                 page = rng.randrange(self.file_pages)
-            handle.write_page(page, _PAYLOAD, tid=tid)
+            handle.write_page(page, _PAYLOAD, txn=txn)
             host_overhead_us += profile.host_syscall_us
             if timeline is not None:
                 timeline.reserve(profile.host_syscall_us)
             writes += 1
             if writes % fsync_interval == 0:
-                fs.fsync(handle, tid=tid)
+                fs.fsync(handle, txn=txn)
                 fsyncs += 1
                 host_overhead_us += profile.host_fsync_us
                 if timeline is not None:
                     timeline.reserve(profile.host_fsync_us)
-                if tid is not None:
-                    tid = fs.begin_tx()
+                if txn is not None:
+                    txn = fs.txn_manager.begin()
             if max_writes is not None and writes >= max_writes:
                 break
         if writes % fsync_interval:
-            fs.fsync(handle, tid=tid)
+            fs.fsync(handle, txn=txn)
             fsyncs += 1
             host_overhead_us += profile.host_fsync_us
+        elif txn is not None:
+            # The trailing context minted after the last fsync never wrote.
+            fs.txn_manager.release(txn)
         if thread_timelines is not None:
             # The run ends when every thread's host work has drained.
             for pending in thread_timelines:

@@ -8,5 +8,17 @@ the four workload mixes of Table 3 and reports tpmC.
 
 from repro.workloads.tpcc.driver import MIXES, TpccDriver, TpccResult
 from repro.workloads.tpcc.loader import TpccConfig, TpccLoader
+from repro.workloads.tpcc.multiterminal import (
+    MultiTerminalResult,
+    MultiTerminalTpccDriver,
+)
 
-__all__ = ["MIXES", "TpccDriver", "TpccResult", "TpccConfig", "TpccLoader"]
+__all__ = [
+    "MIXES",
+    "MultiTerminalResult",
+    "MultiTerminalTpccDriver",
+    "TpccDriver",
+    "TpccResult",
+    "TpccConfig",
+    "TpccLoader",
+]

@@ -111,8 +111,8 @@ class TestTracingUnderFilesystem:
         fs = Ext4.mkfs(device, JournalMode.XFTL, journal_pages=32)
         handle = fs.create("traced.dat")
         tid = fs.begin_tx()
-        handle.write_page(0, ("data",), tid=tid)
-        fs.fsync(handle, tid=tid)
+        handle.write_page(0, ("data",), txn=tid)
+        fs.fsync(handle, txn=tid)
         assert len(device.trace.events_of(CommandKind.WRITE_TX)) >= 1
         assert len(device.trace.events_of(CommandKind.COMMIT)) == 1
         # fsync = tagged writes then exactly one commit, in that order.

@@ -81,7 +81,7 @@ class TestExperimentFunctions:
     def test_registry_complete(self):
         assert set(experiments.ALL_EXPERIMENTS) == {
             "fig5", "table1", "fig6", "table2", "fig7", "table4",
-            "fig8", "fig9", "table5", "channels",
+            "fig8", "fig9", "table5", "channels", "concurrency",
         }
 
 

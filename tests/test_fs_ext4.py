@@ -145,8 +145,8 @@ class TestFsyncAccounting:
         device, fs = make_fs(JournalMode.XFTL)
         handle = fs.create("a")
         tid = fs.begin_tx()
-        handle.write_page(0, ("x",), tid=tid)
-        fs.fsync(handle, tid=tid)
+        handle.write_page(0, ("x",), txn=tid)
+        fs.fsync(handle, txn=tid)
         assert device.counters.tagged_writes > 0
         assert device.counters.commits == 1
         assert fs.stats.journal_page_writes == 0
@@ -165,10 +165,10 @@ class TestAbort:
         _dev, fs = make_fs(JournalMode.XFTL)
         handle = fs.create("a")
         tid0 = fs.begin_tx()
-        handle.write_page(0, ("committed",), tid=tid0)
-        fs.fsync(handle, tid=tid0)
+        handle.write_page(0, ("committed",), txn=tid0)
+        fs.fsync(handle, txn=tid0)
         tid = fs.begin_tx()
-        handle.write_page(0, ("doomed",), tid=tid)
+        handle.write_page(0, ("doomed",), txn=tid)
         fs.ioctl_abort(tid)
         assert handle.read_page(0) == ("committed",)
 
@@ -178,11 +178,11 @@ class TestAbort:
         handle = fs.create("a")
         tid0 = fs.begin_tx()
         for index in range(10):
-            handle.write_page(index, ("base", index), tid=tid0)
-        fs.fsync(handle, tid=tid0)
+            handle.write_page(index, ("base", index), txn=tid0)
+        fs.fsync(handle, txn=tid0)
         tid = fs.begin_tx()
         for index in range(10):  # overflows the 4-page cache: steals happen
-            handle.write_page(index, ("doomed", index), tid=tid)
+            handle.write_page(index, ("doomed", index), txn=tid)
         assert device.counters.tagged_writes > 10  # some stolen pre-commit
         fs.ioctl_abort(tid)
         for index in range(10):
@@ -193,7 +193,7 @@ class TestAbort:
         handle = fs.create("a")
         tid = fs.begin_tx()
         for index in range(10):
-            handle.write_page(index, ("mine", index), tid=tid)
+            handle.write_page(index, ("mine", index), txn=tid)
         assert handle.read_page_tx(0, tid) == ("mine", 0)
 
     def test_other_readers_see_committed_during_steal(self):
@@ -201,11 +201,11 @@ class TestAbort:
         handle = fs.create("a")
         tid0 = fs.begin_tx()
         for index in range(10):
-            handle.write_page(index, ("base", index), tid=tid0)
-        fs.fsync(handle, tid=tid0)
+            handle.write_page(index, ("base", index), txn=tid0)
+        fs.fsync(handle, txn=tid0)
         tid = fs.begin_tx()
         for index in range(10):
-            handle.write_page(index, ("pending", index), tid=tid)
+            handle.write_page(index, ("pending", index), txn=tid)
         # Pages 0.. were stolen to the device; a plain read sees committed.
         assert handle.read_page(0) == ("base", 0)
 
@@ -217,8 +217,8 @@ class TestMountAndRecovery:
         handle = fs.create("a")
         tid = fs.begin_tx() if mode is JournalMode.XFTL else None
         for index in range(20):
-            handle.write_page(index, ("v", index), tid=tid)
-        fs.fsync(handle, tid=tid)
+            handle.write_page(index, ("v", index), txn=tid)
+        fs.fsync(handle, txn=tid)
         device.power_off()
         device.power_on()
         fs2 = Ext4.mount(device, mode, journal_pages=64)
@@ -275,8 +275,8 @@ class TestMountAndRecovery:
         device, fs = make_fs(JournalMode.XFTL)
         handle = fs.create("a")
         tid = fs.begin_tx()
-        handle.write_page(0, ("v",), tid=tid)
-        fs.fsync(handle, tid=tid)
+        handle.write_page(0, ("v",), txn=tid)
+        fs.fsync(handle, txn=tid)
         fs.create("b")  # metadata dirty but never committed
         device.power_off()
         device.power_on()

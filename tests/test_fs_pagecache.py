@@ -46,9 +46,9 @@ class TestBasics:
     def test_update_existing_page(self):
         cache, _ = make_cache()
         cache.put(1, "a")
-        cache.put(1, "b", dirty=True, tid=9)
+        cache.put(1, "b", dirty=True, txn=9)
         page = cache.get(1)
-        assert page.data == "b" and page.dirty and page.tid == 9
+        assert page.data == "b" and page.dirty and page.txn == 9
 
     def test_contains(self):
         cache, _ = make_cache()
@@ -68,15 +68,15 @@ class TestEviction:
 
     def test_dirty_eviction_writes_back_with_tid(self):
         cache, written = make_cache(capacity=2)
-        cache.put(1, "a", dirty=True, tid=7)
-        cache.put(2, "b", dirty=True, tid=8)
-        cache.put(3, "c", dirty=True, tid=9)
+        cache.put(1, "a", dirty=True, txn=7)
+        cache.put(2, "b", dirty=True, txn=8)
+        cache.put(3, "c", dirty=True, txn=9)
         assert written == [(1, "a", 7)]
         assert cache.dirty_evictions == 1
 
     def test_clean_preferred_over_dirty(self):
         cache, written = make_cache(capacity=2)
-        cache.put(1, "dirty", dirty=True, tid=1)
+        cache.put(1, "dirty", dirty=True, txn=1)
         cache.put(2, "clean")
         cache.put(3, "new")
         assert written == []  # the clean page 2 was evicted
@@ -92,31 +92,31 @@ class TestEviction:
 
 
 class TestTransactionSupport:
-    def test_drop_tid_removes_only_that_tid(self):
+    def test_drop_txn_removes_only_that_txn(self):
         cache, _ = make_cache(capacity=8)
-        cache.put(1, "a", dirty=True, tid=1)
-        cache.put(2, "b", dirty=True, tid=2)
-        cache.put(3, "c", dirty=True, tid=1)
-        dropped = cache.drop_tid(1)
+        cache.put(1, "a", dirty=True, txn=1)
+        cache.put(2, "b", dirty=True, txn=2)
+        cache.put(3, "c", dirty=True, txn=1)
+        dropped = cache.drop_txn(1)
         assert sorted(dropped) == [1, 3]
         assert 2 in cache and 1 not in cache
 
-    def test_drop_tid_ignores_clean_pages(self):
+    def test_drop_txn_ignores_clean_pages(self):
         cache, _ = make_cache(capacity=8)
-        cache.put(1, "a", dirty=False, tid=None)
-        assert cache.drop_tid(1) == []
+        cache.put(1, "a", dirty=False, txn=None)
+        assert cache.drop_txn(1) == []
         assert 1 in cache
 
     def test_mark_clean(self):
         cache, _ = make_cache()
-        cache.put(1, "a", dirty=True, tid=5)
+        cache.put(1, "a", dirty=True, txn=5)
         cache.mark_clean(1)
         page = cache.peek(1)
-        assert not page.dirty and page.tid is None
+        assert not page.dirty and page.txn is None
 
     def test_flush_page_writes_back_once(self):
         cache, written = make_cache()
-        cache.put(1, "a", dirty=True, tid=5)
+        cache.put(1, "a", dirty=True, txn=5)
         cache.flush_page(1)
         cache.flush_page(1)  # now clean: no second write
         assert written == [(1, "a", 5)]

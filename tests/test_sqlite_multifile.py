@@ -128,6 +128,110 @@ class TestCrashAtomicity:
             assert value_a == value_b, (crash_after, value_a, value_b)
 
 
+class TestConcurrentSessions:
+    """Two sessions, each running its own multi-file transaction."""
+
+    @pytest.fixture
+    def two_sessions(self):
+        stack = build_stack(
+            StackConfig(mode=Mode.XFTL, num_blocks=256, pages_per_block=32)
+        )
+        pairs = []
+        for name in ("alice", "bob"):
+            session = stack.open_session(name=name)
+            db_x = session.open_database(f"{name}_x.db")
+            db_y = session.open_database(f"{name}_y.db")
+            db_x.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+            db_y.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+            db_x.execute("INSERT INTO t VALUES (1, 'base')")
+            db_y.execute("INSERT INTO t VALUES (1, 'base')")
+            pairs.append((session, db_x, db_y))
+        return stack, pairs
+
+    def test_interleaved_abort_and_commit(self, two_sessions):
+        stack, pairs = two_sessions
+        (_alice, a_x, a_y), (_bob, b_x, b_y) = pairs
+        txn_a = MultiFileTransaction(a_x, a_y)
+        txn_b = MultiFileTransaction(b_x, b_y)
+        # Interleave: both begin, statements alternate, then one aborts
+        # while the other commits.  Distinct contexts keep them isolated.
+        txn_a.begin()
+        txn_b.begin()
+        assert txn_a.txn.tid != txn_b.txn.tid
+        a_x.execute("UPDATE t SET v = 'doomed' WHERE id = 1")
+        b_x.execute("UPDATE t SET v = 'kept' WHERE id = 1")
+        a_y.execute("UPDATE t SET v = 'doomed' WHERE id = 1")
+        b_y.execute("UPDATE t SET v = 'kept' WHERE id = 1")
+        txn_a.rollback()
+        txn_b.commit()
+        assert a_x.execute("SELECT v FROM t") == [("base",)]
+        assert a_y.execute("SELECT v FROM t") == [("base",)]
+        assert b_x.execute("SELECT v FROM t") == [("kept",)]
+        assert b_y.execute("SELECT v FROM t") == [("kept",)]
+        # The abort must also hold across a crash/remount.
+        stack.remount_after_crash()
+        assert stack.open_database("alice_x.db").execute("SELECT v FROM t") == [("base",)]
+        assert stack.open_database("bob_y.db").execute("SELECT v FROM t") == [("kept",)]
+
+    def test_coordinator_abort_releases_context(self, two_sessions):
+        stack, pairs = two_sessions
+        (_alice, a_x, a_y), _ = pairs
+        live0 = stack.fs.txn_manager.live_count
+        txn = MultiFileTransaction(a_x, a_y)
+        txn.begin()
+        a_x.execute("UPDATE t SET v = 'doomed' WHERE id = 1")
+        txn.rollback()
+        assert txn.txn is None
+        assert txn.tid is None  # legacy accessor mirrors the context
+        assert stack.fs.txn_manager.live_count == live0
+        # Both connections are reusable after the coordinator abort.
+        txn2 = MultiFileTransaction(a_x, a_y)
+        txn2.begin()
+        a_x.execute("UPDATE t SET v = 'second' WHERE id = 1")
+        a_y.execute("UPDATE t SET v = 'second' WHERE id = 1")
+        txn2.commit()
+        assert a_x.execute("SELECT v FROM t") == [("second",)]
+
+    @pytest.mark.parametrize(
+        ("point", "survives"),
+        [
+            ("fs.fsync.mid", False),
+            ("xftl.commit.before-flush", False),
+            ("xftl.commit.after-flush", True),
+        ],
+    )
+    def test_mid_commit_crash_is_atomic_across_sessions(
+        self, two_sessions, point, survives
+    ):
+        """Crash inside bob's group fsync: alice's earlier commit stays
+        durable and bob's transaction is all-or-nothing on both files."""
+        from repro.errors import PowerFailure
+
+        stack, pairs = two_sessions
+        (_alice, a_x, a_y), (_bob, b_x, b_y) = pairs
+        txn_a = MultiFileTransaction(a_x, a_y)
+        txn_a.begin()
+        a_x.execute("UPDATE t SET v = 'alice' WHERE id = 1")
+        a_y.execute("UPDATE t SET v = 'alice' WHERE id = 1")
+        txn_a.commit()
+
+        txn_b = MultiFileTransaction(b_x, b_y)
+        txn_b.begin()
+        b_x.execute("UPDATE t SET v = 'bob' WHERE id = 1")
+        b_y.execute("UPDATE t SET v = 'bob' WHERE id = 1")
+        stack.crash_plan.arm(point, after=1)
+        with pytest.raises(PowerFailure):
+            txn_b.commit()
+        stack.crash_plan.disarm_all()
+        stack.remount_after_crash()
+
+        assert stack.open_database("alice_x.db").execute("SELECT v FROM t") == [("alice",)]
+        assert stack.open_database("alice_y.db").execute("SELECT v FROM t") == [("alice",)]
+        expected = "bob" if survives else "base"
+        assert stack.open_database("bob_x.db").execute("SELECT v FROM t") == [(expected,)]
+        assert stack.open_database("bob_y.db").execute("SELECT v FROM t") == [(expected,)]
+
+
 class TestValidation:
     def test_requires_off_mode(self):
         stack = build_stack(StackConfig(mode=Mode.WAL, num_blocks=128))

@@ -3,11 +3,9 @@
 ``repro.stack`` (and its ``repro.open_stack`` front door) replaced
 ``repro.bench.runner`` as the home of stack assembly.  These tests pin the
 new surface: mode coercion, the Mode enum as single source of truth for
-journal modes, the deprecation shim's identity guarantees, and the
-``snapshot()``/``delta()`` protocol on the stats accumulators.
+journal modes, and the ``snapshot()``/``delta()`` protocol on the stats
+accumulators.
 """
-
-import warnings
 
 import pytest
 
@@ -92,22 +90,12 @@ class TestModeSingleSourceOfTruth:
         assert mode.is_database_mode
 
 
-class TestDeprecationShim:
-    def test_runner_reexports_same_objects(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            import repro.bench.runner as runner
-        assert runner.Mode is Mode
-        assert runner.StackConfig is StackConfig
-        assert runner.build_stack is build_stack
-        assert runner.open_stack is open_stack
-
-    def test_enum_identity_across_old_and_new_imports(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            from repro.bench.runner import Mode as OldMode
-        # Stacks built via the old path compare equal against new enums.
-        assert OldMode.XFTL is Mode.XFTL
+class TestShimRemoved:
+    def test_runner_shim_is_gone(self):
+        # The deprecated re-export module promised its own removal; imports
+        # must now fail instead of warning.
+        with pytest.raises(ModuleNotFoundError):
+            import repro.bench.runner  # noqa: F401
 
 
 class TestStatsDelta:
