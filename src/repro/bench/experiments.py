@@ -18,8 +18,13 @@ import os
 from dataclasses import dataclass, field
 from typing import Any
 
+import random
+
 from repro.bench.aging import age_device
 from repro.bench.reporting import format_table
+from repro.flash.array import FlashArray
+from repro.flash.geometry import FlashGeometry
+from repro.ftl.pagemap import PageMappingFTL
 from repro.stack import BenchStack, Mode, StackConfig, build_stack
 from repro.ftl.base import FtlConfig
 from repro.sim.latency import OPENSSD_PROFILE, S830_PROFILE
@@ -630,6 +635,157 @@ def concurrency_scaling(
     )
 
 
+# ----------------------------------------------------------- GC comparison
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def gc_comparison(
+    utilization: float = 0.92,
+    writes: int | None = None,
+    num_blocks: int = 96,
+    pages_per_block: int = 32,
+    channels: int = 4,
+) -> ExperimentResult:
+    """Inline vs background GC: foreground write latency at high utilization.
+
+    Not a paper figure — it isolates what ``FtlConfig.gc_mode="background"``
+    buys.  Both FTLs run the identical skewed overwrite stream (80% of
+    writes to 20% of the space) on a device filled to ``utilization`` of
+    its exported capacity, where every few foreground writes force a
+    reclamation.  The inline collector performs whole stop-the-world block
+    collections under unlucky host writes; the background collector paces
+    copybacks into channel idle windows, so its foreground tail (p99/max)
+    must come in far below inline's.  The background row also exercises
+    hot/cold stream separation and wear leveling; erase-count spread is
+    reported before and after the steady-state phase.
+    """
+    writes = writes or int(4_000 * _scale())
+    geometry = FlashGeometry(
+        page_size=512,
+        pages_per_block=pages_per_block,
+        num_blocks=num_blocks,
+        channels=channels,
+    )
+
+    def _background_config(wear_threshold: int) -> FtlConfig:
+        return FtlConfig(
+            gc_mode="background",
+            gc_policy="cost-benefit",
+            gc_background_watermark=4,
+            gc_copyback_pages_per_step=2,
+            gc_hot_write_threshold=4,
+            gc_wear_spread_threshold=wear_threshold,
+            gc_wear_check_interval=16,
+        )
+
+    def _run(ftl_config: FtlConfig, fill_fraction: float) -> dict[str, Any]:
+        chip = FlashArray(geometry, profile=OPENSSD_PROFILE)
+        ftl = PageMappingFTL(chip, ftl_config)
+        fill = int(ftl.exported_pages * fill_fraction)
+        hot_span = max(1, fill // 5)
+        for lpn in range(fill):
+            ftl.write(lpn, ("fill", lpn))
+        ftl.barrier()
+        chip.drain()
+        spread_before = max(chip.erase_counts) - min(chip.erase_counts)
+        stats0 = ftl.stats.snapshot()
+        # Identical write stream for every row at a given fill fraction:
+        # the rng is reseeded per run, so rows differ only in the collector.
+        rng = random.Random(0x5EED6C)
+        latencies: list[float] = []
+        for seq in range(writes):
+            if rng.random() < 0.8:
+                lpn = rng.randrange(hot_span)
+            else:
+                lpn = rng.randrange(fill)
+            start_us = chip.clock.now_us
+            ftl.write(lpn, ("steady", seq))
+            latencies.append(chip.clock.now_us - start_us)
+        chip.drain()
+        stats = ftl.stats.delta(stats0)
+        latencies.sort()
+        return {
+            "p50_us": _percentile(latencies, 0.50),
+            "p99_us": _percentile(latencies, 0.99),
+            "max_us": latencies[-1] if latencies else 0.0,
+            "gc_invocations": stats.gc_invocations,
+            "gc_urgent": stats.gc_urgent_collections,
+            "wear_migrations": stats.gc_wear_migrations,
+            "spread_before": spread_before,
+            "spread_after": max(chip.erase_counts) - min(chip.erase_counts),
+        }
+
+    # Wear leveling needs headroom to take on fully-valid victims, so it is
+    # demonstrated at moderate fill; the latency comparison runs at the
+    # requested (high) utilization where GC pressure is constant.
+    wear_fill = min(utilization, 0.72)
+    runs = [
+        ("inline", FtlConfig(gc_mode="inline", gc_policy="greedy"), utilization),
+        ("background", _background_config(8), utilization),
+        ("background, wear off", _background_config(0), wear_fill),
+        ("background, wear on", _background_config(4), wear_fill),
+    ]
+    result_rows = []
+    extras: dict[str, Any] = {
+        "p50_us": {},
+        "p99_us": {},
+        "max_us": {},
+        "wear_spread": {},
+    }
+    for label, ftl_config, fill_fraction in runs:
+        metrics = _run(ftl_config, fill_fraction)
+        extras["p50_us"][label] = metrics["p50_us"]
+        extras["p99_us"][label] = metrics["p99_us"]
+        extras["max_us"][label] = metrics["max_us"]
+        extras["wear_spread"][label] = {
+            "before": metrics["spread_before"],
+            "after": metrics["spread_after"],
+        }
+        result_rows.append(
+            [
+                label,
+                f"{fill_fraction:.0%}",
+                round(metrics["p50_us"], 1),
+                round(metrics["p99_us"], 1),
+                round(metrics["max_us"], 1),
+                metrics["gc_invocations"],
+                metrics["gc_urgent"],
+                metrics["wear_migrations"],
+                f"{metrics['spread_before']} -> {metrics['spread_after']}",
+            ]
+        )
+    return ExperimentResult(
+        name=(
+            f"GC: inline vs background foreground write latency "
+            f"({writes:,} writes at {utilization:.0%} utilization, "
+            f"{channels} channels)"
+        ),
+        headers=[
+            "configuration", "fill", "p50 (us)", "p99 (us)", "max (us)",
+            "GC victims", "urgent", "wear migrations", "erase spread",
+        ],
+        rows=result_rows,
+        notes=(
+            "Expected shape: identical write streams, but background GC's "
+            "p99/max foreground latency sits far below inline's because "
+            "copybacks are paced into channel idle windows; only urgent "
+            "(headroom-floor) collections still stall the host.  The two "
+            "moderate-fill rows isolate wear leveling: with it on, cold "
+            "low-erase blocks are migrated back into circulation and the "
+            "erase-count spread after the run is never wider (the targeted "
+            "test in tests/test_ftl_gc.py drives a longer skewed workload "
+            "where the gap is pronounced)."
+        ),
+        extras=extras,
+    )
+
+
 # ------------------------------------------------------------------- Table 5
 
 
@@ -688,4 +844,5 @@ ALL_EXPERIMENTS = {
     "table5": table5_recovery,
     "channels": channel_scaling,
     "concurrency": concurrency_scaling,
+    "gc": gc_comparison,
 }

@@ -158,6 +158,18 @@ class FlashArray(FlashChip):
         """Accumulated busy time per channel (utilization numerator)."""
         return [timeline.busy_us for timeline in self._channel_timelines]
 
+    def channel_backlog_us(self, channel: int = 0) -> float:
+        """Reserved-but-unelapsed work on ``channel`` (0.0 = idle window)."""
+        return self._channel_timelines[channel].backlog_us()
+
+    def idle_channels(self, within_us: float = 0.0) -> list[int]:
+        """Channels whose backlog is at most ``within_us`` right now."""
+        return [
+            channel
+            for channel, timeline in enumerate(self._channel_timelines)
+            if timeline.backlog_us() <= within_us
+        ]
+
     def channel_utilization(self, elapsed_us: float | None = None) -> list[float]:
         """Busy fraction per channel over ``elapsed_us`` (default: now)."""
         window = elapsed_us if elapsed_us is not None else self.clock.now_us

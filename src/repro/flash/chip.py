@@ -158,6 +158,17 @@ class FlashChip:
     def drain(self) -> None:
         """Cross-channel barrier: wait until all channels are idle (no-op here)."""
 
+    def channel_backlog_us(self, channel: int = 0) -> float:
+        """Reserved-but-unelapsed work on ``channel``.
+
+        The serial chip charges every operation to the clock immediately, so
+        it never accumulates backlog; :class:`~repro.flash.array.FlashArray`
+        overrides this with the owning timeline's true backlog.  Background
+        GC treats a channel with backlog at most
+        ``FtlConfig.gc_idle_backlog_us`` as an idle window.
+        """
+        return 0.0
+
     # ------------------------------------------------------------------ ops
 
     def program(self, ppn: int, data: Any, oob: Any = None) -> None:

@@ -30,6 +30,11 @@ class FlashStats:
         xl2p_flushes: X-L2P CoW table flushes (one per commit sweep; group
             commit amortizes one flush over many commits)
         group_commits: commit sweeps that served two or more transactions
+        gc_urgent_collections: background-GC victims collected synchronously
+            at the headroom floor (each is a foreground pause; the inline
+            collector does not count here — all of its work is foreground)
+        gc_wear_migrations: wear-leveling jobs that migrated a low-erase
+            block's contents into the cold stream
     """
 
     page_reads: int = 0
@@ -48,6 +53,8 @@ class FlashStats:
     aborts: int = 0
     xl2p_flushes: int = 0
     group_commits: int = 0
+    gc_urgent_collections: int = 0
+    gc_wear_migrations: int = 0
 
     def snapshot(self) -> "FlashStats":
         """Return an independent copy of the current counters."""

@@ -10,6 +10,9 @@
   multi-page write (related-work baseline, §3.3).
 - :class:`~repro.ftl.txflash.TxFlashFTL` — TxFlash-style cyclic-commit
   per-call atomic group writes (related-work baseline, §3.3).
+- :class:`~repro.ftl.gc.BackgroundGC` — background garbage collection
+  (``FtlConfig.gc_mode="background"``): paced copyback jobs on channel idle
+  windows, watermark state machine, hot/cold write streams, wear leveling.
 """
 
 from repro.ftl.base import Ftl, FtlConfig
@@ -18,6 +21,7 @@ from repro.ftl.xftl import XFTL
 from repro.ftl.xl2p import TxStatus, XL2PEntry, XL2PTable
 from repro.ftl.atomic import AtomicWriteFTL
 from repro.ftl.txflash import TxFlashFTL
+from repro.ftl.gc import BackgroundGC, GcJob, GcState
 
 __all__ = [
     "Ftl",
@@ -29,4 +33,7 @@ __all__ = [
     "XL2PTable",
     "AtomicWriteFTL",
     "TxFlashFTL",
+    "BackgroundGC",
+    "GcJob",
+    "GcState",
 ]

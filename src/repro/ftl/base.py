@@ -36,7 +36,42 @@ class FtlConfig:
             fewest valid pages; ``"fifo"`` rotates through blocks in
             allocation-age order (wear-leveling-style), which makes the
             carried-over valid ratio follow the device's aged state — the
-            behaviour the paper controls in §6.3.1.
+            behaviour the paper controls in §6.3.1; ``"cost-benefit"``
+            (background mode only) scores blocks by ``age * (1-u) / 2u``
+            (Rosenblum's cleaning heuristic, per Dayan & Bonnet) so old,
+            mostly-invalid blocks win over freshly-written ones.
+
+            FIFO is *advisory*: when no block in allocation-age order is
+            reclaimable (e.g. the oldest blocks are all fully valid or
+            partially written), the collector explicitly falls back to the
+            greedy pick rather than stalling.  Every fallback increments
+            the ``ftl.gc.fifo_fallbacks`` obs counter so results produced
+            under fallback are never silently mislabeled as pure FIFO.
+        gc_mode: ``"inline"`` (default) runs the stop-the-world collector
+            synchronously inside the host write path — the seed model, bit
+            for bit.  ``"background"`` hands space management to
+            :class:`repro.ftl.gc.BackgroundGC`: paced copyback jobs on
+            channel idle windows, a watermark state machine, hot/cold
+            write streams and wear leveling.
+        gc_background_watermark: Background collection engages when a
+            channel's free-block pool drops to this size (urgent/foreground
+            collection still triggers at the page-granular headroom floor).
+        gc_copyback_pages_per_step: Upper bound on pages relocated per
+            background GC step; the gap between steps is where foreground
+            writes preempt a collection in flight.
+        gc_idle_backlog_us: A channel is considered idle for background GC
+            when its reserved-but-unelapsed work is at most this long.
+            Negative values mean no window ever qualifies: paced collection
+            is disabled and all reclamation runs urgent/foreground.
+        gc_hot_write_threshold: Cumulative write count at which an LPN's
+            writes are steered to the channel's hot active block (``0``
+            disables hot/cold separation).  Map/meta/X-L2P table pages are
+            always treated as hot: they are rewritten on every flush.
+        gc_wear_spread_threshold: Erase-count spread (max - min) beyond
+            which the wear leveler migrates the coldest low-erase block
+            into the free pool (``0`` disables wear leveling).
+        gc_wear_check_interval: Background steps between wear-spread
+            checks.
         detect_write_conflicts: If set, X-FTL rejects a tagged write to a
             logical page another active transaction has already written —
             the isolation guarantee TxFlash offers (§3.3).  Off by default:
@@ -47,6 +82,13 @@ class FtlConfig:
     overprovision: float = 0.12
     gc_free_block_threshold: int = 3
     gc_policy: str = "greedy"
+    gc_mode: str = "inline"
+    gc_background_watermark: int = 4
+    gc_copyback_pages_per_step: int = 4
+    gc_idle_backlog_us: float = 0.0
+    gc_hot_write_threshold: int = 4
+    gc_wear_spread_threshold: int = 16
+    gc_wear_check_interval: int = 32
     detect_write_conflicts: bool = False
     map_entries_per_page: int = 256
     barrier_meta_pages: int = 2
@@ -78,6 +120,7 @@ class Ftl(abc.ABC):
         self._obs_gc_invocations = obs.counter("ftl.gc.invocations")
         self._obs_gc_reads = obs.counter("ftl.gc.copyback_reads")
         self._obs_gc_writes = obs.counter("ftl.gc.copyback_writes")
+        self._obs_gc_fifo_fallbacks = obs.counter("ftl.gc.fifo_fallbacks")
 
     @property
     @abc.abstractmethod

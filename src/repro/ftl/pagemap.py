@@ -123,11 +123,33 @@ class PageMappingFTL(Ftl):
         # Durable root (atomic meta block).
         self._root = RootRecord()
         self._pending_retired: set[int] = set()
-        self._gc_valid_ratios: list[float] = []
+        # Victim valid-ratio running aggregate (bounded state: the per-victim
+        # samples live in the ftl.gc.victim_valid_pages histogram, not in an
+        # ever-growing list).
+        self._gc_valid_ratio_sum = 0.0
+        self._gc_valid_ratio_count = 0
         self._obs_gc_victim_valid = chip.obs.histogram(
             "ftl.gc.victim_valid_pages", DEFAULT_SIZE_BOUNDS
         )
         self._obs_barrier_us = chip.obs.histogram("ftl.barrier.latency_us")
+        # Background GC (FtlConfig.gc_mode="background") owns space
+        # management through repro.ftl.gc; the default "inline" mode keeps
+        # the seed's stop-the-world collector on this class, bit for bit.
+        if self.config.gc_mode == "background":
+            from repro.ftl.gc import BackgroundGC  # deferred: gc imports pagemap
+
+            self._gc: "BackgroundGC | None" = BackgroundGC(self)
+        elif self.config.gc_mode == "inline":
+            if self.config.gc_policy not in ("greedy", "fifo"):
+                raise FtlError(
+                    f"gc_policy {self.config.gc_policy!r} requires gc_mode='background'; "
+                    f"inline GC supports 'greedy' and 'fifo'"
+                )
+            self._gc = None
+        else:
+            raise FtlError(
+                f"unknown gc_mode {self.config.gc_mode!r}; expected 'inline' or 'background'"
+            )
 
     # ------------------------------------------------------------ interface
 
@@ -219,6 +241,8 @@ class PageMappingFTL(Ftl):
         self._meta_dir = {}
         self._pending_retired = set()
         self._seq = 0
+        if self._gc is not None:
+            self._gc.reset()
 
     def remount(self) -> None:
         """Rebuild DRAM state from the root record plus an OOB scan."""
@@ -328,6 +352,10 @@ class PageMappingFTL(Ftl):
         """Append one page into a channel's active block, GCing if needed."""
         if channel is None:
             channel = self._pick_channel()
+        if self._gc is not None:
+            # Background mode: the collector owns watermarks, hot/cold
+            # stream selection and (paced or urgent) collection.
+            return self._gc.host_program(data, oob, channel)
         # Keep at least one block's worth of erased pages per channel at all
         # times: any GC victim has at most pages_per_block - 1 valid pages,
         # so as long as a full block of headroom exists *before* each host
@@ -409,6 +437,11 @@ class PageMappingFTL(Ftl):
             victim = self._pick_victim_fifo(channel)
             if victim is not None:
                 return victim
+            # Explicit fallback (see FtlConfig.gc_policy): FIFO found no
+            # reclaimable block in allocation-age order, so the greedy pick
+            # keeps GC live.  Counted so aged-state results produced under
+            # fallback are never silently mislabeled as pure FIFO.
+            self._obs_gc_fifo_fallbacks.inc()
         return self._pick_victim_greedy(channel)
 
     def _pick_victim_fifo(self, channel: int) -> int | None:
@@ -452,8 +485,7 @@ class PageMappingFTL(Ftl):
         valid_before = self._valid_count[victim]
         self.stats.gc_invocations += 1
         self._obs_gc_invocations.inc()
-        self._gc_valid_ratios.append(valid_before / geo.pages_per_block)
-        self._obs_gc_victim_valid.observe(float(valid_before))
+        self._note_victim_valid(valid_before, geo.pages_per_block)
 
         with self.obs.tracer.span("gc_collect", "ftl"):
             start = victim * geo.pages_per_block
@@ -476,6 +508,12 @@ class PageMappingFTL(Ftl):
             self._alloc_order[channel].remove(victim)
         except ValueError:
             pass
+
+    def _note_victim_valid(self, valid_pages: int, pages_per_block: int) -> None:
+        """Record one GC victim's valid-page count (running mean + histogram)."""
+        self._gc_valid_ratio_sum += valid_pages / pages_per_block
+        self._gc_valid_ratio_count += 1
+        self._obs_gc_victim_valid.observe(float(valid_pages))
 
     def _program_for_gc(self, data: Any, oob: tuple, channel: int) -> int:
         """Program during GC, drawing directly on the channel's free pool."""
@@ -685,9 +723,9 @@ class PageMappingFTL(Ftl):
 
     def gc_mean_valid_ratio(self) -> float:
         """Average fraction of valid pages carried over per GC (Fig. 5/6 knob)."""
-        if not self._gc_valid_ratios:
+        if not self._gc_valid_ratio_count:
             return 0.0
-        return sum(self._gc_valid_ratios) / len(self._gc_valid_ratios)
+        return self._gc_valid_ratio_sum / self._gc_valid_ratio_count
 
     def check_invariants(self) -> None:
         """Internal consistency checks used by tests (not by benchmarks)."""
@@ -711,3 +749,5 @@ class PageMappingFTL(Ftl):
                     raise FtlError(f"free block {block} on wrong channel list {channel}")
                 if self.chip.block_write_point(block) != 0:
                     raise FtlError(f"free block {block} is not erased")
+        if self._gc is not None:
+            self._gc.check_invariants()

@@ -424,3 +424,31 @@ class XFTL(PageMappingFTL):
             return None
         oob = self.chip.read_oob(ppn)
         return oob[2] if oob else None
+
+    # ----------------------------------------------------------- invariants
+
+    def check_invariants(self) -> None:
+        """X-L2P live-union invariant on top of the base FTL checks.
+
+        Every page referenced by an X-L2P entry must be owned as that
+        entry's uncommitted copy — i.e. the union of L2P and X-L2P
+        references is exactly the live set GC preserves.  This is the
+        property every background-GC preemption point must uphold: a
+        paused copyback job may never leave an uncommitted transactional
+        page unreferenced (collectable) or stale (pointing at a reclaimed
+        physical page).
+        """
+        super().check_invariants()
+        for tid in self.xl2p.active_tids():
+            for entry in self.xl2p.entries_of(tid):
+                owner = self._owner.get(entry.new_ppn)
+                if owner != (OWNER_XL2P_DATA, tid, entry.lpn):
+                    raise TransactionError(
+                        f"X-L2P entry (tid={tid}, lpn={entry.lpn}) points at ppn "
+                        f"{entry.new_ppn} owned by {owner!r}; live-union broken"
+                    )
+                if self.chip.state_of(entry.new_ppn) is not PageState.PROGRAMMED:
+                    raise TransactionError(
+                        f"X-L2P entry (tid={tid}, lpn={entry.lpn}) points at "
+                        f"non-programmed ppn {entry.new_ppn}"
+                    )

@@ -71,6 +71,16 @@ class ResourceTimeline:
         """Block the clock until this resource has drained."""
         return self.clock.wait_until(self.busy_until_us)
 
+    def backlog_us(self) -> float:
+        """Reserved-but-unelapsed work: how far ``busy_until`` leads ``now``.
+
+        Zero when idle.  This is the *idle-window query* background GC uses
+        to decide whether a channel can absorb a copyback step without
+        delaying foreground work already queued behind it.
+        """
+        backlog = self.busy_until_us - self.clock.now_us
+        return backlog if backlog > 0.0 else 0.0
+
     @property
     def idle(self) -> bool:
         return self.busy_until_us <= self.clock.now_us

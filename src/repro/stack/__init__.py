@@ -17,6 +17,7 @@ the observability layer (:mod:`repro.obs`) hooks in at assembly time.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
 
@@ -128,6 +129,14 @@ class StackConfig:
     queue_depth: int = 1
     profile: LatencyProfile = OPENSSD_PROFILE
     ftl: FtlConfig = field(default_factory=FtlConfig)
+    # Garbage-collection knobs, plumbed into ``ftl`` at build time when set
+    # (so callers can flip GC behaviour without constructing an FtlConfig):
+    # ``gc_mode`` is "inline" (seed-identical) or "background"; the
+    # remaining knobs mirror the FtlConfig fields of the same name.
+    gc_mode: str | None = None
+    gc_policy: str | None = None
+    gc_hot_write_threshold: int | None = None
+    gc_wear_spread_threshold: int | None = None
     journal_pages: int = 256
     fs_cache_pages: int = 8192
     max_inodes: int = 128
@@ -205,6 +214,19 @@ def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
     elif overrides:
         raise ValueError("pass either a StackConfig or keyword overrides, not both")
 
+    gc_overrides = {
+        name: value
+        for name, value in (
+            ("gc_mode", config.gc_mode),
+            ("gc_policy", config.gc_policy),
+            ("gc_hot_write_threshold", config.gc_hot_write_threshold),
+            ("gc_wear_spread_threshold", config.gc_wear_spread_threshold),
+        )
+        if value is not None
+    }
+    if gc_overrides:
+        config.ftl = dataclasses.replace(config.ftl, **gc_overrides)
+
     clock = SimClock()
     crash_plan = CrashPlan()
     obs = _resolve_obs(config)
@@ -248,6 +270,7 @@ def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
         )
         obs.annotate("channels", config.channels)
         obs.annotate("queue_depth", config.queue_depth)
+        obs.annotate("gc_mode", config.ftl.gc_mode)
     return BenchStack(
         config=config,
         clock=clock,

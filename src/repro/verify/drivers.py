@@ -15,6 +15,9 @@ Layers (bottom to top):
 - ``ftl.xftl``     — write_tx/commit/abort transactions on X-FTL;
 - ``ftl.xftl.group`` — commit_group batches on X-FTL: crashes during the
   group's single X-L2P flush and publish step;
+- ``ftl.gc``      — transactions (plain, grouped, aborted) on X-FTL with
+  background garbage collection: crashes at every ``gc.*`` preemption
+  point of the paced copyback/wear-leveling jobs;
 - ``device.queue`` — plain writes through a queued (NCQ) device over a
   two-channel flash array: crashes land with commands in flight;
 - ``device.queue.xftl`` — the transactional command set through the same
@@ -205,6 +208,123 @@ def _run_xftl_group(point, after, tear, seed, ops_limit) -> tuple[bool, int, lis
             ftl.commit_group(group)
             for member in group:
                 oracle.note_committed(member)
+    except PowerFailure:
+        fired = True
+    else:
+        plan.disarm_all()
+        ftl.power_fail()
+
+    ftl.remount()
+    ftl.check_invariants()
+    return fired, op, oracle.check(ftl.read)
+
+
+# -------------------------------------------------------------- background gc
+
+# Two channels, tight space, aggressive GC knobs: the setup churn parks the
+# free pools at the background watermark so paced copyback jobs, urgent
+# floor collections and wear migrations all interleave with the armed
+# workload inside the ops budget.
+_GC_GEOMETRY = FlashGeometry(page_size=512, pages_per_block=8, num_blocks=24, channels=2)
+_GC_CONFIG = FtlConfig(
+    overprovision=0.25,
+    map_entries_per_page=32,
+    barrier_meta_pages=1,
+    xl2p_capacity=64,
+    gc_mode="background",
+    gc_policy="cost-benefit",
+    gc_background_watermark=3,
+    gc_copyback_pages_per_step=2,
+    gc_hot_write_threshold=2,
+    gc_wear_spread_threshold=2,
+    gc_wear_check_interval=4,
+)
+
+
+def _run_gc(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]]:
+    """Transactions (plain, grouped, aborted) against live background GC.
+
+    Every ``gc.*`` crash point is a preemption point of a copyback or
+    wear-leveling job; the oracle holds recovery to the same all-or-nothing
+    contract as the plain X-FTL layer, which is exactly the X-L2P
+    live-union invariant: a crash mid-job must never surface an uncommitted
+    write or lose a committed one, no matter how many pages the job had
+    already relocated.
+    """
+    plan = CrashPlan()
+    ftl = XFTL(FlashArray(_GC_GEOMETRY, crash_plan=plan), _GC_CONFIG)
+    rng = make_rng(seed, "verify.ftl.gc")
+    # Hot lpns are overwritten by the armed workload; the static tail is
+    # written once and then only ever moved by GC copybacks and wear
+    # migrations — the pages whose survival the gc.* points endanger.
+    hot = min(ftl.exported_pages // 2, 24)
+    static = min(ftl.exported_pages, 2 * hot)
+
+    oracle = TransactionOracle()
+    committed = {}
+    for lpn in range(static):
+        value = ("base", lpn)
+        ftl.write(lpn, value)
+        committed[lpn] = value
+    ftl.barrier()
+    # Churn the space down to the GC watermarks before arming: repeated
+    # overwrites drain the free pools and age the erase counts, so the
+    # armed window runs against a collector that is actually working —
+    # on victims that interleave churned (invalid) and static (valid)
+    # pages.
+    for round_ in range(6):
+        for lpn in range(hot):
+            value = ("churn", round_, lpn)
+            ftl.write(lpn, value)
+            committed[lpn] = value
+    ftl.barrier()
+    for lpn, value in committed.items():
+        oracle.note_baseline(lpn, value)
+
+    plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    op = 0
+    tid = 0
+    try:
+        while op < ops_limit:
+            if rng.random() < 0.5:
+                # A batch committed as a group: gc.* points firing inside a
+                # member's writes land mid-copyback with the rest of the
+                # group still pending.
+                group: list[int] = []
+                for _ in range(rng.randrange(2, 4)):
+                    tid += 1
+                    for _ in range(rng.randrange(1, 3)):
+                        op += 1
+                        lpn = rng.randrange(hot)
+                        value = ("t", tid, op)
+                        oracle.note_tx_write(tid, lpn, value)
+                        ftl.write_tx(tid, lpn, value)
+                    if rng.random() < 0.2:
+                        ftl.abort(tid)
+                        oracle.note_aborted(tid)
+                    else:
+                        group.append(tid)
+                for member in group:
+                    oracle.note_commit_started(member)
+                ftl.commit_group(group)
+                for member in group:
+                    oracle.note_committed(member)
+            else:
+                tid += 1
+                for _ in range(rng.randrange(1, 4)):
+                    op += 1
+                    lpn = rng.randrange(hot)
+                    value = ("t", tid, op)
+                    oracle.note_tx_write(tid, lpn, value)
+                    ftl.write_tx(tid, lpn, value)
+                if rng.random() < 0.25:
+                    ftl.abort(tid)
+                    oracle.note_aborted(tid)
+                else:
+                    oracle.note_commit_started(tid)
+                    ftl.commit(tid)
+                    oracle.note_committed(tid)
     except PowerFailure:
         fired = True
     else:
@@ -540,6 +660,11 @@ LAYERS: dict[str, Layer] = {
             "ftl.xftl.group",
             ("flash", "ftl.pagemap", "ftl.xftl"),
             _run_xftl_group,
+        ),
+        Layer(
+            "ftl.gc",
+            ("flash", "ftl.pagemap", "ftl.xftl", "ftl.gc"),
+            _run_gc,
         ),
         Layer(
             "device.queue",

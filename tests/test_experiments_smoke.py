@@ -78,10 +78,22 @@ class TestExperimentFunctions:
         assert "Table 2" in text
         assert "RL Benchmark" in text
 
+    def test_gc_comparison_structure(self):
+        result = experiments.gc_comparison(writes=600)
+        assert len(result.rows) == 4
+        p99 = result.extras["p99_us"]
+        # The tentpole claim: background GC takes the stop-the-world pauses
+        # off the foreground write path at high utilization.
+        assert p99["background"] < p99["inline"]
+        spread = result.extras["wear_spread"]
+        assert spread["background, wear on"]["after"] <= (
+            spread["background, wear off"]["after"]
+        )
+
     def test_registry_complete(self):
         assert set(experiments.ALL_EXPERIMENTS) == {
             "fig5", "table1", "fig6", "table2", "fig7", "table4",
-            "fig8", "fig9", "table5", "channels", "concurrency",
+            "fig8", "fig9", "table5", "channels", "concurrency", "gc",
         }
 
 
