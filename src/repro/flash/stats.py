@@ -35,6 +35,16 @@ class FlashStats:
             collector does not count here — all of its work is foreground)
         gc_wear_migrations: wear-leveling jobs that migrated a low-erase
             block's contents into the cold stream
+        cmt_hits: CMT lookups served from a resident translation page
+        cmt_misses: CMT lookups that demand-paged a translation page in
+        cmt_fetch_reads: translation-page reads performed by CMT misses
+            (a miss on a never-persisted page costs no read)
+        cmt_evictions: resident translation pages evicted to make room
+        cmt_writebacks: translation pages programmed outside barriers —
+            dirty evictions, dirty-batch companions and commit pinning
+            (each also counts into map_page_writes / page_programs)
+        gc_translation_collections: GC victims that were translation-stream
+            blocks (Dayan & Bonnet's translation-block victim accounting)
     """
 
     page_reads: int = 0
@@ -55,6 +65,12 @@ class FlashStats:
     group_commits: int = 0
     gc_urgent_collections: int = 0
     gc_wear_migrations: int = 0
+    cmt_hits: int = 0
+    cmt_misses: int = 0
+    cmt_fetch_reads: int = 0
+    cmt_evictions: int = 0
+    cmt_writebacks: int = 0
+    gc_translation_collections: int = 0
 
     def snapshot(self) -> "FlashStats":
         """Return an independent copy of the current counters."""

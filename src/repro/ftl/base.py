@@ -77,6 +77,23 @@ class FtlConfig:
             the isolation guarantee TxFlash offers (§3.3).  Off by default:
             the paper's X-FTL leaves isolation to the host (SQLite locks at
             file granularity, so conflicts cannot arise in its deployment).
+        cmt_pages: Cached-mapping-table capacity, in translation pages
+            (DFTL-style demand paging; Dayan & Bonnet's flash-resident
+            page-mapping design).  ``0`` — the default — keeps the whole
+            L2P in controller DRAM, bit-identical to the seed model.  A
+            positive value caps the resident translation pages: lookups
+            outside the cache fetch the translation page from flash, and
+            evicting a dirty page writes it back through the reserved
+            translation-block stream.  A capacity large enough to hold
+            every translation page of the exported space degenerates to
+            the in-RAM mapping (never misses, never needs commit pinning),
+            so the demand-paged machinery switches off wholesale — pinned
+            by ``tests/test_cmt_equivalence.py``.
+        cmt_dirty_batch: Dirty-batching width for CMT evictions: when a
+            dirty translation page is evicted, up to this many *additional*
+            LRU-most dirty resident pages are written back in the same
+            overlap region (they stay resident, now clean), amortizing the
+            writeback cost the way DFTL batches same-victim updates.
     """
 
     overprovision: float = 0.12
@@ -95,6 +112,8 @@ class FtlConfig:
     xl2p_capacity: int = 1000
     xl2p_entry_bytes: int = 16
     map_checkpoint_interval: int = 64
+    cmt_pages: int = 0
+    cmt_dirty_batch: int = 2
 
 
 class Ftl(abc.ABC):

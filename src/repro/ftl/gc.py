@@ -148,6 +148,7 @@ class BackgroundGC:
         self._obs_wear = obs.counter("ftl.gc.wear_migrations")
         self._obs_hot_writes = obs.counter("ftl.gc.hot_stream_writes")
         self._obs_cold_writes = obs.counter("ftl.gc.cold_stream_writes")
+        self._obs_trans_writes = obs.counter("ftl.gc.trans_stream_writes")
 
     # ------------------------------------------------------------ host path
 
@@ -157,17 +158,26 @@ class BackgroundGC:
         chip = ftl.chip
         geo = chip.geometry
         self._tick += 1
-        hot = self._classify(oob)
+        trans = ftl._trans_stream_wanted(oob)
+        hot = False if trans else self._classify(oob)
         self._step(channel)
-        block = self._ensure_stream_block(channel, hot)
+        if trans:
+            block = self._ensure_trans_stream_block(channel)
+        else:
+            block = self._ensure_stream_block(channel, hot)
         ppn = geo.ppn_of(block, chip.block_write_point(block))
         chip.program(ppn, data, oob)
-        (self._obs_hot_writes if hot else self._obs_cold_writes).inc()
+        if trans:
+            self._obs_trans_writes.inc()
+        else:
+            (self._obs_hot_writes if hot else self._obs_cold_writes).inc()
         if chip.block_is_full(block):
-            # A hot write may have degraded onto the cold block, so clear
-            # whichever stream actually holds the block that just filled.
+            # A hot or translation write may have degraded onto the cold
+            # block, so clear whichever stream(s) hold the filled block.
             if self._hot_active[channel] == block:
                 self._hot_active[channel] = None
+            if ftl._trans_active[channel] == block:
+                ftl._trans_active[channel] = None
             if ftl._active_blocks[channel] == block:
                 ftl._active_blocks[channel] = None
         return ppn
@@ -216,6 +226,36 @@ class BackgroundGC:
         block = free.pop()
         store[channel] = block
         ftl._alloc_order[channel].append(block)
+        self._alloc_tick[block] = self._tick
+        return block
+
+    def _ensure_trans_stream_block(self, channel: int) -> int:
+        """Open (or reuse) the channel's translation-block stream.
+
+        Like the hot stream, strictly opportunistic: translation pages fall
+        back to the cold stream rather than eroding GC headroom below two
+        blocks of slack.
+        """
+        ftl = self.ftl
+        chip = ftl.chip
+        active = ftl._trans_active[channel]
+        if active is not None and not chip.block_is_full(active):
+            return active
+        if ftl._gc_headroom_pages(channel) <= 2 * chip.geometry.pages_per_block:
+            ftl._trans_active[channel] = None
+            return self._ensure_stream_block(channel, hot=False)
+        free = ftl._free_by_channel[channel]
+        if not free:
+            self._collect_until_floor(channel, need_free_block=True)
+        if not free:
+            cold = ftl._active_blocks[channel]
+            if cold is not None and not chip.block_is_full(cold):
+                return cold
+            raise OutOfSpaceError(f"no free blocks on channel {channel} after GC")
+        block = free.pop()
+        ftl._trans_active[channel] = block
+        ftl._alloc_order[channel].append(block)
+        ftl._trans_blocks.add(block)
         self._alloc_tick[block] = self._tick
         return block
 
@@ -272,6 +312,9 @@ class BackgroundGC:
         self._jobs[channel] = job
         ftl.stats.gc_invocations += 1
         ftl._obs_gc_invocations.inc()
+        if victim in ftl._trans_blocks:
+            ftl.stats.gc_translation_collections += 1
+            ftl._obs_gc_trans.inc()
         ftl._note_victim_valid(ftl._valid_count[victim], geo.pages_per_block)
         ftl.chip.crash_plan.hit(CP_GC_VICTIM)
         return job
@@ -310,6 +353,7 @@ class BackgroundGC:
             moved_this_step += 1
         chip.crash_plan.hit(CP_GC_ERASE)
         chip.erase(job.victim)
+        ftl._trans_blocks.discard(job.victim)
         ftl._free_by_channel[channel].append(job.victim)
         # Wear-aware allocation: keep the pool sorted most-worn-first, so
         # ``pop()`` (how both streams and copybacks draw blocks) always
@@ -381,6 +425,8 @@ class BackgroundGC:
                     victim is None
                     or ftl._valid_count[victim] > ftl._gc_headroom_pages(channel)
                 ):
+                    if ftl._release_trans_block(channel):
+                        continue  # the freed stream block may be reclaimable
                     if ftl._free_by_channel[channel] or ftl._gc_headroom_pages(channel) > 0:
                         break  # nothing reclaimable; live with what we have
                     raise OutOfSpaceError("no GC victim and no free blocks")
@@ -399,6 +445,7 @@ class BackgroundGC:
         return {
             self.ftl._active_blocks[channel],
             self._hot_active[channel],
+            self.ftl._trans_active[channel],
             job.victim if job is not None else None,
         }
 
@@ -564,7 +611,7 @@ class BackgroundGC:
                     raise FtlError(f"GC job victim {job.victim} not on channel {channel}")
                 if job.victim in ftl._free_by_channel[channel]:
                     raise FtlError(f"GC job victim {job.victim} already in the free pool")
-                if job.victim in (hot, ftl._active_blocks[channel]):
+                if job.victim in (hot, ftl._active_blocks[channel], ftl._trans_active[channel]):
                     raise FtlError(f"GC job victim {job.victim} is an active block")
                 # Pages behind the cursor must have been relocated already.
                 for ppn in range(job.victim * geo.pages_per_block, job.cursor):

@@ -39,6 +39,7 @@ from typing import Any, Iterator
 from repro.errors import CorruptionError, FlashError, FtlError, OutOfSpaceError
 from repro.flash.chip import FlashChip, PageState
 from repro.ftl.base import Ftl, FtlConfig
+from repro.ftl.cmt import CachedMappingTable
 from repro.obs import DEFAULT_SIZE_BOUNDS
 from repro.sim.crash import register_crash_point
 
@@ -132,6 +133,27 @@ class PageMappingFTL(Ftl):
             "ftl.gc.victim_valid_pages", DEFAULT_SIZE_BOUNDS
         )
         self._obs_barrier_us = chip.obs.histogram("ftl.barrier.latency_us")
+        self._obs_gc_trans = chip.obs.counter("ftl.gc.translation_collections")
+        # Demand-paged mapping (DFTL-style CMT, repro.ftl.cmt).  A capacity
+        # of zero — or one covering every translation page of the exported
+        # space — degenerates to the all-in-DRAM map: the cache can never
+        # miss, so the machinery switches off wholesale and the seed path
+        # stays bit-identical (tests/test_cmt_equivalence.py).
+        if self.config.cmt_pages < 0:
+            raise FtlError(f"cmt_pages must be >= 0, got {self.config.cmt_pages}")
+        per_page = self.config.map_entries_per_page
+        total_segments = -(-self._exported_pages // per_page)
+        if 0 < self.config.cmt_pages < total_segments:
+            self._cmt: CachedMappingTable | None = CachedMappingTable(
+                self, self.config.cmt_pages, self.config.cmt_dirty_batch
+            )
+        else:
+            self._cmt = None
+        # Translation-block stream: with the CMT active, translation pages
+        # get their own active block per channel so map and data pages do
+        # not interleave (Dayan & Bonnet's translation blocks).
+        self._trans_active: list[int | None] = [None] * geo.channels
+        self._trans_blocks: set[int] = set()
         # Background GC (FtlConfig.gc_mode="background") owns space
         # management through repro.ftl.gc; the default "inline" mode keeps
         # the seed's stop-the-world collector on this class, bit for bit.
@@ -164,6 +186,8 @@ class PageMappingFTL(Ftl):
     def read(self, lpn: int) -> Any:
         self._check_power()
         self._check_lpn(lpn)
+        if self._cmt is not None:
+            self._cmt.access(lpn // self.config.map_entries_per_page)
         ppn = self._l2p.get(lpn)
         if ppn is None:
             return None  # unwritten logical page reads as zeros
@@ -174,6 +198,10 @@ class PageMappingFTL(Ftl):
     def write(self, lpn: int, data: Any) -> None:
         self._check_power()
         self._check_lpn(lpn)
+        if self._cmt is not None:
+            # Updating the mapping is a read-modify of its translation
+            # page, so residency comes first (may evict/write back).
+            self._cmt.access(lpn // self.config.map_entries_per_page)
         self._seq += 1
         ppn = self._program(data, (OOB_DATA, lpn, self._seq, None))
         old = self._l2p.get(lpn)
@@ -188,6 +216,8 @@ class PageMappingFTL(Ftl):
     def trim(self, lpn: int) -> None:
         self._check_power()
         self._check_lpn(lpn)
+        if self._cmt is not None:
+            self._cmt.access(lpn // self.config.map_entries_per_page)
         old = self._l2p.pop(lpn, None)
         if old is not None:
             self._invalidate(old)
@@ -213,11 +243,19 @@ class PageMappingFTL(Ftl):
         start_us = self.chip.clock.now_us
         with self.obs.tracer.span("barrier", "ftl"):
             self.chip.clock.advance(self.chip.profile.barrier_overhead_us)
+            # Publish the sequence number as of *before* the flush programs:
+            # a GC pass triggered by one of them may relocate data pages,
+            # and relocations carry fresh sequence numbers, so a snapshot
+            # root.seq keeps them inside the OOB replay window.  (Publishing
+            # the post-flush seq would instead require every re-dirtied
+            # segment to be rewritten before the publish — an unbounded
+            # flush/GC feedback loop on small, GC-pressured devices.)
+            seq_snapshot = self._seq
             with self.chip.overlap():
                 self._flush_map()
                 self._flush_meta()
             self.chip.drain()
-            self._publish_root()
+            self._publish_root(seq_snapshot)
             for ppn in list(self._pending_retired):
                 self._invalidate(ppn)
             self._pending_retired.clear()
@@ -241,6 +279,10 @@ class PageMappingFTL(Ftl):
         self._meta_dir = {}
         self._pending_retired = set()
         self._seq = 0
+        self._trans_active = [None] * geo.channels
+        self._trans_blocks = set()
+        if self._cmt is not None:
+            self._cmt.reset()
         if self._gc is not None:
             self._gc.reset()
 
@@ -265,9 +307,24 @@ class PageMappingFTL(Ftl):
         for slot, ppn in self._meta_dir.items():
             self._set_owner_raw(ppn, (OWNER_META, slot))
         for lpn, ppn in self._l2p.items():
-            self._set_owner_raw(ppn, (OWNER_L2P, lpn))
+            # A persisted mapping can be stale: its physical page may have
+            # been invalidated, erased and reused — possibly for one of the
+            # very map/meta pages claimed above (their programs carry
+            # sequence numbers past the published root.seq, so they can
+            # postdate the stale mapping's correction).  Never let a stale
+            # claim displace an established owner; the OOB replay below is
+            # guaranteed to carry the fresher mapping for this lpn.
+            if ppn not in self._owner:
+                self._set_owner_raw(ppn, (OWNER_L2P, lpn))
 
         # 2. Replay newer writes found in OOB areas, in sequence order.
+        # Dirty tracking restarts here, *before* the replay: each replayed
+        # mapping re-dirties its segment so the next barrier persists it.
+        # (Clearing after the replay — the old behaviour — left recovered
+        # mappings clean, so a barrier advanced root.seq past their
+        # sequence numbers without flushing them and a second crash lost
+        # them.)
+        self._dirty_segments = set()
         replay = sorted(self._scan_oob(min_seq=root.seq + 1), key=lambda e: e[0])
         for seq, kind, lpn, tid, ppn in replay:
             if seq > self._seq:
@@ -282,7 +339,6 @@ class PageMappingFTL(Ftl):
 
         # 3. Rebuild validity counts and the free pool from ownership.
         self._rebuild_space_state()
-        self._dirty_segments = set()
 
     def _remap_for_recovery(self, lpn: int, ppn: int) -> None:
         """Point ``lpn`` at ``ppn`` during recovery.
@@ -297,6 +353,9 @@ class PageMappingFTL(Ftl):
             self._drop_owner(old)
         self._l2p[lpn] = ppn
         self._set_owner_raw(ppn, (OWNER_L2P, lpn))
+        # The recovered mapping exists only in OOB + DRAM; dirty it so the
+        # next barrier persists it (see remount step 2).
+        self._mark_dirty(lpn)
 
     def _replay_applies(self, tid: int | None) -> bool:
         """Whether an OOB data entry with this tid survives recovery.
@@ -365,12 +424,64 @@ class PageMappingFTL(Ftl):
         # in-capacity workload.
         if self._gc_headroom_pages(channel) <= self.chip.geometry.pages_per_block:
             self._garbage_collect(channel, target_blocks=0)
-        block = self._ensure_active_block(channel)
+        if self._trans_stream_wanted(oob):
+            block = self._ensure_trans_block(channel)
+        else:
+            block = self._ensure_active_block(channel)
         ppn = self.chip.geometry.ppn_of(block, self.chip.block_write_point(block))
         self.chip.program(ppn, data, oob)
         if self.chip.block_is_full(block):
-            self._active_blocks[channel] = None
+            # The trans stream may have degraded to the shared active
+            # block, so clear whichever store(s) pointed here.
+            if block == self._trans_active[channel]:
+                self._trans_active[channel] = None
+            if block == self._active_blocks[channel]:
+                self._active_blocks[channel] = None
         return ppn
+
+    def _trans_stream_wanted(self, oob: tuple) -> bool:
+        """Whether this program belongs in the translation-block stream."""
+        return self._cmt is not None and oob[0] == OOB_MAP
+
+    def _ensure_trans_block(self, channel: int) -> int:
+        """Active translation block for ``channel``, allocating if needed.
+
+        Dedicating a block to translation pages costs the data stream one
+        free block, so under space pressure the stream degrades to the
+        shared active block (the same opportunism as the background hot
+        stream) rather than starving GC of headroom.
+        """
+        active = self._trans_active[channel]
+        if active is not None and not self.chip.block_is_full(active):
+            return active
+        if len(self._free_by_channel[channel]) <= self.config.gc_free_block_threshold:
+            self._garbage_collect(channel)
+        free = self._free_by_channel[channel]
+        if not free or self._gc_headroom_pages(channel) <= 2 * self.chip.geometry.pages_per_block:
+            return self._ensure_active_block(channel)
+        block = free.pop()
+        self._trans_active[channel] = block
+        self._alloc_order[channel].append(block)
+        self._trans_blocks.add(block)
+        return block
+
+    def _release_trans_block(self, channel: int) -> bool:
+        """Fold the translation stream back into the shared pool.
+
+        Called when GC is starved: the trans active block is excluded from
+        victim selection and its erased tail does not count as copyback
+        headroom, so under pressure holding onto it can wedge an otherwise
+        sustainable workload.  Releasing it makes the block an ordinary
+        victim candidate — and, when the cold slot is open, the new active
+        block, which returns its erased pages to the headroom pool.
+        """
+        block = self._trans_active[channel]
+        if block is None:
+            return False
+        self._trans_active[channel] = None
+        if self._active_blocks[channel] is None and not self.chip.block_is_full(block):
+            self._active_blocks[channel] = block
+        return True
 
     def _ensure_active_block(self, channel: int) -> int:
         active = self._active_blocks[channel]
@@ -427,6 +538,8 @@ class PageMappingFTL(Ftl):
                 raise OutOfSpaceError("garbage collection cannot make progress")
             victim = self._pick_victim(channel)
             if victim is None or self._valid_count[victim] > self._gc_headroom_pages(channel):
+                if self._release_trans_block(channel):
+                    continue  # the freed stream block may be reclaimable
                 if self._free_by_channel[channel] or self._gc_headroom_pages(channel) > 0:
                     return  # nothing reclaimable; live with what we have
                 raise OutOfSpaceError("no GC victim and no free blocks")
@@ -448,7 +561,7 @@ class PageMappingFTL(Ftl):
         """Oldest reclaimable block in the channel's allocation order."""
         geo = self.chip.geometry
         for block in self._alloc_order[channel]:
-            if block == self._active_blocks[channel]:
+            if block == self._active_blocks[channel] or block == self._trans_active[channel]:
                 continue
             used = self.chip.block_write_point(block)
             if used == 0:
@@ -464,7 +577,7 @@ class PageMappingFTL(Ftl):
         best = None
         best_valid = None
         for block in geo.channel_blocks(channel):
-            if block == self._active_blocks[channel]:
+            if block == self._active_blocks[channel] or block == self._trans_active[channel]:
                 continue
             used = self.chip.block_write_point(block)
             if used == 0:
@@ -485,6 +598,9 @@ class PageMappingFTL(Ftl):
         valid_before = self._valid_count[victim]
         self.stats.gc_invocations += 1
         self._obs_gc_invocations.inc()
+        if victim in self._trans_blocks:
+            self.stats.gc_translation_collections += 1
+            self._obs_gc_trans.inc()
         self._note_victim_valid(valid_before, geo.pages_per_block)
 
         with self.obs.tracer.span("gc_collect", "ftl"):
@@ -503,6 +619,7 @@ class PageMappingFTL(Ftl):
                 self._set_owner_raw(new_ppn, owner)
                 self._apply_relocation(owner, ppn, new_ppn)
             self.chip.erase(victim)
+        self._trans_blocks.discard(victim)
         self._free_by_channel[channel].append(victim)
         try:
             self._alloc_order[channel].remove(victim)
@@ -565,6 +682,11 @@ class PageMappingFTL(Ftl):
         kind = owner[0]
         if kind == OWNER_L2P:
             self._l2p[owner[1]] = new_ppn
+            # The relocated mapping must reach flash at the next flush: the
+            # published root.seq will cover the relocation's sequence number,
+            # so OOB replay would skip it — without the dirty marker a crash
+            # after the next barrier reads the stale flushed mapping.
+            self._mark_dirty(owner[1])
         elif kind == OWNER_MAP:
             self._map_dir[owner[1]] = new_ppn
             if self._root.map_dir.get(owner[1]) == old_ppn:
@@ -611,20 +733,48 @@ class PageMappingFTL(Ftl):
         self._set_owner_raw(ppn, (OWNER_RETIRED, kind, key))
         self._pending_retired.add(ppn)
 
+    def _write_translation_page(self, segment: int, entries: tuple | None = None) -> int:
+        """Program one translation (map) page and repoint the directory.
+
+        Shared by the barrier flush, CMT dirty evictions and the commit
+        pinning path; ``entries`` overrides the live segment content (the
+        commit path programs an overlaid post-fold image).
+        """
+        if entries is None:
+            entries = self._segment_entries(segment)
+        self._seq += 1
+        ppn = self._program(entries, (OOB_MAP, segment, self._seq, None))
+        old = self._map_dir.get(segment)
+        if old is not None and old in self._owner:
+            if self._root.map_dir.get(segment) == old:
+                # The durable root still references the superseded page:
+                # pin it until the next publish (the seed barrier path —
+                # map_dir and root.map_dir are always in sync there).
+                self._retire(old, OWNER_MAP, segment)
+            else:
+                # Only demand-paged writebacks get here: the same segment
+                # was already rewritten since the last publish, so the
+                # superseded copy is not root-referenced and pinning it
+                # would let retired pages pile up unboundedly between
+                # publishes.
+                self._invalidate(old)
+        self._map_dir[segment] = ppn
+        self._set_owner(ppn, (OWNER_MAP, segment))
+        self.stats.map_page_writes += 1
+        self._obs_map_writes.inc()
+        return ppn
+
     def _flush_map(self) -> None:
+        # One pass over the segments dirty *now*.  A GC pass inside one of
+        # these programs can relocate a data page and re-dirty its segment;
+        # such markers deliberately survive into the next barrier — the
+        # relocation's fresh sequence number sits above the snapshot
+        # root.seq the enclosing barrier publishes, so OOB replay covers
+        # the gap until the segment is rewritten.
         for segment in sorted(self._dirty_segments):
             self.chip.crash_plan.hit(CP_BARRIER_MID)
-            entries = self._segment_entries(segment)
-            self._seq += 1
-            ppn = self._program(entries, (OOB_MAP, segment, self._seq, None))
-            old = self._map_dir.get(segment)
-            if old is not None and old in self._owner:
-                self._retire(old, OWNER_MAP, segment)
-            self._map_dir[segment] = ppn
-            self._set_owner(ppn, (OWNER_MAP, segment))
-            self.stats.map_page_writes += 1
-            self._obs_map_writes.inc()
-        self._dirty_segments.clear()
+            self._dirty_segments.discard(segment)
+            self._write_translation_page(segment)
 
     def _flush_meta(self) -> None:
         """Firmware misc metadata (write points, erase counts, ...)."""
@@ -639,12 +789,17 @@ class PageMappingFTL(Ftl):
             self.stats.map_page_writes += 1
             self._obs_map_writes.inc()
 
-    def _publish_root(self) -> None:
-        """Atomically update the meta block (assumed atomic, §5.3)."""
+    def _publish_root(self, seq: int) -> None:
+        """Atomically update the meta block (assumed atomic, §5.3).
+
+        ``seq`` is the replay horizon: OOB entries above it are replayed at
+        remount.  The barrier passes its pre-flush snapshot so relocations
+        performed *during* the flush stay replayable.
+        """
         self._root = RootRecord(
             map_dir=dict(self._map_dir),
             meta_dir=dict(self._meta_dir),
-            seq=self._seq,
+            seq=seq,
             xl2p_ppns=self._root.xl2p_ppns,
             committed_tids=self._root.committed_tids,
         )
@@ -680,6 +835,11 @@ class PageMappingFTL(Ftl):
         ]
         self._active_blocks = [None] * geo.channels
         self._write_channel = 0
+        # Translation-block identity is volatile: after a crash the stream
+        # restarts with fresh allocations and old translation blocks are
+        # treated as ordinary aged blocks.
+        self._trans_active = [None] * geo.channels
+        self._trans_blocks = set()
         # Resume appending into each channel's fullest partially-written block.
         for channel in range(geo.channels):
             partials = [
@@ -744,10 +904,20 @@ class PageMappingFTL(Ftl):
             active = self._active_blocks[channel]
             if active is not None and geo.channel_of_block(active) != channel:
                 raise FtlError(f"active block {active} not on channel {channel}")
+            trans = self._trans_active[channel]
+            if trans is not None:
+                if geo.channel_of_block(trans) != channel:
+                    raise FtlError(f"trans block {trans} not on channel {channel}")
+                if trans == active:
+                    raise FtlError(f"trans block {trans} doubles as the active block")
+                if trans in self._free_by_channel[channel]:
+                    raise FtlError(f"trans block {trans} still in the free pool")
             for block in self._free_by_channel[channel]:
                 if geo.channel_of_block(block) != channel:
                     raise FtlError(f"free block {block} on wrong channel list {channel}")
                 if self.chip.block_write_point(block) != 0:
                     raise FtlError(f"free block {block} is not erased")
+        if self._cmt is not None:
+            self._cmt.check_invariants()
         if self._gc is not None:
             self._gc.check_invariants()

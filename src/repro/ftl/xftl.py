@@ -38,6 +38,7 @@ from typing import Any, Iterable
 from repro.errors import TransactionError
 from repro.flash.chip import FlashChip, PageState
 from repro.ftl.base import FtlConfig
+from repro.ftl.cmt import CP_CMT_COMMIT_FLUSH, CP_CMT_COMMIT_PUBLISH
 from repro.ftl.pagemap import (
     OOB_DATA,
     OOB_XL2P_TABLE,
@@ -157,8 +158,10 @@ class XFTL(PageMappingFTL):
             self.xl2p.set_status(tid, TxStatus.COMMITTED)
             self.chip.crash_plan.hit(CP_COMMIT_BEFORE_FLUSH)
             # Step 2+3: CoW-flush the X-L2P table, atomically repoint the root.
+            # In demand-paged (CMT) mode the flush also pins the
+            # transaction's translation pages under the same drain barrier.
             self._committed_tids.add(tid)
-            self._flush_xl2p()
+            self._flush_xl2p(pin_entries=entries if self._cmt is not None else None)
             self.chip.crash_plan.hit(CP_COMMIT_AFTER_FLUSH)
             # Step 4: remap the LPNs in the main L2P table (DRAM; idempotent).
             for entry in entries:
@@ -170,6 +173,9 @@ class XFTL(PageMappingFTL):
                 self._set_owner(entry.new_ppn, (OWNER_L2P, entry.lpn))
                 self._mark_dirty(entry.lpn)
             self.xl2p.remove_tid(tid)
+            if self._cmt is not None:
+                per = self.config.map_entries_per_page
+                self._settle_commit_segments({e.lpn // per for e in entries})
         self._release_write_locks(tid)
         self._started_tids.discard(tid)
         self.stats.commits += 1
@@ -225,7 +231,14 @@ class XFTL(PageMappingFTL):
                 self.xl2p.set_status(tid, TxStatus.COMMITTED)
             self.chip.crash_plan.hit(CP_GROUP_FLUSH)
             self._committed_tids.update(live)
-            self._flush_xl2p()
+            # Pin the whole batch's translation pages (CMT mode): later
+            # members' folds overlay earlier ones, matching the fold order.
+            group_entries = (
+                [e for tid in live for e in self.xl2p.entries_of(tid)]
+                if self._cmt is not None
+                else None
+            )
+            self._flush_xl2p(pin_entries=group_entries)
             self.chip.crash_plan.hit(CP_GROUP_PUBLISH)
             for tid in live:
                 for entry in self.xl2p.entries_of(tid):
@@ -237,6 +250,9 @@ class XFTL(PageMappingFTL):
                     self._set_owner(entry.new_ppn, (OWNER_L2P, entry.lpn))
                     self._mark_dirty(entry.lpn)
                 self.xl2p.remove_tid(tid)
+            if group_entries is not None:
+                per = self.config.map_entries_per_page
+                self._settle_commit_segments({e.lpn // per for e in group_entries})
         for tid in live:
             self._release_write_locks(tid)
             self._started_tids.discard(tid)
@@ -282,7 +298,7 @@ class XFTL(PageMappingFTL):
             for lpn in [l for l, t in self._writers_by_lpn.items() if t == tid]:
                 del self._writers_by_lpn[lpn]
 
-    def _flush_xl2p(self) -> None:
+    def _flush_xl2p(self, pin_entries: list | None = None) -> None:
         """Write the whole X-L2P table copy-on-write and republish the root.
 
         On a multi-channel array the table pages (DRAM-sourced) round-robin
@@ -290,6 +306,12 @@ class XFTL(PageMappingFTL):
         the cross-channel barrier that makes every page durable *before*
         the root repoints at them, preserving the commit ordering of
         Figure 4 step 3.
+
+        ``pin_entries`` (CMT mode only) are the committing transaction(s)'
+        X-L2P entries: their translation pages are programmed in the same
+        overlap region, so data, X-L2P table and translation pages all
+        become durable under the one drain barrier and are published by
+        the one atomic root update below.
         """
         images = self.xl2p.serialize(self.chip.geometry.page_size)
         new_ppns: list[int] = []
@@ -301,7 +323,11 @@ class XFTL(PageMappingFTL):
                 new_ppns.append(ppn)
                 self.stats.xl2p_page_writes += 1
                 self._obs_xl2p_writes.inc()
+            if pin_entries:
+                self._pin_translation_pages(pin_entries)
         self.chip.drain()
+        if pin_entries:
+            self.chip.crash_plan.hit(CP_CMT_COMMIT_PUBLISH)
         self.stats.xl2p_flushes += 1
         self._obs_xl2p_flushes.inc()
         self._obs_xl2p_flush_pages.observe(float(len(images)))
@@ -314,9 +340,54 @@ class XFTL(PageMappingFTL):
         # Atomic meta-block update: new X-L2P location + committed tid set.
         self._root.xl2p_ppns = tuple(new_ppns)
         self._root.committed_tids = frozenset(self._committed_tids)
+        if self._cmt is not None:
+            # Demand-paged mode repoints translation pages outside barriers
+            # (CMT writebacks, commit pinning); retired old copies become
+            # collectable below, so the root must follow the directory in
+            # the same atomic update.
+            self._root.map_dir = dict(self._map_dir)
         for ppn in list(self._pending_retired):
             self._invalidate(ppn)
         self._pending_retired.clear()
+
+    def _pin_translation_pages(self, entries: list) -> None:
+        """Write the committing transaction(s)' translation pages (CMT mode).
+
+        With a demand-paged map the X-L2P fold alone is not durable enough:
+        the translation pages covering the transaction's LPNs may already
+        have flushed copies that predate the commit, and root.seq does not
+        advance at commit.  The commit therefore programs those pages with
+        the *post-fold content overlaid* — the fold into DRAM happens after
+        the root publish, exactly as before.
+        """
+        per = self.config.map_entries_per_page
+        folds: dict[int, dict[int, int]] = {}
+        for entry in entries:
+            folds.setdefault(entry.lpn // per, {})[entry.lpn] = entry.new_ppn
+        for segment in sorted(folds):
+            self._cmt.insert_resident(segment)
+            merged = dict(self._segment_entries(segment))
+            merged.update(folds[segment])
+            self.chip.crash_plan.hit(CP_CMT_COMMIT_FLUSH)
+            self._dirty_segments.discard(segment)
+            self._write_translation_page(segment, tuple(sorted(merged.items())))
+            self._cmt.note_writeback()
+
+    def _settle_commit_segments(self, segments: set[int]) -> None:
+        """Mark a commit's translation segments clean when flash is current.
+
+        The pinned pages carry overlaid post-fold content, so the fold's
+        dirty marks are normally redundant.  But a GC pass triggered by the
+        pinning programs themselves can relocate pages *after* a segment's
+        image was captured; the side-effect-free ``chip.peek`` compare
+        catches that and leaves such a segment dirty for the next flush.
+        """
+        for segment in segments:
+            ppn = self._map_dir.get(segment)
+            if ppn is None:
+                continue
+            if dict(self.chip.peek(ppn)) == dict(self._segment_entries(segment)):
+                self._dirty_segments.discard(segment)
 
     def _checkpoint_map(self) -> None:
         """Lazy L2P checkpoint: bounds OOB replay and prunes committed tids."""

@@ -45,6 +45,7 @@ from repro.obs.tracing import NULL_SPAN, Span, Tracer
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BOUNDS_US",
+    "FLASH_STATS_OBS_PAIRS",
     "DEFAULT_SIZE_BOUNDS",
     "Gauge",
     "Histogram",
@@ -62,6 +63,36 @@ __all__ = [
     "install_default_hub",
     "uninstall_default_hub",
 ]
+
+#: obs counter name -> :class:`~repro.flash.stats.FlashStats` field.  Each
+#: pair is incremented at the same instrumentation site, so the two views
+#: must agree exactly; :meth:`Observability.verify_flash_stats` enforces it
+#: and tests/test_stats_fields.py checks the mapping covers every field.
+FLASH_STATS_OBS_PAIRS = {
+    "flash.page_reads": "page_reads",
+    "flash.page_programs": "page_programs",
+    "flash.block_erases": "block_erases",
+    "ftl.host_page_writes": "host_page_writes",
+    "ftl.host_page_reads": "host_page_reads",
+    "ftl.gc.copyback_reads": "gc_copyback_reads",
+    "ftl.gc.copyback_writes": "gc_copyback_writes",
+    "ftl.gc.invocations": "gc_invocations",
+    "ftl.map_page_writes": "map_page_writes",
+    "ftl.xl2p.page_writes": "xl2p_page_writes",
+    "ftl.barriers": "barriers",
+    "ftl.commits": "commits",
+    "ftl.aborts": "aborts",
+    "ftl.xl2p.flushes": "xl2p_flushes",
+    "ftl.group_commits": "group_commits",
+    "ftl.gc.urgent_collections": "gc_urgent_collections",
+    "ftl.gc.wear_migrations": "gc_wear_migrations",
+    "ftl.gc.translation_collections": "gc_translation_collections",
+    "ftl.cmt.hits": "cmt_hits",
+    "ftl.cmt.misses": "cmt_misses",
+    "ftl.cmt.fetch_reads": "cmt_fetch_reads",
+    "ftl.cmt.evictions": "cmt_evictions",
+    "ftl.cmt.writebacks": "cmt_writebacks",
+}
 
 
 class Observability:
@@ -138,25 +169,8 @@ class Observability:
         """
         if self.flash_stats is None or not self.enabled:
             return []
-        pairs = {
-            "flash.page_reads": "page_reads",
-            "flash.page_programs": "page_programs",
-            "flash.block_erases": "block_erases",
-            "ftl.host_page_writes": "host_page_writes",
-            "ftl.host_page_reads": "host_page_reads",
-            "ftl.gc.copyback_reads": "gc_copyback_reads",
-            "ftl.gc.copyback_writes": "gc_copyback_writes",
-            "ftl.gc.invocations": "gc_invocations",
-            "ftl.map_page_writes": "map_page_writes",
-            "ftl.xl2p.page_writes": "xl2p_page_writes",
-            "ftl.barriers": "barriers",
-            "ftl.commits": "commits",
-            "ftl.aborts": "aborts",
-            "ftl.xl2p.flushes": "xl2p_flushes",
-            "ftl.group_commits": "group_commits",
-        }
         mismatches = []
-        for obs_name, stats_field in pairs.items():
+        for obs_name, stats_field in FLASH_STATS_OBS_PAIRS.items():
             expected = getattr(self.flash_stats, stats_field)
             got = self.registry.counter_value(obs_name)
             if got != expected:

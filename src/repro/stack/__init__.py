@@ -137,6 +137,12 @@ class StackConfig:
     gc_policy: str | None = None
     gc_hot_write_threshold: int | None = None
     gc_wear_spread_threshold: int | None = None
+    # Demand-paged mapping knobs (DFTL-style CMT), plumbed the same way:
+    # ``cmt_pages`` caps resident translation pages (0 / None-at-default
+    # keeps the whole map in DRAM, seed-identical) and ``cmt_dirty_batch``
+    # sets the eviction dirty-batching width.
+    cmt_pages: int | None = None
+    cmt_dirty_batch: int | None = None
     journal_pages: int = 256
     fs_cache_pages: int = 8192
     max_inodes: int = 128
@@ -221,6 +227,8 @@ def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
             ("gc_policy", config.gc_policy),
             ("gc_hot_write_threshold", config.gc_hot_write_threshold),
             ("gc_wear_spread_threshold", config.gc_wear_spread_threshold),
+            ("cmt_pages", config.cmt_pages),
+            ("cmt_dirty_batch", config.cmt_dirty_batch),
         )
         if value is not None
     }
@@ -271,6 +279,7 @@ def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
         obs.annotate("channels", config.channels)
         obs.annotate("queue_depth", config.queue_depth)
         obs.annotate("gc_mode", config.ftl.gc_mode)
+        obs.annotate("cmt_pages", config.ftl.cmt_pages)
     return BenchStack(
         config=config,
         clock=clock,

@@ -18,6 +18,9 @@ Layers (bottom to top):
 - ``ftl.gc``      — transactions (plain, grouped, aborted) on X-FTL with
   background garbage collection: crashes at every ``gc.*`` preemption
   point of the paced copyback/wear-leveling jobs;
+- ``ftl.cmt``     — transactions on X-FTL with a demand-paged mapping
+  whose cache is far smaller than the map: crashes during CMT evictions,
+  dirty writebacks, and the commit-time translation-page pinning;
 - ``device.queue`` — plain writes through a queued (NCQ) device over a
   two-channel flash array: crashes land with commands in flight;
 - ``device.queue.xftl`` — the transactional command set through the same
@@ -208,6 +211,81 @@ def _run_xftl_group(point, after, tear, seed, ops_limit) -> tuple[bool, int, lis
             ftl.commit_group(group)
             for member in group:
                 oracle.note_committed(member)
+    except PowerFailure:
+        fired = True
+    else:
+        plan.disarm_all()
+        ftl.power_fail()
+
+    ftl.remount()
+    ftl.check_invariants()
+    return fired, op, oracle.check(ftl.read)
+
+
+# --------------------------------------------------------------- cmt
+
+# Same tiny device as the plain FTL layers, but with a demand-paged map:
+# 16 entries per translation page gives several times more segments than
+# the two cache slots, so every phase of the workload evicts and fetches.
+_CMT_CONFIG = FtlConfig(
+    overprovision=0.25,
+    map_entries_per_page=16,
+    barrier_meta_pages=1,
+    xl2p_capacity=64,
+    cmt_pages=2,
+    cmt_dirty_batch=1,
+)
+
+
+def _run_cmt(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]]:
+    """Transactions on X-FTL with a demand-paged mapping (small CMT).
+
+    The working set spans six translation segments against two cache
+    slots, so misses fetch translation pages from flash, evictions write
+    dirty ones back, and each commit pins the transaction's translation
+    pages inside the publish drain — the ``ftl.cmt.*`` points land
+    crashes in every one of those windows, and recovery must still hold
+    the all-or-nothing contract (data and translation pages publish
+    atomically per commit).
+    """
+    plan = CrashPlan()
+    ftl = XFTL(FlashChip(_FTL_GEOMETRY, crash_plan=plan), _CMT_CONFIG)
+    rng = make_rng(seed, "verify.ftl.cmt")
+    hot = min(ftl.exported_pages, 96)
+
+    oracle = TransactionOracle()
+    for lpn in range(hot):
+        ftl.write(lpn, ("base", lpn))
+        oracle.note_baseline(lpn, ("base", lpn))
+    ftl.barrier()
+
+    plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    op = 0
+    tid = 0
+    try:
+        while op < ops_limit:
+            tid += 1
+            for _ in range(rng.randrange(1, 4)):
+                op += 1
+                lpn = rng.randrange(hot)
+                value = ("t", tid, op)
+                oracle.note_tx_write(tid, lpn, value)
+                ftl.write_tx(tid, lpn, value)
+            if rng.random() < 0.2:
+                ftl.abort(tid)
+                oracle.note_aborted(tid)
+            else:
+                oracle.note_commit_started(tid)
+                ftl.commit(tid)
+                oracle.note_committed(tid)
+            # Reads churn the cache between transactions, so dirty
+            # writebacks also happen outside any commit window; the
+            # occasional barrier then runs the flush against a cold cache.
+            for _ in range(rng.randrange(0, 3)):
+                ftl.read(rng.randrange(hot))
+            if rng.random() < 0.15:
+                ftl.barrier()
     except PowerFailure:
         fired = True
     else:
@@ -666,6 +744,7 @@ LAYERS: dict[str, Layer] = {
             ("flash", "ftl.pagemap", "ftl.xftl", "ftl.gc"),
             _run_gc,
         ),
+        Layer("ftl.cmt", ("ftl.cmt",), _run_cmt),
         Layer(
             "device.queue",
             ("flash", "ftl.pagemap", "device.queue"),

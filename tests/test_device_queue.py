@@ -278,3 +278,89 @@ class TestQueueCrashInjection:
 
         names = {spec.name for spec in registered_crash_points("device.queue")}
         assert names == {"dev.queue.dispatch", "dev.queue.barrier"}
+
+
+class TestInFlightBatchPowerLoss:
+    """Power loss mid-batch: the reset must be atomic and leak nothing.
+
+    Audit regression (ISSUE 6 satellite): a crash while a multi-command
+    batch is partially dispatched must drop every queued-but-undispatched
+    command in one step, and none of the drain-barrier bookkeeping
+    (in-flight heap, live ids, pending completion events) may leak into
+    the next power cycle.
+    """
+
+    def _crash_stack(self):
+        plan = CrashPlan()
+        chip = FlashArray(GEOMETRY, crash_plan=plan)
+        ftl = PageMappingFTL(chip, FTL_CONFIG)
+        return plan, ftl, StorageDevice(ftl, queue_depth=4)
+
+    def test_mid_batch_crash_drops_remainder_atomically(self):
+        plan, ftl, device = self._crash_stack()
+        for lpn in range(8):
+            device.write(lpn, ("base", lpn))
+        device.flush()
+
+        # Fire on the third dispatch of the batch: commands 1-2 are in
+        # flight, 3 is being dispatched, 4-7 are still queued at the host.
+        plan.arm("dev.queue.dispatch", after=3)
+        with pytest.raises(PowerFailure):
+            for lpn in range(8):
+                device.write(lpn, ("batch", lpn))
+        assert device.queue.in_flight == 0  # reset ran via power-loss fanout
+
+        device.power_on()
+        assert device.queue.in_flight == 0
+        # No leaked barrier bookkeeping: a drain with nothing in flight
+        # must not wait on completions forgotten by the reset.
+        before_us = device.clock.now_us
+        device.queue.drain()
+        assert device.clock.now_us == before_us
+        ftl.check_invariants()
+        for lpn in range(8):
+            assert ftl.read(lpn) in (("base", lpn), ("batch", lpn))
+
+    def test_fresh_batch_after_power_cycle_is_unaffected(self):
+        plan, ftl, device = self._crash_stack()
+        for lpn in range(12):
+            device.write(lpn, ("old", lpn))
+        assert device.queue.in_flight > 0
+        device.power_off()  # in-flight batch vanishes with the power
+        device.power_on()
+
+        # A full new batch must admit, complete and drain on its own
+        # terms — stale completion events from the dropped batch must not
+        # retire (or wedge) any of the new commands.
+        for lpn in range(12):
+            device.write(lpn, ("new", lpn))
+        device.flush()
+        assert device.queue.in_flight == 0
+        ftl.check_invariants()
+        for lpn in range(12):
+            assert ftl.read(lpn) == ("new", lpn)
+
+    def test_stale_completion_events_do_not_retire_new_commands(self):
+        clock, queue = make_queue(depth=4)
+        queue.push(100.0)
+        queue.push(200.0)
+        queue.reset()
+        # New command finishing *between* the two forgotten completions:
+        # the stale events at 100/200 must not touch it.
+        queue.push(150.0)
+        clock.advance(120.0)
+        assert queue.in_flight == 1
+        clock.advance(40.0)
+        assert queue.in_flight == 0
+
+    def test_reset_restores_full_admission_capacity(self):
+        obs = Observability(enabled=True, label="queue-reset")
+        clock, queue = make_queue(depth=2, obs=obs)
+        queue.push(100.0)
+        queue.push(200.0)
+        queue.reset()
+        stalls_before = obs.registry.counter_value("dev.queue.admit_stalls")
+        queue.admit()  # both slots free again: no stall, no waiting
+        assert clock.now_us == 0.0
+        assert obs.registry.counter_value("dev.queue.admit_stalls") == stalls_before
+        assert obs.gauge("dev.queue.depth").value == 0.0

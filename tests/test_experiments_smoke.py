@@ -90,10 +90,25 @@ class TestExperimentFunctions:
             spread["background, wear off"]["after"]
         )
 
+    def test_mapping_structure(self):
+        result = experiments.mapping_locality(
+            operations=800, num_blocks=48, pages_per_block=32, cmt_pages=4
+        )
+        assert len(result.rows) == 6  # 3 localities x (demand-paged, in-RAM)
+        ratios = result.extras["hit_ratio"]
+        # Locality is the whole game: the tight hot span must beat uniform.
+        assert ratios["demand-paged/0.05"] > ratios["demand-paged/1.0"]
+        # The in-RAM rows never touch the cache.
+        assert all(ratios[f"in-RAM map/{f}"] is None for f in (0.05, 0.2, 1.0))
+        wa = result.extras["translation_wa"]
+        for fraction in (0.05, 0.2, 1.0):
+            assert wa[f"demand-paged/{fraction}"] > wa[f"in-RAM map/{fraction}"]
+
     def test_registry_complete(self):
         assert set(experiments.ALL_EXPERIMENTS) == {
             "fig5", "table1", "fig6", "table2", "fig7", "table4",
             "fig8", "fig9", "table5", "channels", "concurrency", "gc",
+            "mapping",
         }
 
 

@@ -1,0 +1,81 @@
+"""Field-drift regression for :class:`repro.flash.stats.FlashStats`.
+
+``snapshot()``/``delta()`` historically risked silently missing counters
+added later (a hand-maintained field list).  Both are now driven by
+``dataclasses.fields()``; these tests pin that property by exercising
+*every* field with a distinct value, so reintroducing an explicit list
+that misses one field fails immediately.  The obs cross-check mapping is
+held to the same standard: every FlashStats field must be paired with an
+obs counter.
+"""
+
+from dataclasses import fields
+
+from repro.flash.stats import FlashStats
+from repro.obs import FLASH_STATS_OBS_PAIRS
+
+# Distinct nonzero primes per field position: any copied/diffed field that
+# is dropped or crossed with another shows up as an exact-value mismatch.
+_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131,
+]
+
+
+def _distinct() -> FlashStats:
+    stats = FlashStats()
+    for i, f in enumerate(fields(FlashStats)):
+        setattr(stats, f.name, _PRIMES[i])
+    return stats
+
+
+def test_enough_probe_values():
+    assert len(fields(FlashStats)) <= len(_PRIMES)
+
+
+def test_snapshot_copies_every_field():
+    stats = _distinct()
+    snap = stats.snapshot()
+    assert snap == stats
+    assert snap is not stats
+
+
+def test_snapshot_is_independent():
+    stats = _distinct()
+    snap = stats.snapshot()
+    for f in fields(FlashStats):
+        setattr(stats, f.name, getattr(stats, f.name) + 1000)
+    # The snapshot must not move with the live accumulator — for any field.
+    for f in fields(FlashStats):
+        assert getattr(snap, f.name) == getattr(stats, f.name) - 1000, f.name
+
+
+def test_delta_covers_every_field():
+    earlier = _distinct()
+    later = earlier.snapshot()
+    for i, f in enumerate(fields(FlashStats)):
+        setattr(later, f.name, getattr(later, f.name) + 10 * (i + 1))
+    diff = later.delta(earlier)
+    for i, f in enumerate(fields(FlashStats)):
+        assert getattr(diff, f.name) == 10 * (i + 1), f.name
+
+
+def test_diff_is_delta_alias():
+    earlier = FlashStats()
+    later = _distinct()
+    assert later.diff(earlier) == later.delta(earlier)
+
+
+def test_as_dict_covers_every_field():
+    stats = _distinct()
+    as_dict = stats.as_dict()
+    assert set(as_dict) == {f.name for f in fields(FlashStats)}
+    for f in fields(FlashStats):
+        assert as_dict[f.name] == getattr(stats, f.name)
+
+
+def test_obs_cross_check_covers_every_field():
+    """Adding a FlashStats counter requires pairing it with an obs counter."""
+    paired = set(FLASH_STATS_OBS_PAIRS.values())
+    all_fields = {f.name for f in fields(FlashStats)}
+    assert paired == all_fields

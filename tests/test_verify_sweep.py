@@ -45,7 +45,7 @@ class TestSweepBothFtls:
 
 
 class TestUpperLayersSmoke:
-    @pytest.mark.parametrize("layer", ["fs.ext4", "sqlite.xftl", "sqlite.rbj"])
+    @pytest.mark.parametrize("layer", ["fs.ext4", "sqlite.xftl", "sqlite.rbj", "ftl.cmt"])
     def test_layer_smoke(self, layer):
         report = sweep(layers=[layer], budget=12, seed=0)
         assert report.scenarios_run == 12

@@ -1,0 +1,117 @@
+"""Randomized property test for the X-L2P transaction table under GC.
+
+Drives an :class:`~repro.ftl.xftl.XFTL` with interleaved transactional
+writes, commits, aborts, plain overwrites (GC pressure) and barriers from
+a :func:`repro.sim.rng.make_rng` stream, holding a pure-Python model of
+what each reader must observe.  After *every* step the FTL's own
+``check_invariants`` runs — it asserts the live-union invariant: the set
+of live physical pages is exactly the committed L2P image plus the pages
+pinned by active X-L2P entries (old committed copies of transactionally
+rewritten lpns included, since any active transaction could yet abort).
+"""
+
+import pytest
+
+from repro.flash import FlashChip, FlashGeometry
+from repro.ftl import FtlConfig, XFTL
+from repro.sim.rng import make_rng
+
+
+def make_xftl(**cfg) -> XFTL:
+    geo = FlashGeometry(page_size=512, pages_per_block=8, num_blocks=24)
+    defaults = dict(
+        overprovision=0.25,
+        map_entries_per_page=16,
+        barrier_meta_pages=1,
+        xl2p_capacity=64,
+    )
+    defaults.update(cfg)
+    return XFTL(FlashChip(geo), FtlConfig(**defaults))
+
+
+class Model:
+    """What a correct FTL must answer: committed state + per-tx overlays."""
+
+    def __init__(self) -> None:
+        self.committed: dict[int, bytes] = {}
+        self.active: dict[int, dict[int, bytes]] = {}
+
+    def visible(self, lpn: int) -> bytes | None:
+        return self.committed.get(lpn)
+
+    def visible_tx(self, tid: int, lpn: int) -> bytes | None:
+        overlay = self.active[tid]
+        if lpn in overlay:
+            return overlay[lpn]
+        return self.committed.get(lpn)
+
+
+def _drive(ftl: XFTL, seed_label: str, steps: int) -> None:
+    rng = make_rng(0x712, "test.xl2p.property", seed_label)
+    model = Model()
+    span = min(ftl.exported_pages, 48)  # small span => real GC pressure
+    next_tid = 1
+    serial = 0
+
+    for _step in range(steps):
+        serial += 1
+        payload = b"s%d" % serial
+        action = rng.random()
+        if action < 0.30 and len(model.active) < 3:
+            tid, next_tid = next_tid, next_tid + 1
+            model.active[tid] = {}
+            for _ in range(rng.randrange(1, 4)):
+                lpn = rng.randrange(span)
+                ftl.write_tx(tid, lpn, payload)
+                model.active[tid][lpn] = payload
+        elif action < 0.50 and model.active:
+            tid = rng.choice(sorted(model.active))
+            lpn = rng.randrange(span)
+            ftl.write_tx(tid, lpn, payload)
+            model.active[tid][lpn] = payload
+        elif action < 0.65 and model.active:
+            tid = rng.choice(sorted(model.active))
+            if rng.random() < 0.35:
+                ftl.abort(tid)
+                model.active.pop(tid)
+            else:
+                ftl.commit(tid)
+                model.committed.update(model.active.pop(tid))
+        elif action < 0.90:
+            lpn = rng.randrange(span)
+            ftl.write(lpn, payload)
+            model.committed[lpn] = payload
+        else:
+            ftl.barrier()
+
+        # The live-union invariant, checked by the FTL itself: owners,
+        # translation pages, X-L2P pins and free accounting must agree.
+        ftl.check_invariants()
+
+        # Reader-visible semantics against the model.
+        lpn = rng.randrange(span)
+        assert ftl.read(lpn) == model.visible(lpn)
+        for tid in model.active:
+            lpn = rng.choice(sorted(model.active[tid]))
+            assert ftl.read_tx(tid, lpn) == model.visible_tx(tid, lpn)
+
+    # Wind down: resolve survivors, then the full committed image must hold.
+    for tid in sorted(model.active):
+        ftl.commit(tid)
+        model.committed.update(model.active[tid])
+    model.active.clear()
+    ftl.barrier()
+    ftl.check_invariants()
+    for lpn, expected in model.committed.items():
+        assert ftl.read(lpn) == expected
+    assert ftl.stats.gc_invocations > 0  # the workload genuinely collected
+
+
+@pytest.mark.parametrize("seed_label", ["a", "b", "c"])
+def test_live_union_invariant_under_interleaving(seed_label):
+    _drive(make_xftl(), seed_label, steps=220)
+
+
+def test_live_union_invariant_with_demand_paged_map():
+    """Same drive with the CMT active: eviction windows must not break it."""
+    _drive(make_xftl(cmt_pages=2, cmt_dirty_batch=1), "cmt", steps=220)
