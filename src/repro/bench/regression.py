@@ -1,0 +1,86 @@
+"""Bench-smoke regression check against the committed throughput baseline.
+
+CI (and anyone touching the hot path) runs::
+
+    REPRO_BENCH_JSON=/tmp/bench_new.json python -m repro.bench throughput
+    python -m repro.bench.regression /tmp/bench_new.json BENCH_throughput.json
+
+Two checks, two severities:
+
+- **Deterministic sim counters** must match the committed baseline
+  *exactly*.  They are machine-independent; any drift means FTL behaviour
+  changed (different GC decisions, different write amplification), which is
+  a semantic change that must be reviewed and the baseline regenerated —
+  not a performance regression.
+- **Wall ops/sec** may not fall more than ``--tolerance`` (default 30%)
+  below the committed number.  Wall time is machine-dependent, hence the
+  wide tolerance; the check exists to catch order-of-magnitude hot-path
+  regressions (an accidental O(L2P) scan), not single-digit noise.
+
+Exit status 0 when both hold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def compare(new: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Return a list of human-readable failures (empty = pass)."""
+    failures: list[str] = []
+    new_sim = new.get("sim", {})
+    base_sim = baseline.get("sim", {})
+    for key in sorted(set(base_sim) | set(new_sim)):
+        if new_sim.get(key) != base_sim.get(key):
+            failures.append(
+                f"sim counter {key!r} drifted: baseline={base_sim.get(key)} "
+                f"new={new_sim.get(key)} (deterministic counters must match "
+                "exactly; regenerate the baseline if the change is intended)"
+            )
+    base_ops = baseline.get("wall", {}).get("ops_per_sec")
+    new_ops = new.get("wall", {}).get("ops_per_sec")
+    if not base_ops or not new_ops:
+        failures.append("missing wall.ops_per_sec in baseline or new report")
+    elif new_ops < base_ops * (1.0 - tolerance):
+        failures.append(
+            f"throughput regressed >{tolerance:.0%}: baseline={base_ops:,.0f} "
+            f"ops/sec, new={new_ops:,.0f} ops/sec "
+            f"({new_ops / base_ops:.2f}x of baseline)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regression",
+        description="Compare a fresh throughput report against the committed baseline.",
+    )
+    parser.add_argument("new", help="freshly generated BENCH_throughput.json")
+    parser.add_argument("baseline", help="committed BENCH_throughput.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional wall-clock slowdown (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    new = json.loads(pathlib.Path(args.new).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    failures = compare(new, baseline, args.tolerance)
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        new_ops = new["wall"]["ops_per_sec"]
+        base_ops = baseline["wall"]["ops_per_sec"]
+        print(
+            f"bench smoke OK: {new_ops:,.0f} ops/sec vs committed "
+            f"{base_ops:,.0f} ({new_ops / base_ops:.2f}x), sim counters identical"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

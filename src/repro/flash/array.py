@@ -80,6 +80,7 @@ class FlashArray(FlashChip):
             geometry, clock=clock, profile=profile, crash_plan=crash_plan, stats=stats, obs=obs
         )
         geo = self.geometry
+        self._num_channels = geo.channels
         self.scheduler = EventScheduler(self.clock)
         self._channel_timelines: list[ResourceTimeline] = [
             self.scheduler.timeline(f"flash.ch{channel}") for channel in range(geo.channels)
@@ -115,15 +116,33 @@ class FlashArray(FlashChip):
         return self._channel_timelines[channel]
 
     def _charge_flash(self, duration_us: float, block: int) -> None:
-        """Reserve the op on its channel; block the clock only when serial."""
-        channel = block % self.geometry.channels
-        _start, end = self._channel_timelines[channel].reserve(duration_us)
+        """Reserve the op on its channel; block the clock only when serial.
+
+        Inlines ``ResourceTimeline.reserve`` (same float arithmetic — the
+        channels=1 pinning depends on it) to keep the per-page cost down.
+        """
+        channel = block % self._num_channels
+        timeline = self._channel_timelines[channel]
+        clock = self.clock
+        now = clock._now_us
+        busy = timeline.busy_until_us
+        start = busy if busy > now else now
+        end = start + duration_us
+        timeline.busy_until_us = end
+        timeline.busy_us += duration_us
+        timeline.reservations += 1
         self._obs_channel_busy[channel].observe(duration_us)
-        if self._regions:
-            for region in self._regions:
-                region.note(end)
+        regions = self._regions
+        if regions:
+            for region in regions:
+                if end > region.end_us:
+                    region.end_us = end
         else:
-            self.clock.wait_until(end)
+            # clock.wait_until(end), inlined.
+            if end > now:
+                clock._now_us = end
+            if clock._events:
+                clock._fire_due()
 
     def overlap(self) -> OverlapRegion:
         """Open a region whose flash operations overlap across channels."""

@@ -15,15 +15,30 @@ Latency for each operation is charged to the shared simulation clock, and a
 :class:`~repro.sim.crash.CrashPlan` can cut power before/after a program or
 erase — optionally leaving the in-flight page *torn* (detectable garbage),
 which models the non-atomic sector write SQLite worries about (§2.1).
+
+Page/block state lives in the chip's :class:`~repro.flash.state.BlockStateView`
+(``chip.state``) — flat bytearray/array state maps shared with the FTL's
+validity bookkeeping.  The legacy per-page accessors on this class
+(``state_of``, ``is_torn``, ``block_write_point``, ``block_is_full``, the
+``erase_counts`` list) are deprecated shims over that view and will be
+promoted to errors in a later PR.
 """
 
 from __future__ import annotations
 
 import enum
+import warnings
 from typing import Any
 
 from repro.errors import CorruptionError, FlashError, PowerFailure
 from repro.flash.geometry import FlashGeometry
+from repro.flash.state import (
+    PAGE_ERASED,
+    PAGE_PROGRAMMED,
+    PAGE_STATE_NAMES,
+    PAGE_TORN,
+    BlockStateView,
+)
 from repro.flash.stats import FlashStats
 from repro.obs import NULL_OBS, Observability
 from repro.sim.clock import SimClock
@@ -48,11 +63,19 @@ CP_ERASE_BEFORE = register_crash_point(
 
 
 class PageState(enum.Enum):
-    """Lifecycle of one physical page."""
+    """Lifecycle of one physical page (legacy enum view of ``PAGE_*``)."""
 
     ERASED = "erased"
     PROGRAMMED = "programmed"
     TORN = "torn"
+
+
+#: ``page_states`` byte value -> legacy enum, for the deprecated shims.
+_STATE_ENUMS = (PageState.ERASED, PageState.PROGRAMMED, PageState.TORN)
+
+
+def _deprecated(message: str) -> None:
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
 
 
 class OverlapRegion:
@@ -94,7 +117,9 @@ class FlashChip:
 
     Content is stored per physical page as ``bytes`` (or any immutable
     object; FTL metadata pages store tuples).  The chip knows nothing about
-    logical addresses, validity or mapping — that is the FTL's job.
+    logical addresses, validity or mapping — that is the FTL's job (though
+    the FTL's liveness bitmap rides on ``chip.state`` so all per-page state
+    shares one representation).
     """
 
     def __init__(
@@ -118,14 +143,18 @@ class FlashChip:
         self._obs_reads = obs.counter("flash.page_reads")
         self._obs_erases = obs.counter("flash.block_erases")
         self._obs_torn = obs.counter("flash.torn_programs")
+        self._tracer = obs.tracer
 
+        self.state = BlockStateView(self.geometry)
         total = self.geometry.total_pages
         self._data: list[Any] = [None] * total
         self._oob: list[Any] = [None] * total
-        self._state: list[PageState] = [PageState.ERASED] * total
-        # Next programmable page index within each block (sequential rule).
-        self._write_point: list[int] = [0] * self.geometry.num_blocks
-        self.erase_counts: list[int] = [0] * self.geometry.num_blocks
+        # Hot-path constants (avoid geometry attribute chains per op).
+        self._total_pages = total
+        self._pages_per_block = self.geometry.pages_per_block
+        # Reusable erase images (slice-assigned per erase, copied by the
+        # slice assignment itself, so sharing them is safe).
+        self._none_block: list[Any] = [None] * self._pages_per_block
 
     # ----------------------------------------------------------- parallelism
     #
@@ -179,95 +208,149 @@ class FlashChip:
         crash plan fires *during* the program with ``tear_page`` set, the
         page is left in ``TORN`` state.
         """
-        self.geometry.check_ppn(ppn)
-        if self._state[ppn] is not PageState.ERASED:
-            raise FlashError(f"program of non-erased page ppn={ppn} ({self._state[ppn].value})")
-        block = ppn // self.geometry.pages_per_block
-        index = ppn % self.geometry.pages_per_block
-        if index != self._write_point[block]:
+        if not 0 <= ppn < self._total_pages:
+            self.geometry.check_ppn(ppn)
+        st = self.state
+        state = st.page_states[ppn]
+        if state != PAGE_ERASED:
+            raise FlashError(
+                f"program of non-erased page ppn={ppn} ({PAGE_STATE_NAMES[state]})"
+            )
+        per = self._pages_per_block
+        block = ppn // per
+        index = ppn - block * per
+        write_points = st.write_points
+        if index != write_points[block]:
             raise FlashError(
                 f"out-of-order program in block {block}: page index {index}, "
-                f"expected {self._write_point[block]}"
+                f"expected {write_points[block]}"
             )
 
-        self.crash_plan.hit(CP_PROGRAM_BEFORE)
-        fired = self.crash_plan.countdown(CP_PROGRAM_MID)
-        if fired is not None and fired.tear_page:
-            # Power fails mid-program: the page is neither erased nor valid.
-            self._state[ppn] = PageState.TORN
-            self._data[ppn] = None
-            self._oob[ppn] = None
-            self._write_point[block] = index + 1
-            self.stats.page_programs += 1
-            self._obs_programs.inc()
-            self._obs_torn.inc()
-            raise PowerFailure(f"power lost mid-program of ppn={ppn} (page torn)")
-        if fired is not None:
-            raise PowerFailure(f"power lost before program of ppn={ppn}")
+        crash_plan = self.crash_plan
+        if crash_plan._points:
+            crash_plan.hit(CP_PROGRAM_BEFORE)
+            fired = crash_plan.countdown(CP_PROGRAM_MID)
+            if fired is not None and fired.tear_page:
+                # Power fails mid-program: the page is neither erased nor valid.
+                st.page_states[ppn] = PAGE_TORN
+                self._data[ppn] = None
+                self._oob[ppn] = None
+                write_points[block] = index + 1
+                self.stats.page_programs += 1
+                self._obs_programs.inc()
+                self._obs_torn.inc()
+                raise PowerFailure(f"power lost mid-program of ppn={ppn} (page torn)")
+            if fired is not None:
+                raise PowerFailure(f"power lost before program of ppn={ppn}")
 
         self._data[ppn] = data
         self._oob[ppn] = oob
-        self._state[ppn] = PageState.PROGRAMMED
-        self._write_point[block] = index + 1
+        st.page_states[ppn] = PAGE_PROGRAMMED
+        write_points[block] = index + 1
         self.stats.page_programs += 1
         self._obs_programs.inc()
-        with self.obs.tracer.span("program", "flash"):
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span("program", "flash"):
+                self._charge_flash(self.profile.page_program_us, block)
+        else:
             self._charge_flash(self.profile.page_program_us, block)
-        self.crash_plan.hit(CP_PROGRAM_AFTER)
+        if crash_plan._points:
+            crash_plan.hit(CP_PROGRAM_AFTER)
 
     def read(self, ppn: int) -> Any:
         """Read one page's data area.  Torn pages raise CorruptionError."""
-        self.geometry.check_ppn(ppn)
-        state = self._state[ppn]
-        if state is PageState.TORN:
-            raise CorruptionError(f"read of torn page ppn={ppn}")
-        if state is PageState.ERASED:
+        if not 0 <= ppn < self._total_pages:
+            self.geometry.check_ppn(ppn)
+        state = self.state.page_states[ppn]
+        if state != PAGE_PROGRAMMED:
+            if state == PAGE_TORN:
+                raise CorruptionError(f"read of torn page ppn={ppn}")
             raise FlashError(f"read of erased page ppn={ppn}")
         self.stats.page_reads += 1
         self._obs_reads.inc()
-        self._charge_flash(self.profile.page_read_us, ppn // self.geometry.pages_per_block)
+        self._charge_flash(self.profile.page_read_us, ppn // self._pages_per_block)
         return self._data[ppn]
 
     def read_oob(self, ppn: int) -> Any:
         """Read one page's out-of-band area (no extra latency: piggybacked)."""
-        self.geometry.check_ppn(ppn)
-        if self._state[ppn] is not PageState.PROGRAMMED:
+        if not 0 <= ppn < self._total_pages:
+            self.geometry.check_ppn(ppn)
+        if self.state.page_states[ppn] != PAGE_PROGRAMMED:
             return None
         return self._oob[ppn]
 
     def erase(self, block: int) -> None:
         """Erase one block, resetting all its pages and its write point."""
         self.geometry.check_block(block)
-        self.crash_plan.hit(CP_ERASE_BEFORE)
-        start = block * self.geometry.pages_per_block
-        end = start + self.geometry.pages_per_block
-        for ppn in range(start, end):
-            self._data[ppn] = None
-            self._oob[ppn] = None
-            self._state[ppn] = PageState.ERASED
-        self._write_point[block] = 0
-        self.erase_counts[block] += 1
+        crash_plan = self.crash_plan
+        if crash_plan._points:
+            crash_plan.hit(CP_ERASE_BEFORE)
+        per = self._pages_per_block
+        start = block * per
+        end = start + per
+        self._data[start:end] = self._none_block
+        self._oob[start:end] = self._none_block
+        self.state.erase_block(block)
         self.stats.block_erases += 1
         self._obs_erases.inc()
-        with self.obs.tracer.span("erase", "flash"):
+        tracer = self._tracer
+        if tracer.enabled:
+            with tracer.span("erase", "flash"):
+                self._charge_flash(self.profile.block_erase_us, block)
+        else:
             self._charge_flash(self.profile.block_erase_us, block)
 
-    # ---------------------------------------------------------- inspection
+    # ------------------------------------------- deprecated state accessors
+    #
+    # Pre-BlockStateView API, kept as shims (promotion to errors is a later
+    # PR, per the bench.runner precedent).  New code reads ``chip.state``.
 
     def state_of(self, ppn: int) -> PageState:
+        """Deprecated: use ``chip.state.page_states[ppn]`` / ``state_of``."""
+        _deprecated(
+            "FlashChip.state_of() is deprecated; query chip.state "
+            "(BlockStateView) instead"
+        )
         self.geometry.check_ppn(ppn)
-        return self._state[ppn]
+        return _STATE_ENUMS[self.state.page_states[ppn]]
 
     def is_torn(self, ppn: int) -> bool:
-        return self.state_of(ppn) is PageState.TORN
+        """Deprecated: use ``chip.state.is_torn(ppn)``."""
+        _deprecated(
+            "FlashChip.is_torn() is deprecated; query chip.state "
+            "(BlockStateView) instead"
+        )
+        self.geometry.check_ppn(ppn)
+        return self.state.page_states[ppn] == PAGE_TORN
 
     def block_write_point(self, block: int) -> int:
-        """Next programmable page index in ``block`` (sequential rule)."""
+        """Deprecated: use ``chip.state.write_points[block]``."""
+        _deprecated(
+            "FlashChip.block_write_point() is deprecated; query chip.state "
+            "(BlockStateView) instead"
+        )
         self.geometry.check_block(block)
-        return self._write_point[block]
+        return self.state.write_points[block]
 
     def block_is_full(self, block: int) -> bool:
-        return self.block_write_point(block) >= self.geometry.pages_per_block
+        """Deprecated: use ``chip.state.block_is_full(block)``."""
+        _deprecated(
+            "FlashChip.block_is_full() is deprecated; query chip.state "
+            "(BlockStateView) instead"
+        )
+        self.geometry.check_block(block)
+        return self.state.write_points[block] >= self._pages_per_block
+
+    @property
+    def erase_counts(self) -> list[int]:
+        """Deprecated: use ``chip.state.erase_counts``."""
+        _deprecated(
+            "FlashChip.erase_counts is deprecated; use chip.state.erase_counts"
+        )
+        return self.state.erase_counts
+
+    # ---------------------------------------------------------- inspection
 
     def peek(self, ppn: int) -> Any:
         """Read without latency or statistics — for tests and recovery scans.

@@ -60,7 +60,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import FtlError, OutOfSpaceError
-from repro.ftl.pagemap import OOB_DATA
+from repro.ftl.pagemap import OOB_DATA, OWNER_L2P
 from repro.obs import DEFAULT_SIZE_BOUNDS
 from repro.sim.crash import register_crash_point
 
@@ -120,6 +120,14 @@ class BackgroundGC:
                 f"unknown gc_policy {config.gc_policy!r}; expected one of {GC_POLICIES}"
             )
         geo = ftl.chip.geometry
+        # Config scalars cached for the per-program scheduling path (the
+        # config object never mutates after construction).
+        self._hot_threshold = config.gc_hot_write_threshold
+        self._background_watermark = config.gc_background_watermark
+        self._idle_backlog_us = config.gc_idle_backlog_us
+        self._pages_per_step = config.gc_copyback_pages_per_step
+        self._wear_spread_threshold = config.gc_wear_spread_threshold
+        self._wear_check_interval = config.gc_wear_check_interval
         self._states: list[GcState] = [GcState.IDLE] * geo.channels
         self._jobs: list[GcJob | None] = [None] * geo.channels
         self._hot_active: list[int | None] = [None] * geo.channels
@@ -156,22 +164,35 @@ class BackgroundGC:
         """Append one host-originated page; runs the GC machinery first."""
         ftl = self.ftl
         chip = ftl.chip
-        geo = chip.geometry
         self._tick += 1
-        trans = ftl._trans_stream_wanted(oob)
-        hot = False if trans else self._classify(oob)
+        trans = ftl._cmt is not None and oob[0] == OOB_MAP
+        # _classify, inlined (heat-map update on the data path).
+        hot = False
+        if not trans:
+            threshold = self._hot_threshold
+            if threshold > 0:
+                if oob[0] != OOB_DATA:
+                    hot = True
+                else:
+                    heat = self._heat
+                    lpn = oob[1]
+                    count = heat.get(lpn, 0) + 1
+                    heat[lpn] = count
+                    hot = count >= threshold
         self._step(channel)
         if trans:
             block = self._ensure_trans_stream_block(channel)
         else:
             block = self._ensure_stream_block(channel, hot)
-        ppn = geo.ppn_of(block, chip.block_write_point(block))
+        per = ftl._pages_per_block
+        write_points = ftl._write_points
+        ppn = block * per + write_points[block]
         chip.program(ppn, data, oob)
         if trans:
             self._obs_trans_writes.inc()
         else:
             (self._obs_hot_writes if hot else self._obs_cold_writes).inc()
-        if chip.block_is_full(block):
+        if write_points[block] >= per:
             # A hot or translation write may have degraded onto the cold
             # block, so clear whichever stream(s) hold the filled block.
             if self._hot_active[channel] == block:
@@ -200,12 +221,13 @@ class BackgroundGC:
     def _ensure_stream_block(self, channel: int, hot: bool) -> int:
         """Open (or reuse) the channel's hot or cold active block."""
         ftl = self.ftl
-        chip = ftl.chip
+        per = ftl._pages_per_block
+        write_points = ftl._write_points
         store = self._hot_active if hot else ftl._active_blocks
         active = store[channel]
-        if active is not None and not chip.block_is_full(active):
+        if active is not None and write_points[active] < per:
             return active
-        if hot and ftl._gc_headroom_pages(channel) <= 2 * chip.geometry.pages_per_block:
+        if hot and ftl._gc_headroom_pages(channel) <= 2 * per:
             # Opening a hot block takes a free block out of GC headroom
             # (copybacks only ever target the cold stream), so the second
             # stream is strictly opportunistic: without two blocks of slack
@@ -217,11 +239,10 @@ class BackgroundGC:
         if not free:
             self._collect_until_floor(channel, need_free_block=True)
         if not free:
-            if hot and ftl._active_blocks[channel] is not None and not chip.block_is_full(
-                ftl._active_blocks[channel]
-            ):
+            cold = ftl._active_blocks[channel]
+            if hot and cold is not None and write_points[cold] < per:
                 # Degraded: no block for a second stream — share the cold one.
-                return ftl._active_blocks[channel]
+                return cold
             raise OutOfSpaceError(f"no free blocks on channel {channel} after GC")
         block = free.pop()
         store[channel] = block
@@ -237,11 +258,12 @@ class BackgroundGC:
         blocks of slack.
         """
         ftl = self.ftl
-        chip = ftl.chip
+        per = ftl._pages_per_block
+        write_points = ftl._write_points
         active = ftl._trans_active[channel]
-        if active is not None and not chip.block_is_full(active):
+        if active is not None and write_points[active] < per:
             return active
-        if ftl._gc_headroom_pages(channel) <= 2 * chip.geometry.pages_per_block:
+        if ftl._gc_headroom_pages(channel) <= 2 * per:
             ftl._trans_active[channel] = None
             return self._ensure_stream_block(channel, hot=False)
         free = ftl._free_by_channel[channel]
@@ -249,7 +271,7 @@ class BackgroundGC:
             self._collect_until_floor(channel, need_free_block=True)
         if not free:
             cold = ftl._active_blocks[channel]
-            if cold is not None and not chip.block_is_full(cold):
+            if cold is not None and write_points[cold] < per:
                 return cold
             raise OutOfSpaceError(f"no free blocks on channel {channel} after GC")
         block = free.pop()
@@ -273,40 +295,36 @@ class BackgroundGC:
     def _step(self, channel: int) -> None:
         """One GC scheduling decision, taken before every host program."""
         ftl = self.ftl
-        geo = ftl.chip.geometry
-        floor = geo.pages_per_block
+        floor = ftl._pages_per_block
+        watermark = self._background_watermark
+        jobs = self._jobs
+        free = ftl._free_by_channel[channel]
         if ftl._gc_headroom_pages(channel) <= floor:
             self._set_state(channel, GcState.URGENT)
             self._collect_until_floor(channel)
-        elif (
-            self._jobs[channel] is not None
-            or len(ftl._free_by_channel[channel]) <= ftl.config.gc_background_watermark
-        ):
+        elif jobs[channel] is not None or len(free) <= watermark:
             self._set_state(channel, GcState.BACKGROUND)
-            if self._idle_window(channel):
+            if ftl.chip.channel_backlog_us(channel) <= self._idle_backlog_us:
                 self._background_step(channel)
         else:
             self._set_state(channel, GcState.IDLE)
         self._maybe_wear_level(channel)
         # Settle the post-work state so observers see where the channel is.
         if ftl._gc_headroom_pages(channel) > floor:
-            if (
-                self._jobs[channel] is None
-                and len(ftl._free_by_channel[channel]) > ftl.config.gc_background_watermark
-            ):
+            if jobs[channel] is None and len(free) > watermark:
                 self._set_state(channel, GcState.IDLE)
             else:
                 self._set_state(channel, GcState.BACKGROUND)
 
     def _idle_window(self, channel: int) -> bool:
-        return self.ftl.chip.channel_backlog_us(channel) <= self.ftl.config.gc_idle_backlog_us
+        return self.ftl.chip.channel_backlog_us(channel) <= self._idle_backlog_us
 
     # ------------------------------------------------------------- jobs
 
     def _open_job(self, channel: int, victim: int, wear: bool = False) -> GcJob:
         ftl = self.ftl
         geo = ftl.chip.geometry
-        used = ftl.chip.block_write_point(victim)
+        used = ftl._write_points[victim]
         start = victim * geo.pages_per_block
         job = GcJob(victim=victim, cursor=start, end=start + used, wear=wear)
         self._jobs[channel] = job
@@ -328,30 +346,77 @@ class BackgroundGC:
         """
         ftl = self.ftl
         chip = ftl.chip
+        crash_plan = chip.crash_plan
         crash_point = CP_GC_WEAR if job.wear else CP_GC_COPYBACK
+        owners = ftl._owner
+        chip_read = chip.read
+        l2p = ftl._l2p
+        dirty_segments = ftl._dirty_segments
+        valid_bitmap = ftl._valid_bitmap
+        valid_counts = ftl._valid_count
+        per = ftl._pages_per_block
+        entries_per_page = ftl._map_entries_per_page
+        program_for_gc = ftl._program_for_gc
         moved_this_step = 0
-        while job.cursor < job.end:
-            ppn = job.cursor
-            owner = ftl._owner.get(ppn)
-            if owner is None:
+        # Copyback counters batch across the slice; the try/finally keeps
+        # them exact when a crash point fires mid-copyback (a read that
+        # happened before the failure is still counted).
+        reads = 0
+        writes = 0
+        try:
+            while job.cursor < job.end:
+                ppn = job.cursor
+                owner = owners.get(ppn)
+                if owner is None:
+                    job.cursor += 1
+                    continue
+                if max_pages is not None and moved_this_step >= max_pages:
+                    return False
+                if crash_plan._points:
+                    crash_plan.hit(crash_point)
+                data = chip_read(ppn)
+                reads += 1
+                if owner[0] == OWNER_L2P:
+                    # The dominant copyback case (committed host data),
+                    # with _gc_oob / _drop_owner / _set_owner_raw /
+                    # _apply_relocation inlined.  None of these hooks is
+                    # overridden in-tree for OWNER_L2P pages; the generic
+                    # path below stays authoritative for every other owner.
+                    lpn = owner[1]
+                    ftl._seq += 1
+                    new_ppn = program_for_gc(
+                        data, (OOB_DATA, lpn, ftl._seq, None), channel
+                    )
+                    writes += 1
+                    del owners[ppn]
+                    valid_bitmap[ppn] = 0
+                    valid_counts[ppn // per] -= 1
+                    if new_ppn not in owners:
+                        valid_bitmap[new_ppn] = 1
+                        valid_counts[new_ppn // per] += 1
+                    owners[new_ppn] = owner
+                    l2p[lpn] = new_ppn
+                    # The relocated mapping must reach flash at the next
+                    # flush (see _apply_relocation for the rationale).
+                    dirty_segments.add(lpn // entries_per_page)
+                else:
+                    new_ppn = program_for_gc(data, ftl._gc_oob(owner, ppn), channel)
+                    writes += 1
+                    ftl._drop_owner(ppn)
+                    ftl._set_owner_raw(new_ppn, owner)
+                    ftl._apply_relocation(owner, ppn, new_ppn)
                 job.cursor += 1
-                continue
-            if max_pages is not None and moved_this_step >= max_pages:
-                return False
-            chip.crash_plan.hit(crash_point)
-            data = chip.read(ppn)
-            ftl.stats.gc_copyback_reads += 1
-            ftl._obs_gc_reads.inc()
-            new_ppn = ftl._program_for_gc(data, ftl._gc_oob(owner, ppn), channel)
-            ftl.stats.gc_copyback_writes += 1
-            ftl._obs_gc_writes.inc()
-            ftl._drop_owner(ppn)
-            ftl._set_owner_raw(new_ppn, owner)
-            ftl._apply_relocation(owner, ppn, new_ppn)
-            job.cursor += 1
-            job.moved += 1
-            moved_this_step += 1
-        chip.crash_plan.hit(CP_GC_ERASE)
+                job.moved += 1
+                moved_this_step += 1
+        finally:
+            if reads:
+                ftl.stats.gc_copyback_reads += reads
+                ftl._obs_gc_reads.inc(reads)
+            if writes:
+                ftl.stats.gc_copyback_writes += writes
+                ftl._obs_gc_writes.inc(writes)
+        if crash_plan._points:
+            crash_plan.hit(CP_GC_ERASE)
         chip.erase(job.victim)
         ftl._trans_blocks.discard(job.victim)
         ftl._free_by_channel[channel].append(job.victim)
@@ -360,7 +425,7 @@ class BackgroundGC:
         # hands out the least-worn free block.  Without this, LIFO reuse
         # parks cold blocks in the pool forever and leveling cannot narrow
         # the erase-count spread.
-        counts = chip.erase_counts
+        counts = chip.state.erase_counts
         ftl._free_by_channel[channel].sort(key=lambda block: -counts[block])
         try:
             ftl._alloc_order[channel].remove(job.victim)
@@ -374,7 +439,6 @@ class BackgroundGC:
     def _background_step(self, channel: int) -> None:
         """Run one paced slice of collection during an idle window."""
         ftl = self.ftl
-        geo = ftl.chip.geometry
         job = self._jobs[channel]
         if job is None:
             victim = self._pick_victim(channel)
@@ -385,13 +449,11 @@ class BackgroundGC:
             # interleave with the paced job shrink headroom one page per
             # program, and the urgent path (which fires at the floor) must
             # always be able to finish the job synchronously.
-            if ftl._valid_count[victim] > ftl._gc_headroom_pages(channel) - geo.pages_per_block:
+            if ftl._valid_count[victim] > ftl._gc_headroom_pages(channel) - ftl._pages_per_block:
                 return
             job = self._open_job(channel, victim)
         with ftl.chip.overlap():
-            done = self._run_job(
-                channel, job, max_pages=ftl.config.gc_copyback_pages_per_step
-            )
+            done = self._run_job(channel, job, max_pages=self._pages_per_step)
         if done:
             self._obs_background.inc()
 
@@ -464,22 +526,33 @@ class BackgroundGC:
 
     def _reclaimable(self, block: int) -> bool:
         """Whether collecting ``block`` can gain at least one page."""
-        geo = self.ftl.chip.geometry
-        used = self.ftl.chip.block_write_point(block)
+        ftl = self.ftl
+        per = ftl._pages_per_block
+        used = ftl._write_points[block]
         if used == 0:
             return False  # free or erased
-        valid = self.ftl._valid_count[block]
-        if valid >= used and used < geo.pages_per_block:
+        valid = ftl._valid_count[block]
+        if valid >= used and used < per:
             return False  # partially-written block with nothing reclaimable
-        return valid < geo.pages_per_block
+        return valid < per
 
     def _pick_greedy(self, channel: int) -> int | None:
+        ftl = self.ftl
+        per = ftl._pages_per_block
+        write_points = ftl._write_points
+        valid_counts = ftl._valid_count
         excluded = self._excluded(channel)
         best, best_valid = None, None
-        for block in self.ftl.chip.geometry.channel_blocks(channel):
-            if block in excluded or not self._reclaimable(block):
+        for block in ftl.chip.geometry.channel_blocks(channel):
+            if block in excluded:
                 continue
-            valid = self.ftl._valid_count[block]
+            # _reclaimable, inlined: this scan runs per victim selection.
+            used = write_points[block]
+            if used == 0:
+                continue
+            valid = valid_counts[block]
+            if (valid >= used and used < per) or valid >= per:
+                continue
             if best_valid is None or valid < best_valid:
                 best, best_valid = block, valid
         return best
@@ -501,14 +574,24 @@ class BackgroundGC:
         utilization.
         """
         ftl = self.ftl
+        per = ftl._pages_per_block
+        write_points = ftl._write_points
+        valid_counts = ftl._valid_count
+        alloc_tick_get = self._alloc_tick.get
+        tick = self._tick
         excluded = self._excluded(channel)
         best, best_score = None, None
         for block in ftl.chip.geometry.channel_blocks(channel):
-            if block in excluded or not self._reclaimable(block):
+            if block in excluded:
                 continue
-            used = ftl.chip.block_write_point(block)
-            valid = ftl._valid_count[block]
-            age = self._tick - self._alloc_tick.get(block, 0)
+            # _reclaimable, inlined: this scan runs per victim selection.
+            used = write_points[block]
+            if used == 0:
+                continue
+            valid = valid_counts[block]
+            if (valid >= used and used < per) or valid >= per:
+                continue
+            age = tick - alloc_tick_get(block, 0)
             if valid == 0:
                 score = float("inf")
             else:
@@ -521,34 +604,35 @@ class BackgroundGC:
     # ------------------------------------------------------ wear leveling
 
     def _maybe_wear_level(self, channel: int) -> None:
+        threshold = self._wear_spread_threshold
+        if threshold <= 0:
+            return
+        checks = self._steps_since_wear_check
+        count = checks[channel] + 1
+        if count < self._wear_check_interval:
+            checks[channel] = count
+            return
+        checks[channel] = 0
         ftl = self.ftl
-        config = ftl.config
-        if config.gc_wear_spread_threshold <= 0:
-            return
-        self._steps_since_wear_check[channel] += 1
-        if self._steps_since_wear_check[channel] < config.gc_wear_check_interval:
-            return
-        self._steps_since_wear_check[channel] = 0
-        counts = ftl.chip.erase_counts
+        counts = ftl.chip.state.erase_counts
         spread = max(counts) - min(counts)
         self._obs_erase_spread.observe(float(spread))
-        if spread < config.gc_wear_spread_threshold:
+        if spread < threshold:
             return
         if self._jobs[channel] is not None:
             return  # one job at a time per channel
         victim = self._pick_wear_victim(channel, min(counts))
         if victim is None:
             return
-        geo = ftl.chip.geometry
         # Wear victims may be fully valid: require a whole extra block of
         # slack beyond the urgent floor before taking one on.
-        if ftl._valid_count[victim] > ftl._gc_headroom_pages(channel) - 2 * geo.pages_per_block:
+        if ftl._valid_count[victim] > ftl._gc_headroom_pages(channel) - 2 * ftl._pages_per_block:
             return
         job = self._open_job(channel, victim, wear=True)
         ftl.stats.gc_wear_migrations += 1
         self._obs_wear.inc()
         with ftl.chip.overlap():
-            self._run_job(channel, job, max_pages=ftl.config.gc_copyback_pages_per_step)
+            self._run_job(channel, job, max_pages=self._pages_per_step)
 
     def _pick_wear_victim(self, channel: int, global_min: int) -> int | None:
         """Least-worn written block on ``channel`` — where cold data sits.
@@ -559,12 +643,13 @@ class BackgroundGC:
         """
         ftl = self.ftl
         excluded = self._excluded(channel)
-        counts = ftl.chip.erase_counts
+        counts = ftl.chip.state.erase_counts
+        write_points = ftl._write_points
         best, best_count = None, None
         for block in ftl.chip.geometry.channel_blocks(channel):
             if block in excluded:
                 continue
-            if ftl.chip.block_write_point(block) == 0:
+            if write_points[block] == 0:
                 continue  # erased blocks already cycle through the pool
             if counts[block] > global_min + 1:
                 continue

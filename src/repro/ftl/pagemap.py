@@ -37,7 +37,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.errors import CorruptionError, FlashError, FtlError, OutOfSpaceError
-from repro.flash.chip import FlashChip, PageState
+from repro.flash.chip import FlashChip
+from repro.flash.state import PAGE_PROGRAMMED
 from repro.ftl.base import Ftl, FtlConfig
 from repro.ftl.cmt import CachedMappingTable
 from repro.obs import DEFAULT_SIZE_BOUNDS
@@ -88,6 +89,79 @@ class RootRecord:
         )
 
 
+class SegmentedL2P(dict):
+    """L2P mapping dict with per-translation-segment key buckets.
+
+    ``_segment_entries`` used to filter the *whole* mapping per translation
+    page (``for lpn, ppn in self._l2p.items() if lo <= lpn < hi``) — an
+    O(L2P) scan per map flush that dominated barrier cost on aged devices.
+    This subclass maintains, transparently at every mutation, an ordered
+    key bucket per segment so a segment's entries enumerate in O(segment).
+
+    Bucket order replicates plain-dict semantics exactly: a bucket holds
+    its segment's entries in first-insertion order (re-assigning an
+    existing lpn keeps its position; pop + re-insert moves it to the end),
+    which is precisely the subsequence of ``dict.items()`` order the old
+    filter produced — so persisted translation-page images stay
+    bit-identical.  Buckets mirror the ppn values too, so a segment's
+    image is just ``tuple(bucket.items())`` (one C-level call).
+
+    Only the mutation paths the FTLs use are supported (``d[k] = v``,
+    ``pop``, ``del``); the bulk mutators would silently desynchronize the
+    buckets and are explicitly disabled.
+    """
+
+    __slots__ = ("entries_per_page", "segments")
+
+    def __init__(self, entries_per_page: int) -> None:
+        super().__init__()
+        self.entries_per_page = entries_per_page
+        self.segments: dict[int, dict[int, int]] = {}
+
+    def __setitem__(self, lpn: int, ppn: int) -> None:
+        segment = lpn // self.entries_per_page
+        bucket = self.segments.get(segment)
+        if bucket is None:
+            bucket = self.segments[segment] = {}
+        bucket[lpn] = ppn
+        dict.__setitem__(self, lpn, ppn)
+
+    def __delitem__(self, lpn: int) -> None:
+        dict.__delitem__(self, lpn)
+        segment = lpn // self.entries_per_page
+        bucket = self.segments[segment]
+        del bucket[lpn]
+        if not bucket:
+            del self.segments[segment]
+
+    def pop(self, lpn, *default):
+        if lpn in self:
+            segment = lpn // self.entries_per_page
+            bucket = self.segments[segment]
+            del bucket[lpn]
+            if not bucket:
+                del self.segments[segment]
+        return dict.pop(self, lpn, *default)
+
+    def segment_items(self, segment: int) -> tuple:
+        """This segment's ``(lpn, ppn)`` entries, in insertion order."""
+        bucket = self.segments.get(segment)
+        if not bucket:
+            return ()
+        return tuple(bucket.items())
+
+    def _unsupported(self, *args, **kwargs):
+        raise NotImplementedError(
+            "bulk mutation would desynchronize SegmentedL2P's segment buckets"
+        )
+
+    update = _unsupported
+    setdefault = _unsupported
+    clear = _unsupported
+    popitem = _unsupported
+    __ior__ = _unsupported
+
+
 class PageMappingFTL(Ftl):
     """Stock page-mapped FTL (see module docstring)."""
 
@@ -103,10 +177,23 @@ class PageMappingFTL(Ftl):
         chip.crash_plan.subscribe(self.power_fail)
 
         self._powered = True
-        # Volatile (DRAM) state.
-        self._l2p: dict[int, int] = {}
+        # Volatile (DRAM) state.  The L2P map keeps per-segment key buckets
+        # so translation-page flushes never scan the whole mapping.
+        self._l2p: SegmentedL2P = SegmentedL2P(self.config.map_entries_per_page)
         self._owner: dict[int, tuple] = {}
-        self._valid_count: list[int] = [0] * geo.num_blocks
+        # Page/block state lives on the chip's BlockStateView; the FTL
+        # aliases the arrays directly (their identity is stable — the view
+        # mutates them in place) so hot loops index without dispatch.
+        # ``_valid_count`` *is* ``chip.state.valid_counts``: owner
+        # bookkeeping maintains it incrementally, GC reads it.
+        state_view = chip.state
+        self._valid_count: list[int] = state_view.valid_counts
+        self._valid_bitmap = state_view.valid
+        self._page_states = state_view.page_states
+        self._write_points = state_view.write_points
+        self._pages_per_block = geo.pages_per_block
+        self._num_channels = geo.channels
+        self._map_entries_per_page = self.config.map_entries_per_page
         # Space management is striped per channel: each channel has its own
         # free pool, active block and allocation-age order, so appends on
         # different channels never contend.  With channels == 1 this is the
@@ -196,20 +283,32 @@ class PageMappingFTL(Ftl):
         return self.chip.read(ppn)
 
     def write(self, lpn: int, data: Any) -> None:
-        self._check_power()
-        self._check_lpn(lpn)
+        # The hottest host-facing path: power/lpn checks, owner bookkeeping
+        # and dirty marking are inlined (see _set_owner/_invalidate for the
+        # reference semantics — none of these hooks is overridden in-tree).
+        if not self._powered:
+            raise FtlError("FTL is powered off")
+        if not 0 <= lpn < self._exported_pages:
+            raise FtlError(f"lpn {lpn} outside exported space (0..{self._exported_pages - 1})")
         if self._cmt is not None:
             # Updating the mapping is a read-modify of its translation
             # page, so residency comes first (may evict/write back).
-            self._cmt.access(lpn // self.config.map_entries_per_page)
+            self._cmt.access(lpn // self._map_entries_per_page)
         self._seq += 1
         ppn = self._program(data, (OOB_DATA, lpn, self._seq, None))
+        owners = self._owner
+        per = self._pages_per_block
         old = self._l2p.get(lpn)
-        if old is not None:
-            self._invalidate(old)
+        if old is not None and owners.pop(old, None) is not None:
+            self._valid_bitmap[old] = 0
+            self._valid_count[old // per] -= 1
         self._l2p[lpn] = ppn
-        self._set_owner(ppn, (OWNER_L2P, lpn))
-        self._mark_dirty(lpn)
+        if ppn in owners:
+            raise FtlError(f"ppn {ppn} already owned by {owners[ppn]}")
+        self._valid_bitmap[ppn] = 1
+        self._valid_count[ppn // per] += 1
+        owners[ppn] = (OWNER_L2P, lpn)
+        self._dirty_segments.add(lpn // self._map_entries_per_page)
         self.stats.host_page_writes += 1
         self._obs_host_writes.inc()
 
@@ -267,9 +366,9 @@ class PageMappingFTL(Ftl):
         """Drop all DRAM state.  The chip (and the root record) persist."""
         geo = self.chip.geometry
         self._powered = False
-        self._l2p = {}
+        self._l2p = SegmentedL2P(self.config.map_entries_per_page)
         self._owner = {}
-        self._valid_count = [0] * geo.num_blocks
+        self.chip.state.clear_validity()
         self._free_by_channel = [[] for _ in range(geo.channels)]
         self._alloc_order = [[] for _ in range(geo.channels)]
         self._active_blocks = [None] * geo.channels
@@ -297,7 +396,7 @@ class PageMappingFTL(Ftl):
         self._seq = root.seq
 
         # 1. Load the persisted map pages.
-        self._l2p = {}
+        self._l2p = SegmentedL2P(self.config.map_entries_per_page)
         self._owner = {}
         for segment, ppn in self._map_dir.items():
             entries = self.chip.read(ppn)
@@ -387,14 +486,16 @@ class PageMappingFTL(Ftl):
         self._set_owner_raw(ppn, owner)
 
     def _set_owner_raw(self, ppn: int, owner: tuple) -> None:
-        existing = self._owner.get(ppn)
-        if existing is None:
-            self._valid_count[ppn // self.chip.geometry.pages_per_block] += 1
-        self._owner[ppn] = owner
+        owners = self._owner
+        if ppn not in owners:
+            self._valid_bitmap[ppn] = 1
+            self._valid_count[ppn // self._pages_per_block] += 1
+        owners[ppn] = owner
 
     def _drop_owner(self, ppn: int) -> None:
         if self._owner.pop(ppn, None) is not None:
-            self._valid_count[ppn // self.chip.geometry.pages_per_block] -= 1
+            self._valid_bitmap[ppn] = 0
+            self._valid_count[ppn // self._pages_per_block] -= 1
 
     def _invalidate(self, ppn: int) -> None:
         self._drop_owner(ppn)
@@ -410,7 +511,9 @@ class PageMappingFTL(Ftl):
     def _program(self, data: Any, oob: tuple, channel: int | None = None) -> int:
         """Append one page into a channel's active block, GCing if needed."""
         if channel is None:
-            channel = self._pick_channel()
+            # _pick_channel, inlined (round-robin cursor).
+            channel = self._write_channel
+            self._write_channel = (channel + 1) % self._num_channels
         if self._gc is not None:
             # Background mode: the collector owns watermarks, hot/cold
             # stream selection and (paced or urgent) collection.
@@ -422,15 +525,17 @@ class PageMappingFTL(Ftl):
         # Waiting until the free pool is empty (the old behaviour) let the
         # host consume the copyback headroom page by page and wedge an
         # in-capacity workload.
-        if self._gc_headroom_pages(channel) <= self.chip.geometry.pages_per_block:
+        if self._gc_headroom_pages(channel) <= self._pages_per_block:
             self._garbage_collect(channel, target_blocks=0)
         if self._trans_stream_wanted(oob):
             block = self._ensure_trans_block(channel)
         else:
             block = self._ensure_active_block(channel)
-        ppn = self.chip.geometry.ppn_of(block, self.chip.block_write_point(block))
+        per = self._pages_per_block
+        write_points = self._write_points
+        ppn = block * per + write_points[block]
         self.chip.program(ppn, data, oob)
-        if self.chip.block_is_full(block):
+        if write_points[block] >= per:
             # The trans stream may have degraded to the shared active
             # block, so clear whichever store(s) pointed here.
             if block == self._trans_active[channel]:
@@ -452,12 +557,12 @@ class PageMappingFTL(Ftl):
         stream) rather than starving GC of headroom.
         """
         active = self._trans_active[channel]
-        if active is not None and not self.chip.block_is_full(active):
+        if active is not None and self._write_points[active] < self._pages_per_block:
             return active
         if len(self._free_by_channel[channel]) <= self.config.gc_free_block_threshold:
             self._garbage_collect(channel)
         free = self._free_by_channel[channel]
-        if not free or self._gc_headroom_pages(channel) <= 2 * self.chip.geometry.pages_per_block:
+        if not free or self._gc_headroom_pages(channel) <= 2 * self._pages_per_block:
             return self._ensure_active_block(channel)
         block = free.pop()
         self._trans_active[channel] = block
@@ -479,13 +584,16 @@ class PageMappingFTL(Ftl):
         if block is None:
             return False
         self._trans_active[channel] = None
-        if self._active_blocks[channel] is None and not self.chip.block_is_full(block):
+        if (
+            self._active_blocks[channel] is None
+            and self._write_points[block] < self._pages_per_block
+        ):
             self._active_blocks[channel] = block
         return True
 
     def _ensure_active_block(self, channel: int) -> int:
         active = self._active_blocks[channel]
-        if active is not None and not self.chip.block_is_full(active):
+        if active is not None and self._write_points[active] < self._pages_per_block:
             return active
         if len(self._free_by_channel[channel]) <= self.config.gc_free_block_threshold:
             self._garbage_collect(channel)
@@ -499,11 +607,11 @@ class PageMappingFTL(Ftl):
 
     def _gc_headroom_pages(self, channel: int) -> int:
         """Erased pages GC may program into on ``channel`` (free pool + active)."""
-        geo = self.chip.geometry
-        pages = len(self._free_by_channel[channel]) * geo.pages_per_block
+        per = self._pages_per_block
+        pages = len(self._free_by_channel[channel]) * per
         active = self._active_blocks[channel]
         if active is not None:
-            pages += geo.pages_per_block - self.chip.block_write_point(active)
+            pages += per - self._write_points[active]
         return pages
 
     def _garbage_collect(self, channel: int, target_blocks: int | None = None) -> None:
@@ -559,42 +667,51 @@ class PageMappingFTL(Ftl):
 
     def _pick_victim_fifo(self, channel: int) -> int | None:
         """Oldest reclaimable block in the channel's allocation order."""
-        geo = self.chip.geometry
+        per = self._pages_per_block
+        write_points = self._write_points
+        valid_counts = self._valid_count
+        active = self._active_blocks[channel]
+        trans = self._trans_active[channel]
         for block in self._alloc_order[channel]:
-            if block == self._active_blocks[channel] or block == self._trans_active[channel]:
+            if block == active or block == trans:
                 continue
-            used = self.chip.block_write_point(block)
+            used = write_points[block]
             if used == 0:
                 continue
-            if self._valid_count[block] < used or used == geo.pages_per_block:
-                if self._valid_count[block] < geo.pages_per_block:
+            valid = valid_counts[block]
+            if valid < used or used == per:
+                if valid < per:
                     return block
         return None
 
     def _pick_victim_greedy(self, channel: int) -> int | None:
         """Channel block with the fewest valid pages among written, non-active."""
-        geo = self.chip.geometry
+        per = self._pages_per_block
+        write_points = self._write_points
+        valid_counts = self._valid_count
+        active = self._active_blocks[channel]
+        trans = self._trans_active[channel]
         best = None
         best_valid = None
-        for block in geo.channel_blocks(channel):
-            if block == self._active_blocks[channel] or block == self._trans_active[channel]:
+        for block in self.chip.geometry.channel_blocks(channel):
+            if block == active or block == trans:
                 continue
-            used = self.chip.block_write_point(block)
+            used = write_points[block]
             if used == 0:
                 continue  # free or erased
-            valid = self._valid_count[block]
-            if valid >= used and used < geo.pages_per_block:
+            valid = valid_counts[block]
+            if valid >= used and used < per:
                 continue  # partially-written block with nothing reclaimable
             if best_valid is None or valid < best_valid:
                 best, best_valid = block, valid
-        if best is not None and best_valid == self.chip.geometry.pages_per_block:
+        if best is not None and best_valid == per:
             return None  # all blocks fully valid: nothing to reclaim
         return best
 
     def _collect_block(self, victim: int) -> None:
         geo = self.chip.geometry
         channel = geo.channel_of_block(victim)
-        used = self.chip.block_write_point(victim)
+        used = self._write_points[victim]
         valid_before = self._valid_count[victim]
         self.stats.gc_invocations += 1
         self._obs_gc_invocations.inc()
@@ -603,22 +720,35 @@ class PageMappingFTL(Ftl):
             self._obs_gc_trans.inc()
         self._note_victim_valid(valid_before, geo.pages_per_block)
 
-        with self.obs.tracer.span("gc_collect", "ftl"):
-            start = victim * geo.pages_per_block
-            for ppn in range(start, start + used):
-                owner = self._owner.get(ppn)
-                if owner is None:
-                    continue
-                data = self.chip.read(ppn)
-                self.stats.gc_copyback_reads += 1
-                self._obs_gc_reads.inc()
-                new_ppn = self._program_for_gc(data, self._gc_oob(owner, ppn), channel)
-                self.stats.gc_copyback_writes += 1
-                self._obs_gc_writes.inc()
-                self._drop_owner(ppn)
-                self._set_owner_raw(new_ppn, owner)
-                self._apply_relocation(owner, ppn, new_ppn)
-            self.chip.erase(victim)
+        # Copyback counters batch per victim instead of per page; the
+        # try/finally keeps them exact when a crash point fires mid-loop
+        # (a read that happened before the failure is still counted).
+        reads = 0
+        writes = 0
+        owners = self._owner
+        chip_read = self.chip.read
+        try:
+            with self.obs.tracer.span("gc_collect", "ftl"):
+                start = victim * geo.pages_per_block
+                for ppn in range(start, start + used):
+                    owner = owners.get(ppn)
+                    if owner is None:
+                        continue
+                    data = chip_read(ppn)
+                    reads += 1
+                    new_ppn = self._program_for_gc(data, self._gc_oob(owner, ppn), channel)
+                    writes += 1
+                    self._drop_owner(ppn)
+                    self._set_owner_raw(new_ppn, owner)
+                    self._apply_relocation(owner, ppn, new_ppn)
+                self.chip.erase(victim)
+        finally:
+            if reads:
+                self.stats.gc_copyback_reads += reads
+                self._obs_gc_reads.inc(reads)
+            if writes:
+                self.stats.gc_copyback_writes += writes
+                self._obs_gc_writes.inc(writes)
         self._trans_blocks.discard(victim)
         self._free_by_channel[channel].append(victim)
         try:
@@ -634,17 +764,19 @@ class PageMappingFTL(Ftl):
 
     def _program_for_gc(self, data: Any, oob: tuple, channel: int) -> int:
         """Program during GC, drawing directly on the channel's free pool."""
+        per = self._pages_per_block
+        write_points = self._write_points
         active = self._active_blocks[channel]
-        if active is None or self.chip.block_is_full(active):
+        if active is None or write_points[active] >= per:
             free = self._free_by_channel[channel]
             if not free:
                 raise OutOfSpaceError("GC ran out of headroom blocks")
             active = free.pop()
             self._active_blocks[channel] = active
             self._alloc_order[channel].append(active)
-        ppn = self.chip.geometry.ppn_of(active, self.chip.block_write_point(active))
+        ppn = active * per + write_points[active]
         self.chip.program(ppn, data, oob)
-        if self.chip.block_is_full(active):
+        if write_points[active] >= per:
             self._active_blocks[channel] = None
         return ppn
 
@@ -721,11 +853,7 @@ class PageMappingFTL(Ftl):
     # -------- map persistence ------------------------------------------
 
     def _segment_entries(self, segment: int) -> tuple:
-        per = self.config.map_entries_per_page
-        lo, hi = segment * per, (segment + 1) * per
-        return tuple(
-            (lpn, ppn) for lpn, ppn in self._l2p.items() if lo <= lpn < hi
-        )
+        return self._l2p.segment_items(segment)
 
     def _retire(self, ppn: int, kind: str, key: object) -> None:
         """Keep a superseded root-referenced page valid until root publish."""
@@ -809,8 +937,9 @@ class PageMappingFTL(Ftl):
     def _scan_oob(self, min_seq: int) -> Iterator[tuple[int, str, int, int | None, int]]:
         """Yield ``(seq, kind, lpn, tid, ppn)`` for programmed pages with seq >= min_seq."""
         geo = self.chip.geometry
+        page_states = self._page_states
         for ppn in range(geo.total_pages):
-            if self.chip.state_of(ppn) is not PageState.PROGRAMMED:
+            if page_states[ppn] != PAGE_PROGRAMMED:
                 continue
             oob = self.chip.read_oob(ppn)
             if not oob:
@@ -821,16 +950,15 @@ class PageMappingFTL(Ftl):
 
     def _rebuild_space_state(self) -> None:
         geo = self.chip.geometry
-        self._valid_count = [0] * geo.num_blocks
-        for ppn in self._owner:
-            self._valid_count[ppn // geo.pages_per_block] += 1
+        self.chip.state.rebuild_validity(self._owner)
+        write_points = self._write_points
         self._free_by_channel = [
-            [b for b in geo.channel_blocks(ch) if self.chip.block_write_point(b) == 0]
+            [b for b in geo.channel_blocks(ch) if write_points[b] == 0]
             for ch in range(geo.channels)
         ]
         # Allocation-age order is volatile; approximate by block number.
         self._alloc_order = [
-            [b for b in geo.channel_blocks(ch) if self.chip.block_write_point(b) > 0]
+            [b for b in geo.channel_blocks(ch) if write_points[b] > 0]
             for ch in range(geo.channels)
         ]
         self._active_blocks = [None] * geo.channels
@@ -845,10 +973,10 @@ class PageMappingFTL(Ftl):
             partials = [
                 block
                 for block in geo.channel_blocks(channel)
-                if 0 < self.chip.block_write_point(block) < geo.pages_per_block
+                if 0 < write_points[block] < geo.pages_per_block
             ]
             if partials:
-                self._active_blocks[channel] = max(partials, key=self.chip.block_write_point)
+                self._active_blocks[channel] = max(partials, key=write_points.__getitem__)
 
     # -------- inspection --------------------------------------------------
 
@@ -868,7 +996,7 @@ class PageMappingFTL(Ftl):
 
     def wear_stats(self) -> dict[str, float]:
         """Erase-count distribution across blocks (wear levelling view)."""
-        counts = self.chip.erase_counts
+        counts = self.chip.state.erase_counts
         total = sum(counts)
         n = len(counts)
         mean = total / n
@@ -890,16 +1018,30 @@ class PageMappingFTL(Ftl):
     def check_invariants(self) -> None:
         """Internal consistency checks used by tests (not by benchmarks)."""
         geo = self.chip.geometry
+        state_view = self.chip.state
         counts = [0] * geo.num_blocks
         for ppn, owner in self._owner.items():
             counts[ppn // geo.pages_per_block] += 1
-            if self.chip.state_of(ppn) is not PageState.PROGRAMMED:
+            if state_view.page_states[ppn] != PAGE_PROGRAMMED:
                 raise FlashError(f"owned page {ppn} ({owner}) is not programmed")
+            if not state_view.valid[ppn]:
+                raise FtlError(f"owned page {ppn} ({owner}) not set in valid bitmap")
         if counts != self._valid_count:
             raise FtlError("valid-count accounting out of sync")
+        if state_view.valid_page_count() != len(self._owner):
+            raise FtlError("valid bitmap popcount disagrees with owner map")
+        if list(state_view.valid_count_per_block()) != state_view.valid_counts:
+            raise FtlError("per-block valid counts disagree with valid bitmap")
         for lpn, ppn in self._l2p.items():
             if self._owner.get(ppn) != (OWNER_L2P, lpn):
                 raise FtlError(f"l2p[{lpn}]={ppn} not owned by l2p")
+        for segment, bucket in self._l2p.segments.items():
+            per = self._l2p.entries_per_page
+            for lpn in bucket:
+                if lpn // per != segment or lpn not in self._l2p:
+                    raise FtlError(f"l2p segment bucket {segment} out of sync at {lpn}")
+        if sum(len(b) for b in self._l2p.segments.values()) != len(self._l2p):
+            raise FtlError("l2p segment buckets out of sync with mapping")
         for channel in range(geo.channels):
             active = self._active_blocks[channel]
             if active is not None and geo.channel_of_block(active) != channel:
@@ -915,7 +1057,7 @@ class PageMappingFTL(Ftl):
             for block in self._free_by_channel[channel]:
                 if geo.channel_of_block(block) != channel:
                     raise FtlError(f"free block {block} on wrong channel list {channel}")
-                if self.chip.block_write_point(block) != 0:
+                if state_view.write_points[block] != 0:
                     raise FtlError(f"free block {block} is not erased")
         if self._cmt is not None:
             self._cmt.check_invariants()

@@ -36,7 +36,8 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.errors import TransactionError
-from repro.flash.chip import FlashChip, PageState
+from repro.flash.chip import FlashChip
+from repro.flash.state import PAGE_PROGRAMMED
 from repro.ftl.base import FtlConfig
 from repro.ftl.cmt import CP_CMT_COMMIT_FLUSH, CP_CMT_COMMIT_PUBLISH
 from repro.ftl.pagemap import (
@@ -477,7 +478,7 @@ class XFTL(PageMappingFTL):
             for entry in durable.entries_of(tid):
                 if entry.status is not TxStatus.COMMITTED:
                     continue
-                if self.chip.state_of(entry.new_ppn) is not PageState.PROGRAMMED:
+                if self.chip.state.page_states[entry.new_ppn] != PAGE_PROGRAMMED:
                     continue  # stale entry: page was since relocated/erased
                 oob = self.chip.read_oob(entry.new_ppn)
                 if not oob or oob[0] != OOB_DATA or oob[1] != entry.lpn:
@@ -518,7 +519,7 @@ class XFTL(PageMappingFTL):
                         f"X-L2P entry (tid={tid}, lpn={entry.lpn}) points at ppn "
                         f"{entry.new_ppn} owned by {owner!r}; live-union broken"
                     )
-                if self.chip.state_of(entry.new_ppn) is not PageState.PROGRAMMED:
+                if self.chip.state.page_states[entry.new_ppn] != PAGE_PROGRAMMED:
                     raise TransactionError(
                         f"X-L2P entry (tid={tid}, lpn={entry.lpn}) points at "
                         f"non-programmed ppn {entry.new_ppn}"

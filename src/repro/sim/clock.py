@@ -111,6 +111,42 @@ class SimClock:
         if not self._firing:
             self._fire_due()
 
+    def schedule_many(
+        self, events: "list[tuple[float, Callable[[], None]]]"
+    ) -> None:
+        """Register a batch of completion events in one call.
+
+        Semantically identical to calling :meth:`schedule_at` once per
+        ``(when_us, callback)`` pair, in order — same sequence numbering,
+        so same-time events still fire in registration order — but due
+        events fire once at the end instead of per insertion, and when the
+        heap is empty and the batch is already sorted (the common case:
+        a run of same-timestamp completions) the heap is built by plain
+        append, skipping per-item sift-up entirely.
+        """
+        if not events:
+            return
+        heap = self._events
+        sorted_batch = True
+        last = float("-inf")
+        for when_us, _ in events:
+            if when_us < last:
+                sorted_batch = False
+                break
+            last = when_us
+        if not heap and sorted_batch:
+            # A sorted list is a valid binary min-heap; sequence numbers
+            # rise monotonically so ties stay in registration order.
+            for when_us, callback in events:
+                self._event_seq += 1
+                heap.append((float(when_us), self._event_seq, callback))
+        else:
+            for when_us, callback in events:
+                self._event_seq += 1
+                heapq.heappush(heap, (float(when_us), self._event_seq, callback))
+        if not self._firing:
+            self._fire_due()
+
     @property
     def pending_events(self) -> int:
         """Completion events not yet fired (due or future)."""

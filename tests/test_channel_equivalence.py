@@ -16,11 +16,13 @@ a deliberate, explained baseline bump::
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 
 import pytest
 
+from repro.flash.state import PAGE_ERASED, PAGE_PROGRAMMED
 from repro.stack import Mode, StackConfig, build_stack
 from repro.workloads.fio import FioBenchmark
 from repro.workloads.synthetic import SyntheticWorkload
@@ -46,12 +48,42 @@ _SQLITE_STACK = dict(
 )
 
 
+def state_digest(chip) -> str:
+    """Consistency-check the BlockStateView, then fold it into the pin.
+
+    The incrementally maintained per-block aggregates must agree with a
+    recount from the raw arrays, and the arrays themselves are hashed so a
+    bitmap-path divergence (a wrong validity bit, a stale write point)
+    fails the lock even when every counter happens to still match.
+    """
+    view = chip.state
+    geo = chip.geometry
+    per = geo.pages_per_block
+    states = view.page_states
+    assert list(view.valid_count_per_block()) == view.valid_counts
+    for block in range(geo.num_blocks):
+        base = block * per
+        point = view.write_points[block]
+        # Sequential programming: non-erased strictly below the write point.
+        assert all(states[base + i] != PAGE_ERASED for i in range(point))
+        assert all(states[base + i] == PAGE_ERASED for i in range(point, per))
+    for ppn in range(geo.total_pages):
+        if view.valid[ppn]:
+            assert states[ppn] == PAGE_PROGRAMMED
+    packed = bytes(states) + bytes(view.valid)
+    packed += b"".join(c.to_bytes(4, "little") for c in view.erase_counts)
+    packed += b"".join(w.to_bytes(4, "little") for w in view.write_points)
+    return hashlib.sha256(packed).hexdigest()
+
+
 def _capture(stack) -> dict:
-    """Everything the baseline pins: counters and exact simulated time."""
+    """Everything the baseline pins: counters, exact simulated time, and a
+    digest of the final flash state arrays."""
     return {
         "flash_stats": stack.chip.stats.as_dict(),
         "device_counters": stack.device.counters.as_dict(),
         "elapsed_us": stack.clock.now_us,
+        "state_digest": state_digest(stack.chip),
     }
 
 
@@ -106,6 +138,10 @@ def test_serial_config_matches_seed_baseline(name: str, baseline: dict) -> None:
     # Exact float equality on purpose: the degenerate single-channel path
     # must perform the *same arithmetic* as the seed's serial clock.
     assert actual["elapsed_us"] == expected["elapsed_us"], name
+    # Baselines recorded since the bitmap state view also pin the final
+    # page-state/validity arrays (older baselines simply lack the key).
+    if "state_digest" in expected:
+        assert actual["state_digest"] == expected["state_digest"], name
 
 
 if __name__ == "__main__":

@@ -8,7 +8,10 @@ counter, every device counter and the simulated elapsed time must be
 *bit-identical* to a ``cmt_pages=0`` run of the same workload.
 
 Unlike tests/test_channel_equivalence.py there is no JSON baseline: both
-sides are computed in the same run, so the lock can never go stale.
+sides are computed in the same run, so the lock can never go stale.  The
+captured dict includes a digest of the BlockStateView arrays (borrowed
+from the channel test), so the bitmap path itself is part of the lock:
+both runs must leave byte-identical page-state/validity arrays behind.
 """
 
 from __future__ import annotations
@@ -21,6 +24,8 @@ from repro.sim.rng import make_rng
 from repro.stack import Mode, StackConfig, build_stack
 from repro.workloads.fio import FioBenchmark
 from repro.workloads.synthetic import SyntheticWorkload
+
+from tests.test_channel_equivalence import state_digest
 
 _FIO_STACK = dict(
     num_blocks=96,
@@ -50,6 +55,7 @@ def _capture(stack) -> dict:
         "flash_stats": stack.chip.stats.as_dict(),
         "device_counters": stack.device.counters.as_dict(),
         "elapsed_us": stack.clock.now_us,
+        "state_digest": state_digest(stack.chip),
     }
 
 
@@ -103,7 +109,7 @@ def test_exact_fit_cache_also_degenerates() -> None:
             if (i + 1) % 50 == 0:
                 ftl.barrier()
         ftl.barrier()
-        return ftl.stats.as_dict()
+        return ftl.stats.as_dict(), state_digest(ftl.chip)
 
     assert run(segments) == run(0)
 

@@ -5,6 +5,8 @@ that every experiment function executes end-to-end and produces the
 expected table structure, using the smallest workable parameters.
 """
 
+import json
+
 import pytest
 
 from repro.bench import experiments
@@ -104,11 +106,54 @@ class TestExperimentFunctions:
         for fraction in (0.05, 0.2, 1.0):
             assert wa[f"demand-paged/{fraction}"] > wa[f"in-RAM map/{fraction}"]
 
+    def test_throughput_structure(self, tmp_path):
+        path = tmp_path / "bench.json"
+        result = experiments.throughput(
+            writes=300,
+            num_blocks=48,
+            pages_per_block=16,
+            channels=2,
+            json_path=str(path),
+        )
+        report = json.loads(path.read_text())
+        assert report["workload"]["writes"] == 300
+        assert report["wall"]["ops_per_sec"] > 0
+        assert report["sim"]["host_page_writes"] == 300
+        assert result.extras["report"]["wall"] == report["wall"]
+        # Identical runs must agree on every deterministic sim counter, and
+        # the regression checker must accept them...
+        from repro.bench.regression import compare
+
+        experiments.throughput(
+            writes=300,
+            num_blocks=48,
+            pages_per_block=16,
+            channels=2,
+            json_path=str(tmp_path / "again.json"),
+        )
+        again = json.loads((tmp_path / "again.json").read_text())
+        assert again["sim"] == report["sim"]
+        assert compare(again, report, tolerance=0.99) == []
+        # ...and reject any counter drift regardless of wall tolerance.
+        again["sim"]["block_erases"] += 1
+        assert compare(again, report, tolerance=0.99)
+
+    def test_throughput_preserves_baseline_section(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"baseline": {"ops_per_sec": 1.0}}))
+        experiments.throughput(
+            writes=100, num_blocks=48, pages_per_block=16, channels=2,
+            json_path=str(path),
+        )
+        report = json.loads(path.read_text())
+        assert report["baseline"] == {"ops_per_sec": 1.0}
+        assert report["sim"]["host_page_writes"] == 100
+
     def test_registry_complete(self):
         assert set(experiments.ALL_EXPERIMENTS) == {
             "fig5", "table1", "fig6", "table2", "fig7", "table4",
             "fig8", "fig9", "table5", "channels", "concurrency", "gc",
-            "mapping",
+            "mapping", "throughput",
         }
 
 

@@ -244,7 +244,7 @@ class TestWearLeveling:
         churn(ftl, range(40), rounds=40)
         for lpn in static:
             assert ftl.read(lpn) == ("static", lpn)
-        counts = ftl.chip.erase_counts
+        counts = ftl.chip.state.erase_counts
         return ftl, max(counts) - min(counts)
 
     def test_wear_leveling_migrates_and_narrows_spread(self):
