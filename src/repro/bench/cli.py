@@ -116,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="max concurrent sessions for the concurrency experiment "
         "(sets REPRO_SESSIONS; default 4)",
     )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tenant count for the tenants experiment (sets REPRO_TENANTS; default 4)",
+    )
     return parser
 
 
@@ -159,6 +166,8 @@ def _device_env(args: argparse.Namespace):
         overrides["REPRO_QUEUE_DEPTH"] = str(args.queue_depth)
     if args.sessions is not None:
         overrides["REPRO_SESSIONS"] = str(args.sessions)
+    if args.tenants is not None:
+        overrides["REPRO_TENANTS"] = str(args.tenants)
     saved = {name: os.environ.get(name) for name in overrides}
     os.environ.update(overrides)
     try:

@@ -26,7 +26,7 @@ from repro.bench.reporting import format_table
 from repro.flash.array import FlashArray
 from repro.flash.geometry import FlashGeometry
 from repro.ftl.pagemap import PageMappingFTL
-from repro.stack import BenchStack, Mode, StackConfig, build_stack
+from repro.stack import BenchStack, Mode, StackConfig, TenantScheduler, build_stack
 from repro.ftl.base import FtlConfig
 from repro.sim.latency import OPENSSD_PROFILE, S830_PROFILE
 from repro.sim.rng import make_rng
@@ -57,6 +57,11 @@ def _queue_depth() -> int:
 def _sessions() -> int:
     """Max session count for the concurrency experiment (``--sessions``)."""
     return int(os.environ.get("REPRO_SESSIONS", "4"))
+
+
+def _tenants() -> int:
+    """Tenant count for the multi-tenant experiment (``--tenants``)."""
+    return int(os.environ.get("REPRO_TENANTS", "4"))
 
 
 @dataclass
@@ -1114,6 +1119,166 @@ def table5_recovery(
     )
 
 
+# ------------------------------------------------------------- multi-tenancy
+
+
+def tenant_fairness(
+    tenants: int | None = None,
+    transactions: int | None = None,
+    hot_sessions: int = 4,
+    hot_updates_per_txn: int = 8,
+    rows: int = 64,
+) -> ExperimentResult:
+    """Noisy neighbour: one hot tenant vs N-1 cold tenants, RR vs deficit.
+
+    Not a paper figure — it measures what the tenant-aware scheduler buys
+    on the paper's §6.3 shape (many small SQLite clients on one X-FTL
+    device).  One *hot* tenant runs ``hot_sessions`` sessions of large
+    inline-commit transactions; the remaining *cold* tenants run one
+    session of single-update transactions each.  Under plain round-robin
+    every session gets a turn per round, so the hot tenant's extra
+    sessions multiply the simulated time injected into every cold
+    tenant's open transaction window.  Deficit round-robin banks one
+    time quantum per tenant per round — the hot sessions share their
+    tenant's quantum — and (with NCQ) caps the hot tenant's in-flight
+    commands at its weighted share, so the cold tenants' p99 commit
+    latency must come in well below the round-robin run's.
+
+    Both policies execute the identical statement streams; per-tenant
+    device attribution (writes, GC copybacks, cross-tenant GC collisions)
+    comes from the device's tenant registry.
+    """
+    tenants = tenants or _tenants()
+    if tenants < 2:
+        raise ValueError("tenant_fairness needs at least 2 tenants")
+    transactions = transactions or int(12 * _scale())
+    cold_transactions = transactions * 2  # enough samples for a pooled p99
+
+    def _txn_task(db, rng, count, updates, latencies, clock):
+        for _ in range(count):
+            started = clock.now_us
+            db.execute("BEGIN")
+            for _ in range(updates):
+                target = rng.randrange(rows)
+                db.execute(
+                    "UPDATE kv SET v = ? WHERE id = ?", (f"v-{target}", target)
+                )
+                yield None
+            db.execute("COMMIT")
+            latencies.append(clock.now_us - started)
+            yield None
+
+    def _seed_database(db) -> None:
+        db.execute("CREATE TABLE kv (id INTEGER PRIMARY KEY, v TEXT)")
+        db.execute("BEGIN")
+        for row in range(rows):
+            db.execute("INSERT INTO kv (id, v) VALUES (?, ?)", (row, f"v-{row}"))
+        db.execute("COMMIT")
+
+    def _run(policy: str) -> dict[str, Any]:
+        stack = build_stack(
+            StackConfig(
+                mode=Mode.XFTL,
+                num_blocks=256,
+                pages_per_block=64,
+                channels=max(2, _channels()),
+                queue_depth=max(4, _queue_depth()),
+                ftl=FtlConfig(gc_policy="fifo"),
+            )
+        )
+        scheduler = TenantScheduler(stack, fairness=policy, group_commit=False)
+        clock = stack.clock
+        latencies: dict[str, list[float]] = {}
+
+        hot = stack.open_tenant("hot")
+        latencies["hot"] = []
+        hot_tasks = []
+        for index in range(hot_sessions):
+            session = hot.open_session()
+            db = hot.open_database(f"hot{index}.db", session=session)
+            _seed_database(db)
+            hot_tasks.append(
+                _txn_task(
+                    db, hot.make_rng("txn", index), transactions,
+                    hot_updates_per_txn, latencies["hot"], clock,
+                )
+            )
+        scheduler.add(hot, hot_tasks)
+
+        for index in range(tenants - 1):
+            cold = stack.open_tenant(f"cold{index}")
+            latencies[cold.name] = []
+            db = cold.open_database("app.db")
+            _seed_database(db)
+            scheduler.add(
+                cold,
+                [
+                    _txn_task(
+                        db, cold.make_rng("txn"), cold_transactions, 1,
+                        latencies[cold.name], clock,
+                    )
+                ],
+            )
+
+        scheduler.run()
+        cold_pool = sorted(
+            value
+            for name, values in latencies.items()
+            if name != "hot"
+            for value in values
+        )
+        hot_pool = sorted(latencies["hot"])
+        return {
+            "hot_p50_us": _percentile(hot_pool, 0.50),
+            "hot_p99_us": _percentile(hot_pool, 0.99),
+            "cold_p50_us": _percentile(cold_pool, 0.50),
+            "cold_p99_us": _percentile(cold_pool, 0.99),
+            "hot_commits": len(hot_pool),
+            "cold_commits": len(cold_pool),
+            "elapsed_s": clock.now_s,
+            "registry": stack.chip.tenants.as_dict(),
+            "share_stalls": (
+                stack.device.queue.share_stalls
+                if stack.device.queue is not None
+                else 0
+            ),
+        }
+
+    result_rows = []
+    extras: dict[str, Any] = {"policies": {}}
+    for policy in ("round-robin", "deficit"):
+        run = _run(policy)
+        extras["policies"][policy] = run
+        for lane in ("hot", "cold"):
+            result_rows.append(
+                [
+                    policy,
+                    lane,
+                    run[f"{lane}_commits"],
+                    round(run[f"{lane}_p50_us"], 1),
+                    round(run[f"{lane}_p99_us"], 1),
+                ]
+            )
+    rr = extras["policies"]["round-robin"]
+    drr = extras["policies"]["deficit"]
+    ratio = rr["cold_p99_us"] / max(drr["cold_p99_us"], 1e-9)
+    return ExperimentResult(
+        name=(
+            f"Tenant fairness: 1 hot ({hot_sessions} sessions, "
+            f"{hot_updates_per_txn} updates/txn) vs {tenants - 1} cold tenants"
+        ),
+        headers=["policy", "tenant lane", "commits", "p50 (us)", "p99 (us)"],
+        rows=result_rows,
+        notes=(
+            "Expected shape: deficit scheduling bounds the cold tenants' "
+            "tail while round-robin lets the hot tenant's sessions inflate "
+            f"it.  Cold p99 round-robin/deficit = {ratio:.1f}x "
+            f"(NCQ share stalls under deficit: {drr['share_stalls']})."
+        ),
+        extras=extras,
+    )
+
+
 ALL_EXPERIMENTS = {
     "fig5": fig5_synthetic_elapsed,
     "table1": table1_io_counts,
@@ -1128,5 +1293,6 @@ ALL_EXPERIMENTS = {
     "concurrency": concurrency_scaling,
     "gc": gc_comparison,
     "mapping": mapping_locality,
+    "tenants": tenant_fairness,
     "throughput": throughput,
 }

@@ -52,21 +52,50 @@ CP_QUEUE_BARRIER = register_crash_point(
 
 
 class CommandQueue:
-    """Bounded in-flight command tracker for one device."""
+    """Bounded in-flight command tracker for one device.
 
-    def __init__(self, clock: SimClock, depth: int, obs: Observability) -> None:
+    With a :class:`~repro.tenancy.TenantRegistry` attached and
+    :meth:`set_shares` called, the queue additionally enforces
+    **per-tenant in-flight caps**: a tenant whose share of the depth is
+    exhausted blocks at admit until one of the outstanding commands
+    completes, even while the queue as a whole has free slots — the NCQ
+    half of the fairness story (a hot tenant cannot monopolize the
+    device's outstanding-command budget).  Without shares the per-tenant
+    bookkeeping is dictionary-only (no clock effects), so tagged and
+    untagged runs stay bit-identical.
+    """
+
+    def __init__(
+        self, clock: SimClock, depth: int, obs: Observability, tenants=None
+    ) -> None:
         if depth < 1:
             raise ValueError(f"queue depth must be >= 1, got {depth}")
         self.clock = clock
         self.depth = depth
+        self.tenants = tenants  # TenantRegistry or None
         # Min-heap of (end_us, command id); ids make retire-by-event exact
         # even when two commands share a completion time.
         self._in_flight: list[tuple[float, int]] = []
         self._live_ids: set[int] = set()
         self._next_id = 0
+        self._shares: dict[int, int] | None = None
+        self._tenant_of: dict[int, int] = {}  # command id -> tenant id
+        self._live_by_tenant: dict[int, int] = {}
+        self.share_stalls = 0  # plain counter; obs may be disabled
         self._obs_depth = obs.gauge("dev.queue.depth")
         self._obs_dispatch_depth = obs.histogram("dev.queue.dispatch_depth")
         self._obs_admit_stalls = obs.counter("dev.queue.admit_stalls")
+        self._obs_share_stalls = obs.counter("dev.queue.share_stalls")
+
+    def set_shares(self, shares: dict[int, int] | None) -> None:
+        """Install (or clear) per-tenant in-flight caps.
+
+        ``shares`` maps tenant id -> maximum outstanding commands, as
+        produced by :meth:`~repro.tenancy.TenantRegistry.queue_shares`.
+        Tenants absent from the map (including the shared lane, id 0)
+        are capped only by the queue depth.
+        """
+        self._shares = dict(shares) if shares else None
 
     # -------------------------------------------------------------- queries
 
@@ -79,7 +108,7 @@ class CommandQueue:
     # ------------------------------------------------------------ lifecycle
 
     def admit(self) -> None:
-        """Backpressure: block until a queue slot is free."""
+        """Backpressure: block until a queue slot (and tenant share) is free."""
         self._retire_due()
         if len(self._live_ids) >= self.depth:
             self._obs_admit_stalls.inc()
@@ -87,6 +116,19 @@ class CommandQueue:
                 end_us, _ = self._in_flight[0]
                 self.clock.wait_until(end_us)
                 self._retire_due()
+        shares = self._shares
+        if shares is not None:
+            cap = shares.get(self.tenants.current)
+            if cap is not None:
+                live = self._live_by_tenant
+                tenant_id = self.tenants.current
+                if live.get(tenant_id, 0) >= cap:
+                    self.share_stalls += 1
+                    self._obs_share_stalls.inc()
+                    while self._in_flight and live.get(tenant_id, 0) >= cap:
+                        end_us, _ = self._in_flight[0]
+                        self.clock.wait_until(end_us)
+                        self._retire_due()
         self._obs_dispatch_depth.observe(float(len(self._live_ids)))
 
     def push(self, end_us: float) -> None:
@@ -101,6 +143,13 @@ class CommandQueue:
         command_id = self._next_id
         heapq.heappush(self._in_flight, (end_us, command_id))
         self._live_ids.add(command_id)
+        tenants = self.tenants
+        if tenants is not None and tenants.enabled:
+            tenant_id = tenants.current
+            self._tenant_of[command_id] = tenant_id
+            self._live_by_tenant[tenant_id] = (
+                self._live_by_tenant.get(tenant_id, 0) + 1
+            )
         self._obs_depth.set(float(len(self._live_ids)))
         self.clock.schedule_at(end_us, lambda: self._complete(command_id))
 
@@ -116,13 +165,23 @@ class CommandQueue:
         """Power loss: forget all in-flight commands without waiting."""
         self._in_flight.clear()
         self._live_ids.clear()
+        self._tenant_of.clear()
+        self._live_by_tenant.clear()
         self._obs_depth.set(0.0)
 
     # ------------------------------------------------------------ internals
 
+    def _forget(self, command_id: int) -> None:
+        """Drop a command from the live set exactly once (tenant count too)."""
+        if command_id in self._live_ids:
+            self._live_ids.remove(command_id)
+            tenant_id = self._tenant_of.pop(command_id, None)
+            if tenant_id is not None:
+                self._live_by_tenant[tenant_id] -= 1
+
     def _complete(self, command_id: int) -> None:
         """Clock-event completion; stale events (post-reset) are no-ops."""
-        self._live_ids.discard(command_id)
+        self._forget(command_id)
         self._retire_due()
         self._obs_depth.set(float(len(self._live_ids)))
 
@@ -132,4 +191,4 @@ class CommandQueue:
             self._in_flight[0][0] <= now or self._in_flight[0][1] not in self._live_ids
         ):
             _, command_id = heapq.heappop(self._in_flight)
-            self._live_ids.discard(command_id)
+            self._forget(command_id)

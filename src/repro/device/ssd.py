@@ -43,10 +43,15 @@ class StorageDevice:
                 "(FlashArray); the serial FlashChip cannot overlap commands"
             )
         self.queue_depth = queue_depth
+        # Tenant attribution rides the chip's registry (inert without
+        # tenants); the queue needs it for per-tenant in-flight shares.
+        self.tenants = ftl.chip.tenants
         # Depth 1 keeps the seed's synchronous command paths untouched (no
         # queue object at all), which the channel-equivalence test pins.
         self.queue = (
-            CommandQueue(self.clock, queue_depth, self.obs) if queue_depth > 1 else None
+            CommandQueue(self.clock, queue_depth, self.obs, tenants=self.tenants)
+            if queue_depth > 1
+            else None
         )
         obs = self.obs
         self._obs_reads = obs.counter("dev.reads")
@@ -153,6 +158,8 @@ class StorageDevice:
         self._check_on()
         self.counters.writes += 1
         self._obs_writes.inc()
+        if self.tenants.enabled:
+            self.tenants.note_write(lpn)
         with self.obs.tracer.span("write", "dev", lpn=lpn):
             self._charge(transfers=1)
             if self.queue is None:
@@ -172,6 +179,8 @@ class StorageDevice:
         self._check_on()
         self.counters.flushes += 1
         self._obs_flushes.inc()
+        if self.tenants.enabled:
+            self.tenants.note_flush()
         start_us = self.clock.now_us
         with self.obs.tracer.span("flush", "dev"):
             self._charge()
@@ -201,6 +210,8 @@ class StorageDevice:
         ftl = self._require_tx()
         self.counters.tagged_writes += 1
         self._obs_tagged_writes.inc()
+        if self.tenants.enabled:
+            self.tenants.note_write(lpn)
         with self.obs.tracer.span("write_tx", "dev", lpn=lpn, tid=tid):
             self._charge(transfers=1)
             if self.queue is None:

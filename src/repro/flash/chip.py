@@ -18,16 +18,19 @@ which models the non-atomic sector write SQLite worries about (§2.1).
 
 Page/block state lives in the chip's :class:`~repro.flash.state.BlockStateView`
 (``chip.state``) — flat bytearray/array state maps shared with the FTL's
-validity bookkeeping.  The legacy per-page accessors on this class
-(``state_of``, ``is_torn``, ``block_write_point``, ``block_is_full``, the
-``erase_counts`` list) are deprecated shims over that view and will be
-promoted to errors in a later PR.
+validity bookkeeping.  The legacy per-page accessors (``state_of``,
+``is_torn``, ``block_write_point``, ``block_is_full``, the ``erase_counts``
+list) spent one release as DeprecationWarning shims and are now removed;
+touching them raises with a pointer at ``chip.state``.
+
+The chip also carries the device's :class:`~repro.tenancy.TenantRegistry`
+(``chip.tenants``), inert until a tenant registers — the same
+ride-on-the-chip placement as the clock, crash plan and obs handle.
 """
 
 from __future__ import annotations
 
 import enum
-import warnings
 from typing import Any
 
 from repro.errors import CorruptionError, FlashError, PowerFailure
@@ -44,6 +47,7 @@ from repro.obs import NULL_OBS, Observability
 from repro.sim.clock import SimClock
 from repro.sim.crash import NO_CRASH, CrashPlan, register_crash_point
 from repro.sim.latency import OPENSSD_PROFILE, LatencyProfile
+from repro.tenancy import TenantRegistry
 
 CP_PROGRAM_BEFORE = register_crash_point(
     "flash.program.before", "flash.chip", "before a NAND page program starts"
@@ -70,12 +74,16 @@ class PageState(enum.Enum):
     TORN = "torn"
 
 
-#: ``page_states`` byte value -> legacy enum, for the deprecated shims.
-_STATE_ENUMS = (PageState.ERASED, PageState.PROGRAMMED, PageState.TORN)
-
-
-def _deprecated(message: str) -> None:
-    warnings.warn(message, DeprecationWarning, stacklevel=3)
+#: Pre-BlockStateView accessors, removed after their DeprecationWarning
+#: release (same lifecycle as the deleted ``repro.bench.runner`` module).
+#: ``FlashChip.__getattr__`` turns them into errors with a pointer.
+_REMOVED_STATE_ACCESSORS = {
+    "state_of": "chip.state.page_states[ppn]",
+    "is_torn": "chip.state.is_torn(ppn)",
+    "block_write_point": "chip.state.write_points[block]",
+    "block_is_full": "chip.state.block_is_full(block)",
+    "erase_counts": "chip.state.erase_counts",
+}
 
 
 class OverlapRegion:
@@ -139,6 +147,8 @@ class FlashChip:
         # The obs handle rides on the chip (like clock and crash plan) and
         # every higher layer picks it up from the layer below.
         self.obs = obs
+        # So does the tenant registry; inert until a tenant registers.
+        self.tenants = TenantRegistry(obs)
         self._obs_programs = obs.counter("flash.page_programs")
         self._obs_reads = obs.counter("flash.page_reads")
         self._obs_erases = obs.counter("flash.block_erases")
@@ -301,54 +311,23 @@ class FlashChip:
         else:
             self._charge_flash(self.profile.block_erase_us, block)
 
-    # ------------------------------------------- deprecated state accessors
+    # --------------------------------------------- removed state accessors
     #
-    # Pre-BlockStateView API, kept as shims (promotion to errors is a later
-    # PR, per the bench.runner precedent).  New code reads ``chip.state``.
+    # The pre-BlockStateView per-page API spent one release as
+    # DeprecationWarning shims; it is now gone for good (the bench.runner
+    # precedent).  __getattr__ only runs for *missing* attributes, so the
+    # tombstone costs nothing on the hot path.
 
-    def state_of(self, ppn: int) -> PageState:
-        """Deprecated: use ``chip.state.page_states[ppn]`` / ``state_of``."""
-        _deprecated(
-            "FlashChip.state_of() is deprecated; query chip.state "
-            "(BlockStateView) instead"
+    def __getattr__(self, name: str):
+        replacement = _REMOVED_STATE_ACCESSORS.get(name)
+        if replacement is not None:
+            raise AttributeError(
+                f"FlashChip.{name} was removed; query chip.state "
+                f"(BlockStateView) instead: {replacement}"
+            )
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
         )
-        self.geometry.check_ppn(ppn)
-        return _STATE_ENUMS[self.state.page_states[ppn]]
-
-    def is_torn(self, ppn: int) -> bool:
-        """Deprecated: use ``chip.state.is_torn(ppn)``."""
-        _deprecated(
-            "FlashChip.is_torn() is deprecated; query chip.state "
-            "(BlockStateView) instead"
-        )
-        self.geometry.check_ppn(ppn)
-        return self.state.page_states[ppn] == PAGE_TORN
-
-    def block_write_point(self, block: int) -> int:
-        """Deprecated: use ``chip.state.write_points[block]``."""
-        _deprecated(
-            "FlashChip.block_write_point() is deprecated; query chip.state "
-            "(BlockStateView) instead"
-        )
-        self.geometry.check_block(block)
-        return self.state.write_points[block]
-
-    def block_is_full(self, block: int) -> bool:
-        """Deprecated: use ``chip.state.block_is_full(block)``."""
-        _deprecated(
-            "FlashChip.block_is_full() is deprecated; query chip.state "
-            "(BlockStateView) instead"
-        )
-        self.geometry.check_block(block)
-        return self.state.write_points[block] >= self._pages_per_block
-
-    @property
-    def erase_counts(self) -> list[int]:
-        """Deprecated: use ``chip.state.erase_counts``."""
-        _deprecated(
-            "FlashChip.erase_counts is deprecated; use chip.state.erase_counts"
-        )
-        return self.state.erase_counts
 
     # ---------------------------------------------------------- inspection
 

@@ -192,6 +192,9 @@ class BackgroundGC:
             self._obs_trans_writes.inc()
         else:
             (self._obs_hot_writes if hot else self._obs_cold_writes).inc()
+            tenants = chip.tenants
+            if tenants.enabled:
+                tenants.note_stream_write(hot)
         if write_points[block] >= per:
             # A hot or translation write may have degraded onto the cold
             # block, so clear whichever stream(s) hold the filled block.
@@ -334,6 +337,17 @@ class BackgroundGC:
             ftl.stats.gc_translation_collections += 1
             ftl._obs_gc_trans.inc()
         ftl._note_victim_valid(ftl._valid_count[victim], geo.pages_per_block)
+        tenants = ftl.chip.tenants
+        if tenants.enabled:
+            # Cross-tenant collision accounting: a victim whose valid
+            # pages belong to several tenants makes each pay copyback for
+            # the others' heat.
+            owners = ftl._owner
+            tenants.note_gc_victim(
+                tenants.owner_of(owner[1])
+                for owner in map(owners.get, range(job.cursor, job.end))
+                if owner is not None and owner[0] == OWNER_L2P
+            )
         ftl.chip.crash_plan.hit(CP_GC_VICTIM)
         return job
 
@@ -357,6 +371,8 @@ class BackgroundGC:
         per = ftl._pages_per_block
         entries_per_page = ftl._map_entries_per_page
         program_for_gc = ftl._program_for_gc
+        tenants = chip.tenants
+        tenants_enabled = tenants.enabled
         moved_this_step = 0
         # Copyback counters batch across the slice; the try/finally keeps
         # them exact when a crash point fires mid-copyback (a read that
@@ -388,6 +404,8 @@ class BackgroundGC:
                         data, (OOB_DATA, lpn, ftl._seq, None), channel
                     )
                     writes += 1
+                    if tenants_enabled:
+                        tenants.note_copyback(lpn)
                     del owners[ppn]
                     valid_bitmap[ppn] = 0
                     valid_counts[ppn // per] -= 1

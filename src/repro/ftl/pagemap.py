@@ -727,6 +727,17 @@ class PageMappingFTL(Ftl):
         writes = 0
         owners = self._owner
         chip_read = self.chip.read
+        tenants = self.chip.tenants
+        if tenants.enabled:
+            # Cross-tenant collision accounting: a victim holding live
+            # data from several tenants makes each pay for the others'
+            # heat.  Copybacks attribute to the page's owning tenant.
+            start = victim * geo.pages_per_block
+            tenants.note_gc_victim(
+                tenants.owner_of(owner[1])
+                for owner in map(owners.get, range(start, start + used))
+                if owner is not None and owner[0] == OWNER_L2P
+            )
         try:
             with self.obs.tracer.span("gc_collect", "ftl"):
                 start = victim * geo.pages_per_block
@@ -738,6 +749,8 @@ class PageMappingFTL(Ftl):
                     reads += 1
                     new_ppn = self._program_for_gc(data, self._gc_oob(owner, ppn), channel)
                     writes += 1
+                    if tenants.enabled and owner[0] == OWNER_L2P:
+                        tenants.note_copyback(owner[1])
                     self._drop_owner(ppn)
                     self._set_owner_raw(new_ppn, owner)
                     self._apply_relocation(owner, ppn, new_ppn)

@@ -69,6 +69,7 @@ class Connection:
         # finish_commit().  Inert in every other mode.
         self.defer_commits = False
         self._staged_txn = None
+        self._commit_started_us = 0.0
         self.statements_executed = 0
         self._parse_cache: dict[str, object] = {}
         self._profile = fs.device.profile
@@ -138,20 +139,24 @@ class Connection:
             raise DatabaseError("no transaction is active")
         if self._staged_txn is not None:
             raise DatabaseError("a staged commit is already pending")
+        # Commit latency (stage -> durable for deferred commits) feeds the
+        # per-tenant p99 accounting; reading the clock costs nothing.
+        commit_started_us = self._clock.now_us
         if self.defer_commits and self.journal_mode is SqliteJournalMode.OFF:
             staged = self.pager.stage_commit()
             if staged is None:
                 # Read-only transaction: already fully committed locally.
                 self._explicit_txn = False
                 if self.session is not None:
-                    self.session.note_commit()
+                    self.session.note_commit(self._clock.now_us - commit_started_us)
             else:
                 self._staged_txn = staged
+                self._commit_started_us = commit_started_us
             return
         self.pager.commit()
         self._explicit_txn = False
         if self.session is not None:
-            self.session.note_commit()
+            self.session.note_commit(self._clock.now_us - commit_started_us)
 
     def finish_commit(self) -> None:
         """Complete a deferred COMMIT after its group became durable."""
@@ -161,7 +166,7 @@ class Connection:
         self._staged_txn = None
         self._explicit_txn = False
         if self.session is not None:
-            self.session.note_commit()
+            self.session.note_commit(self._clock.now_us - self._commit_started_us)
 
     def rollback(self) -> None:
         """Roll back the explicit transaction (DDL included)."""

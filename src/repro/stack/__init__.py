@@ -42,6 +42,9 @@ __all__ = [
     "Session",
     "SessionScheduler",
     "StackConfig",
+    "Tenant",
+    "TenantConfig",
+    "TenantScheduler",
     "TransactionContext",
     "TxnManager",
     "TxnState",
@@ -169,6 +172,7 @@ class BenchStack:
     crash_plan: CrashPlan
     obs: Observability = NULL_OBS
     _session_seq: int = 0
+    tenants: list = field(default_factory=list)
 
     def open_database(
         self, name: str = "test.db", cache_pages: int = 4096, **kwargs
@@ -181,12 +185,36 @@ class BenchStack:
             **kwargs,
         )
 
-    def open_session(self, name: str | None = None) -> "Session":
+    def open_session(
+        self, name: str | None = None, tenant: "Tenant | None" = None
+    ) -> "Session":
         """Open a named :class:`Session` — one logical client of this stack."""
         if name is None:
             name = f"s{self._session_seq}"
         self._session_seq += 1
-        return Session(self, name)
+        return Session(self, name, tenant=tenant)
+
+    def open_tenant(
+        self,
+        name: str | None = None,
+        weight: int = 1,
+        seed: int = 7,
+        cache_pages: int = 4096,
+    ) -> "Tenant":
+        """Open a named :class:`Tenant` — one isolated slice of this stack.
+
+        Tenants share the device, FTL and file system but own a
+        namespace, their sessions and a deterministic RNG lane; see
+        :mod:`repro.stack.tenant`.
+        """
+        if name is None:
+            name = f"t{len(self.tenants)}"
+        tenant = Tenant(
+            self,
+            TenantConfig(name=name, weight=weight, seed=seed, cache_pages=cache_pages),
+        )
+        self.tenants.append(tenant)
+        return tenant
 
     def remount_after_crash(self) -> "BenchStack":
         """Power-cycle the device and remount the file system in place."""
@@ -199,6 +227,10 @@ class BenchStack:
             cache_capacity=self.config.fs_cache_pages,
             max_inodes=self.config.max_inodes,
         )
+        # Namespace ownership is volatile fs state; re-claim it for every
+        # open tenant so post-crash recovery sees the same fences.
+        for tenant in self.tenants:
+            self.fs.register_namespace(tenant.namespace, tenant.name)
         return self
 
 
@@ -316,4 +348,5 @@ def open_stack(
 # and Ext4 reaches back into repro.stack.txn lazily (txn_manager property),
 # so the submodules must not be imported until this module body is built.
 from repro.stack.session import Session, SessionScheduler  # noqa: E402
+from repro.stack.tenant import Tenant, TenantConfig, TenantScheduler  # noqa: E402
 from repro.stack.txn import TransactionContext, TxnManager, TxnState  # noqa: E402

@@ -38,15 +38,17 @@ class Session:
     attribute work to individual terminals.
     """
 
-    def __init__(self, stack: "BenchStack", name: str) -> None:
+    def __init__(self, stack: "BenchStack", name: str, tenant=None) -> None:
         self.stack = stack
         self.name = name
+        self.tenant = tenant  # owning repro.stack.tenant.Tenant, if any
         self.connections: list[Connection] = []
         self.commits = 0
         self.rollbacks = 0
         obs = stack.obs
         self._obs_commits = obs.counter(f"session.{name}.commits")
         self._obs_rollbacks = obs.counter(f"session.{name}.rollbacks")
+        self._tenant_registry = stack.chip.tenants
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Session {self.name!r} connections={len(self.connections)}>"
@@ -57,10 +59,15 @@ class Session:
         self.connections.append(conn)
         return conn
 
-    # Called by Connection at transaction boundaries.
-    def note_commit(self) -> None:
+    # Called by Connection at transaction boundaries.  ``latency_us`` is
+    # the commit's end-to-end simulated latency (stage -> durable for
+    # deferred commits, the COMMIT call itself otherwise); it feeds the
+    # owning tenant's p99 accounting and costs nothing to measure.
+    def note_commit(self, latency_us: float | None = None) -> None:
         self.commits += 1
         self._obs_commits.inc()
+        if self.tenant is not None:
+            self._tenant_registry.note_commit(self.tenant.id, latency_us)
 
     def note_rollback(self) -> None:
         self.rollbacks += 1

@@ -1,0 +1,340 @@
+"""Tenants: many isolated SQLite stacks sharing one simulated device.
+
+The paper's headline workload is exactly this shape (§6.3): thousands of
+smartphone users, each with a handful of small SQLite databases, all
+hammering one flash device whose X-FTL firmware absorbs their commits.
+A :class:`Tenant` carves one logical slice out of a shared
+:class:`~repro.stack.BenchStack`:
+
+- a **namespace** on the shared ext4 (``<tenant>/...`` prefix, ownership
+  registered with :meth:`~repro.fs.ext4.Ext4.register_namespace` and
+  enforced for namespace-scoped handles);
+- its own **sessions** (and through them transactions — the shared
+  ``TxnManager`` tags every context with the owning session, so tenancy
+  rides the existing session plumbing);
+- a deterministic **per-tenant RNG lane** via
+  :func:`repro.sim.rng.make_rng` (seed, "tenant", name, ...);
+- an id in the device's :class:`~repro.tenancy.TenantRegistry`, which
+  attributes device writes, NCQ slots, GC copybacks and commit latency
+  back to the tenant.
+
+:class:`TenantScheduler` extends :class:`~repro.stack.SessionScheduler`
+with a pluggable fairness policy across tenants:
+
+- ``"round-robin"`` — the baseline: every task of every tenant joins one
+  global round-robin ring, so a tenant with many sessions gets
+  proportionally many turns (the noisy-neighbour failure mode);
+- ``"deficit"`` — weighted deficit round-robin *between tenants*: each
+  tenant banks ``quantum_us x weight`` of simulated time per round and
+  its tasks only run while the bank is positive, so a hot tenant's extra
+  sessions share the hot tenant's quantum instead of multiplying it.
+  When the stack has an NCQ queue, the registry's weighted shares are
+  installed as per-tenant in-flight caps.
+
+With a single tenant both policies degenerate to the plain round-robin
+interleaver — same task order, same group-commit batches — which keeps
+tenants=1 bit-identical to the historical single-stack path
+(``tests/test_tenant_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.sim.interleave import Park
+from repro.sim.rng import make_rng
+from repro.stack.session import Session, SessionScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sqlite.database import Connection
+    from repro.stack import BenchStack
+
+__all__ = ["Tenant", "TenantConfig", "TenantFsView", "TenantScheduler"]
+
+FAIRNESS_POLICIES = ("round-robin", "deficit")
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Identity and resource knobs for one tenant."""
+
+    name: str
+    weight: int = 1  # fairness share under the deficit policy / NCQ split
+    seed: int = 7  # base seed of the tenant's make_rng lane
+    cache_pages: int = 4096  # default page-cache size of its connections
+
+
+class TenantFsView:
+    """Namespace-scoped window onto the shared ext4.
+
+    Prefixes every name with the tenant's namespace and passes the tenant
+    as ``owner`` so the file system enforces namespace ownership.  Reads
+    ``tenant.stack.fs`` dynamically, so the view survives
+    ``remount_after_crash`` replacing the fs instance.
+    """
+
+    __slots__ = ("_tenant",)
+
+    def __init__(self, tenant: "Tenant") -> None:
+        self._tenant = tenant
+
+    @property
+    def _fs(self):
+        return self._tenant.stack.fs
+
+    def _path(self, name: str) -> str:
+        return self._tenant.path(name)
+
+    def create(self, name: str, **kwargs):
+        return self._fs.create(self._path(name), owner=self._tenant.name, **kwargs)
+
+    def open(self, name: str, **kwargs):
+        return self._fs.open(self._path(name), owner=self._tenant.name, **kwargs)
+
+    def exists(self, name: str) -> bool:
+        return self._fs.exists(self._path(name))
+
+    def unlink(self, name: str) -> None:
+        self._fs.unlink(self._path(name), owner=self._tenant.name)
+
+    def listdir(self) -> list[str]:
+        prefix = self._tenant.namespace
+        return [
+            name[len(prefix):]
+            for name in self._fs.listdir()
+            if name.startswith(prefix)
+        ]
+
+
+class Tenant:
+    """One isolated client population of a shared stack."""
+
+    def __init__(self, stack: "BenchStack", config: TenantConfig) -> None:
+        self.stack = stack
+        self.config = config
+        self.namespace = config.name + "/"
+        self.id = stack.chip.tenants.register(config.name, config.weight)
+        stack.fs.register_namespace(self.namespace, config.name)
+        self.fs = TenantFsView(self)
+        self.sessions: list[Session] = []
+        self._default_session: Session | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Tenant {self.name!r} id={self.id} sessions={len(self.sessions)}>"
+
+    @property
+    def name(self) -> str:
+        return self.config.name
+
+    @property
+    def weight(self) -> int:
+        return self.config.weight
+
+    @property
+    def clock(self):
+        """The shared simulation clock (tenants duck-type as stacks)."""
+        return self.stack.clock
+
+    def path(self, name: str) -> str:
+        """The shared-fs name of a file inside this tenant's namespace."""
+        return self.namespace + name
+
+    def make_rng(self, *labels):
+        """A deterministic RNG on this tenant's seed lane."""
+        return make_rng(self.config.seed, "tenant", self.name, *labels)
+
+    def open_session(self, name: str | None = None) -> Session:
+        """Open a session owned by this tenant (named ``<tenant>.sN``)."""
+        if name is None:
+            name = f"{self.name}.s{len(self.sessions)}"
+        session = self.stack.open_session(name=name, tenant=self)
+        self.sessions.append(session)
+        return session
+
+    def open_database(
+        self,
+        name: str = "test.db",
+        cache_pages: int | None = None,
+        session: Session | None = None,
+        **kwargs,
+    ) -> "Connection":
+        """Open a database inside this tenant's namespace.
+
+        Without an explicit ``session`` the connection lands on the
+        tenant's default session, so casual callers (trace replayers,
+        pattern workloads) still get their work attributed.
+        """
+        if session is None:
+            if self._default_session is None:
+                self._default_session = self.open_session()
+            session = self._default_session
+        if cache_pages is None:
+            cache_pages = self.config.cache_pages
+        return session.open_database(
+            self.path(name), cache_pages=cache_pages, **kwargs
+        )
+
+    def metrics(self) -> dict:
+        """This tenant's attribution counters from the device registry."""
+        return self.stack.chip.tenants.account(self.id).as_dict()
+
+
+class TenantScheduler(SessionScheduler):
+    """Interleave tasks from several tenants under a fairness policy.
+
+    Use like :class:`SessionScheduler`, but assign tasks to tenants::
+
+        scheduler = TenantScheduler(stack, fairness="deficit")
+        scheduler.add(hot, hot_tasks)
+        scheduler.add(cold, cold_tasks)
+        scheduler.run()
+
+    Group commit works across tenants: parked commits from any mix of
+    tenants batch into one ``TxnManager.commit_group`` call, exactly as
+    the session scheduler batches them within one tenant.
+    """
+
+    def __init__(
+        self,
+        stack: "BenchStack",
+        fairness: str = "round-robin",
+        group_commit: bool = True,
+        max_group: int | None = None,
+        quantum_us: float = 200.0,
+    ) -> None:
+        super().__init__(stack, group_commit=group_commit, max_group=max_group)
+        if fairness not in FAIRNESS_POLICIES:
+            raise ValueError(
+                f"unknown fairness policy {fairness!r}; "
+                f"expected one of {FAIRNESS_POLICIES}"
+            )
+        if quantum_us <= 0:
+            raise ValueError("quantum_us must be positive")
+        self.fairness = fairness
+        self.quantum_us = quantum_us
+        self._registry = stack.chip.tenants
+        self._assignments: list[tuple[Tenant, list]] = []
+
+    # ---------------------------------------------------------- assignment
+
+    def add(self, tenant: Tenant, tasks: Iterable) -> None:
+        """Assign ``tasks`` (session generators) to ``tenant``."""
+        self._assignments.append((tenant, list(tasks)))
+
+    def _tagged(self, tenant_id: int, task):
+        """Wrap a task so each step runs with the tenant active.
+
+        Pure host-side bookkeeping around ``next(task)`` — no clock time,
+        no RNG — so tagging cannot perturb the simulation.
+        """
+        registry = self._registry
+        while True:
+            previous = registry.activate(tenant_id)
+            try:
+                item = next(task)
+            except StopIteration:
+                return
+            finally:
+                registry.current = previous
+            yield item
+
+    # --------------------------------------------------------------- run
+
+    def run(self, tasks: Iterable | None = None) -> None:
+        """Run all assigned tenant tasks under the fairness policy.
+
+        ``run(tasks)`` (with an explicit task list) keeps the plain
+        :class:`SessionScheduler` behaviour for drop-in compatibility.
+        """
+        if tasks is not None:
+            super().run(tasks)
+            return
+        queue = self.stack.device.queue
+        if queue is not None:
+            # NCQ shares: cap each tenant's in-flight commands by weight
+            # under the deficit policy; the baseline shares nothing.
+            if self.fairness == "deficit":
+                queue.set_shares(
+                    self._registry.queue_shares(self.stack.config.queue_depth)
+                )
+            else:
+                queue.set_shares(None)
+        if self.fairness == "round-robin":
+            flat = [
+                self._tagged(tenant.id, task)
+                for tenant, tasks_ in self._assignments
+                for task in tasks_
+            ]
+            self._interleaver.run(flat)
+            return
+        self._run_deficit()
+
+    def _run_deficit(self) -> None:
+        """Weighted deficit round-robin between tenants.
+
+        Classic DRR, with simulated time as the byte counter: each round
+        a tenant banks ``quantum_us x weight`` and steps its tasks
+        round-robin while the bank is positive, paying each step's
+        simulated-time cost.  A tenant with no runnable tasks forfeits
+        its bank (no credit hoarding).  Parked commits batch exactly like
+        the base interleaver: service fires when every runnable task is
+        parked or ``max_group`` parks accumulate.
+        """
+        clock = self.stack.clock
+        quantum = self.quantum_us
+        lanes = [
+            {
+                "queue": deque(self._tagged(tenant.id, task) for task in tasks_),
+                "weight": float(tenant.weight),
+                "deficit": 0.0,
+            }
+            for tenant, tasks_ in self._assignments
+        ]
+        parked_tasks: list[tuple[dict, object]] = []  # (lane, task) in park order
+        parked_tokens: list[object] = []
+        max_batch = self.max_group
+
+        while True:
+            runnable = any(lane["queue"] for lane in lanes)
+            batch_full = max_batch is not None and len(parked_tokens) >= max_batch
+            if parked_tokens and (not runnable or batch_full):
+                self._commit_batch(parked_tokens)
+                for lane, task in parked_tasks:
+                    lane["queue"].append(task)
+                parked_tasks, parked_tokens = [], []
+                continue
+            if not runnable:
+                break
+            for lane in lanes:
+                queue = lane["queue"]
+                if not queue:
+                    lane["deficit"] = 0.0
+                    continue
+                lane["deficit"] += quantum * lane["weight"]
+                while queue and lane["deficit"] > 0.0:
+                    task = queue.popleft()
+                    started = clock.now_us
+                    try:
+                        item = next(task)
+                    except StopIteration:
+                        continue
+                    finally:
+                        cost = clock.now_us - started
+                        # Zero-cost steps (pure host work) still pay a
+                        # token so a busy-looping task cannot monopolize
+                        # its tenant's round forever.
+                        lane["deficit"] -= cost if cost > 0.0 else 1.0
+                    if isinstance(item, Park):
+                        parked_tasks.append((lane, task))
+                        parked_tokens.append(item.token)
+                        if max_batch is not None and len(parked_tokens) >= max_batch:
+                            break
+                    else:
+                        queue.append(task)
+                else:
+                    if not queue:
+                        lane["deficit"] = 0.0
+                    continue
+                break  # batch went full mid-lane; service before continuing

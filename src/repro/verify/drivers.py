@@ -717,6 +717,103 @@ def _run_sqlite_concurrent(point, after, tear, seed, ops_limit):
     return fired, ops[0], violations
 
 
+def _run_tenant_stack(point, after, tear, seed, ops_limit):
+    """Two tenants share one X-FTL device through the tenant scheduler.
+
+    The multi-tenant edge the single-stack sweep cannot reach: a crash
+    landing mid-commit of tenant A's transaction must leave tenant B's
+    namespace transactionally intact (and vice versa — the oracle holds
+    both to the all-or-nothing contract at once).  Runs under the deficit
+    fairness policy so the DRR scheduling path itself is exercised under
+    power failure; tenant A gets two sessions (weight 2) so crashes also
+    land inside cross-tenant group commits.
+    """
+    from repro.stack import TenantScheduler
+
+    stack = build_stack(StackConfig(mode=Mode.XFTL, **_SQLITE_STACK))
+    scheduler = TenantScheduler(stack, fairness="deficit")
+    alpha = stack.open_tenant("alpha", weight=2)
+    beta = stack.open_tenant("beta", weight=1)
+
+    baseline: dict = {}
+    dbs: list = []  # (lane index, tenant, db)
+    lanes = ((alpha, 2), (beta, 1))
+    lane_index = 0
+    for tenant, n_sessions in lanes:
+        for _ in range(n_sessions):
+            session = tenant.open_session()
+            db = tenant.open_database(f"verify_{lane_index}.db", session=session)
+            db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+            db.execute("BEGIN")
+            for row in range(1, _N_ROWS + 1):
+                db.execute("INSERT INTO t VALUES (?, 0)", (row,))
+            db.execute("COMMIT")
+            for row in range(1, _N_ROWS + 1):
+                baseline[(lane_index, row)] = 0
+            dbs.append((lane_index, tenant, db))
+            lane_index += 1
+    oracle = TransactionOracle(baseline)
+    for _, _, db in dbs:
+        scheduler.prepare(db)
+
+    stack.crash_plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    ops = [0]
+    next_tid = [0]
+
+    def terminal(index: int, db):
+        rng = make_rng(seed, "verify.stack.tenant", index)
+        while ops[0] < ops_limit:
+            next_tid[0] += 1
+            tid = next_tid[0]
+            db.execute("BEGIN")
+            for _ in range(rng.randrange(1, 4)):
+                ops[0] += 1
+                row = rng.randrange(1, _N_ROWS + 1)
+                value = tid * 1000 + ops[0]
+                oracle.note_tx_write(tid, (index, row), value)
+                db.execute("UPDATE t SET v = ? WHERE id = ?", (value, row))
+            if rng.random() < 0.2:
+                db.execute("ROLLBACK")
+                oracle.note_aborted(tid)
+            else:
+                oracle.note_commit_started(tid)
+                db.execute("COMMIT")  # stages (deferred); parks until the group
+                yield scheduler.commit_token(db)
+                oracle.note_committed(tid)
+            yield None
+
+    for tenant, _ in lanes:
+        scheduler.add(
+            tenant,
+            [terminal(index, db) for index, owner, db in dbs if owner is tenant],
+        )
+    try:
+        scheduler.run()
+    except PowerFailure:
+        fired = True
+    else:
+        stack.crash_plan.disarm_all()
+        stack.device.power_off()
+
+    stack.remount_after_crash()
+    stack.ftl.check_invariants()
+    violations: list[str] = []
+    recovered: dict = {}
+    for index, tenant, _ in dbs:
+        db2 = stack.open_database(tenant.path(f"verify_{index}.db"))
+        rows = dict(db2.execute("SELECT id, v FROM t"))
+        if set(rows) != set(range(1, _N_ROWS + 1)):
+            violations.append(
+                f"tenant {tenant.name} db {index}: row set changed: "
+                f"ids {sorted(rows)!r}"
+            )
+        for row, value in rows.items():
+            recovered[(index, row)] = value
+    violations.extend(oracle.check(lambda key: recovered.get(key)))
+    return fired, ops[0], violations
+
+
 # ------------------------------------------------------------------ layers
 
 
@@ -770,6 +867,11 @@ LAYERS: dict[str, Layer] = {
             "sqlite.concurrent",
             ("flash", "ftl.pagemap", "ftl.xftl", "fs.ext4"),
             _run_sqlite_concurrent,
+        ),
+        Layer(
+            "stack.tenant",
+            ("flash", "ftl.pagemap", "ftl.xftl", "fs.ext4"),
+            _run_tenant_stack,
         ),
     )
 }

@@ -287,7 +287,13 @@ class AndroidTraceGenerator:
 
 
 class TraceReplayer:
-    """Executes a trace against one connection per database file."""
+    """Executes a trace against one connection per database file.
+
+    ``stack`` may be a :class:`~repro.stack.BenchStack` or a
+    :class:`~repro.stack.Tenant` — both expose ``open_database`` and
+    ``clock``, and the tenant form lands every file in the tenant's
+    namespace with the tenant's attribution.
+    """
 
     def __init__(self, stack: BenchStack, cache_pages: int = 2048) -> None:
         self.stack = stack
@@ -330,3 +336,29 @@ class TraceReplayer:
         for file_name in sorted(open_txns):
             self.connections[file_name].execute("COMMIT")
         return clock.now_s - start
+
+    def replay_task(self, ops: list[TraceOp]):
+        """The replay as a scheduler task (yields after every statement).
+
+        Commits run inline (no group-commit parking) so several replayers
+        — one per tenant — interleave deterministically under any
+        scheduler without coordinating their transaction groups.
+        """
+        in_group = False
+        open_txns: set[str] = set()
+        for op in ops:
+            if op.begins_txn:
+                in_group = True
+            connection = self._connection(op.file)
+            if in_group and op.file not in open_txns:
+                connection.execute("BEGIN")
+                open_txns.add(op.file)
+            connection.execute(op.sql, op.params)
+            if op.ends_txn:
+                for file_name in sorted(open_txns):
+                    self.connections[file_name].execute("COMMIT")
+                open_txns.clear()
+                in_group = False
+            yield None
+        for file_name in sorted(open_txns):
+            self.connections[file_name].execute("COMMIT")

@@ -153,7 +153,7 @@ class TestExperimentFunctions:
         assert set(experiments.ALL_EXPERIMENTS) == {
             "fig5", "table1", "fig6", "table2", "fig7", "table4",
             "fig8", "fig9", "table5", "channels", "concurrency", "gc",
-            "mapping", "throughput",
+            "mapping", "tenants", "throughput",
         }
 
 

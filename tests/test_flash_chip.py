@@ -200,70 +200,43 @@ class TestFlashProperties:
         assert chip.stats.block_erases == len(erases)
 
 
-class TestDeprecatedStateShims:
-    """The pre-BlockStateView accessors must warn but keep working.
+class TestRemovedStateShims:
+    """The pre-BlockStateView accessors are hard errors now.
 
-    The suite-wide ``error::DeprecationWarning`` filter keeps in-tree code
-    off these shims; out-of-tree callers get one release of warnings with
-    unchanged answers (promotion to hard errors is a later PR, matching the
-    bench.runner precedent).
+    They spent one release as DeprecationWarning shims (kept honest by a
+    suite-wide ``error::DeprecationWarning`` filter, since dropped); this
+    release removes them outright, matching the bench.runner precedent of
+    shim -> warning -> gone.  The tombstone keeps a pointer to the
+    replacement in the error message.
     """
 
-    def test_state_of_warns_and_answers(self):
+    REMOVED = (
+        "state_of",
+        "is_torn",
+        "block_write_point",
+        "block_is_full",
+        "erase_counts",
+    )
+
+    @pytest.mark.parametrize("name", REMOVED)
+    def test_accessor_is_gone_with_pointer(self, name):
+        chip = make_chip()
+        with pytest.raises(AttributeError, match="chip.state"):
+            getattr(chip, name)
+        assert not hasattr(chip, name)
+
+    def test_unknown_attributes_raise_plainly(self):
+        # The tombstone __getattr__ must not swallow ordinary typos.
+        chip = make_chip()
+        with pytest.raises(AttributeError, match="no_such_attr"):
+            chip.no_such_attr
+
+    def test_state_view_replacements_answer(self):
         chip = make_chip()
         chip.program(0, b"x")
-        with pytest.warns(DeprecationWarning, match="chip.state"):
-            assert chip.state_of(0).name == "PROGRAMMED"
-        with pytest.warns(DeprecationWarning):
-            assert chip.state_of(1) is not None  # erased pages still answer
-
-    def test_is_torn_warns_and_answers(self):
-        plan = CrashPlan()
-        plan.arm("flash.program.mid", after=2, tear_page=True)
-        chip = make_chip(crash_plan=plan)
-        chip.program(0, b"x")
-        with pytest.raises(PowerFailure):
-            chip.program(1, b"y")
-        with pytest.warns(DeprecationWarning, match="chip.state"):
-            assert chip.is_torn(1)
-        with pytest.warns(DeprecationWarning):
-            assert not chip.is_torn(0)
-
-    def test_block_write_point_warns_and_answers(self):
-        chip = make_chip()
-        chip.program(0, b"x")
-        chip.program(1, b"y")
-        with pytest.warns(DeprecationWarning, match="chip.state"):
-            assert chip.block_write_point(0) == 2
-
-    def test_block_is_full_warns_and_answers(self):
-        chip = make_chip()
-        for ppn in range(4):
-            chip.program(ppn, b"x")
-        with pytest.warns(DeprecationWarning, match="chip.state"):
-            assert chip.block_is_full(0)
-        with pytest.warns(DeprecationWarning):
-            assert not chip.block_is_full(1)
-
-    def test_erase_counts_property_warns_and_answers(self):
-        chip = make_chip()
         chip.erase(3)
-        with pytest.warns(DeprecationWarning, match="chip.state"):
-            counts = chip.erase_counts
-        assert counts[3] == 1 and sum(counts) == 1
-        assert counts is chip.state.erase_counts  # shim returns the live array
-
-    def test_shims_agree_with_state_view(self):
-        chip = make_chip()
-        for ppn in range(3):
-            chip.program(ppn, b"v")
-        chip.erase(1)
-        with pytest.warns(DeprecationWarning):
-            assert chip.block_write_point(0) == chip.state.write_points[0]
-        with pytest.warns(DeprecationWarning):
-            assert chip.block_is_full(0) == chip.state.block_is_full(0)
-        byte_to_name = {0: "ERASED", 1: "PROGRAMMED", 2: "TORN"}
-        with pytest.warns(DeprecationWarning):
-            assert [chip.state_of(p).name for p in range(4)] == [
-                byte_to_name[chip.state.page_states[p]] for p in range(4)
-            ]
+        assert chip.state.page_states[0] == 1  # PAGE_PROGRAMMED
+        assert not chip.state.is_torn(0)
+        assert chip.state.write_points[0] == 1
+        assert not chip.state.block_is_full(0)
+        assert chip.state.erase_counts[3] == 1

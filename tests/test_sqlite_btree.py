@@ -126,7 +126,7 @@ class TestSplitsAndStructure:
         pager.commit()
 
     def test_reverse_and_random_insert_orders(self):
-        import random
+        from repro.sim.rng import make_rng
 
         for order in ("reverse", "random"):
             pager = make_pager(page_size=512)
@@ -136,7 +136,7 @@ class TestSplitsAndStructure:
             if order == "reverse":
                 keys.reverse()
             else:
-                random.Random(7).shuffle(keys)
+                make_rng(7, "test.sqlite_btree", "insert-order").shuffle(keys)
             for key in keys:
                 tree.insert((key,), b"v%d" % key)
             assert [k[0] for k, _ in tree.scan()] == list(range(200))
