@@ -205,6 +205,31 @@ class StorageDevice:
             return ftl.read_tx(tid, lpn)
         return self._dispatch(lambda: ftl.read_tx(tid, lpn))
 
+    def read_as_of(self, lpn: int, snapshot_seq: int) -> Any:
+        """AS-OF read: the copy of ``lpn`` a snapshot pinned at
+        ``snapshot_seq`` observes (multi-version X-L2P, retain_versions > 1).
+        Falls back to the current committed copy when no retained version
+        qualifies — including the whole retain_versions == 1 regime."""
+        self._check_on()
+        ftl = self._require_tx()
+        self.counters.tagged_reads += 1
+        self._obs_tagged_reads.inc()
+        self._charge(transfers=1)
+        if self.queue is None:
+            return ftl.read_as_of(lpn, snapshot_seq)
+        return self._dispatch(lambda: ftl.read_as_of(lpn, snapshot_seq))
+
+    def snapshot_seq(self) -> int:
+        """Current commit sequence number — the pin for a new snapshot."""
+        self._check_on()
+        return self._require_tx().snapshot_seq()
+
+    def set_snapshot_floor(self, floor: int | None) -> None:
+        """Publish the oldest active snapshot so the FTL can reclaim
+        versions no snapshot can still resolve through."""
+        self._check_on()
+        self._require_tx().set_snapshot_floor(floor)
+
     def write_tx(self, tid: int, lpn: int, data: Any) -> None:
         self._check_on()
         ftl = self._require_tx()

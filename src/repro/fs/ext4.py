@@ -443,7 +443,7 @@ class Ext4:
         start_us = self._clock.now_us
         with self.obs.tracer.span("stage_tx", "fs", tid=txn.tid):
             self._clock.advance(self._profile.host_fsync_us)
-            dirty = self._drain_dirty_data(handle.inode.ino)
+            dirty = self._drain_dirty_data(handle.inode.ino, staged=True)
             txn.begin_commit()
             try:
                 for lpn, data in dirty:
@@ -454,6 +454,12 @@ class Ext4:
                 for lpn, _data in dirty:
                     self.cache.drop(lpn)
                 raise
+            # The staged copies live on the device uncommitted, exactly like
+            # stolen pages: route plain readers to the committed copy and
+            # tagged self-reads to the transaction's version even if the
+            # cached page gets evicted before the commit sweep.
+            for lpn, _data in dirty:
+                self._stolen[lpn] = txn.tid
             self._dirty_meta.clear()
             self.device.chip.crash_plan.hit(CP_FSYNC_MID)
         self._obs_fsync_us.observe(self._clock.now_us - start_us)
@@ -472,6 +478,10 @@ class Ext4:
             return
         self.device.commit_group([txn.tid for txn in txns])
         for txn in txns:
+            # The staged cache pages' data is the committed copy now: untag
+            # them so foreign readers resolve to the fresh data instead of
+            # re-reading the (now superseded) committed copy off the device.
+            self.cache.clear_txn_tag(txn)
             for lpn in [
                 lpn for lpn, owner in self._stolen.items() if owner == txn.tid
             ]:
@@ -588,14 +598,21 @@ class Ext4:
             self.device.flush()  # nothing to journal, still a durability point
         self._dirty_meta.clear()
 
-    def _drain_dirty_data(self, ino: int) -> list[tuple[int, Any]]:
+    def _drain_dirty_data(self, ino: int, staged: bool = False) -> list[tuple[int, Any]]:
         lpns = sorted(lpn for lpn, owner in self._dirty_data.items() if owner == ino)
         out: list[tuple[int, Any]] = []
         for lpn in lpns:
             page = self.cache.peek(lpn)
             if page is not None and page.dirty:
                 out.append((lpn, page.data))
-                self.cache.mark_clean(lpn)
+                if staged:
+                    # Group-commit stage: the data is about to be written
+                    # under its transaction but stays uncommitted until the
+                    # commit sweep — keep the page's txn tag so foreign
+                    # readers don't see it from the cache meanwhile.
+                    self.cache.mark_staged(lpn)
+                else:
+                    self.cache.mark_clean(lpn)
             del self._dirty_data[lpn]
         return out
 
@@ -788,18 +805,19 @@ class Ext4:
     def read_lpn(self, lpn: int, txn=None) -> Any:
         """Read one file data page through cache/journal/device layers.
 
-        Snapshot-read isolation: a dirty cache page tagged by some *other*
-        transaction is invisible — the reader gets the committed copy from
-        the device instead (uncached, since the committed copy goes stale
-        the moment the writer commits).  A transaction always sees its own
-        dirty pages; untagged dirty pages (non-XFTL modes, plain writes)
-        are shared as before.
+        Snapshot-read isolation: a cache page tagged by some *other*
+        transaction — dirty, or staged for a pending group commit — is
+        invisible: the reader gets the committed copy from the device
+        instead (uncached, since the committed copy goes stale the moment
+        the writer commits).  A transaction always sees its own tagged
+        pages; untagged dirty pages (non-XFTL modes, plain writes) are
+        shared as before.
         """
         txn = self._coerce_txn(txn)
         page = self.cache.get(lpn)
         if page is not None:
             owner = page.txn
-            if page.dirty and owner is not None and (txn is None or owner.tid != txn.tid):
+            if owner is not None and (txn is None or owner.tid != txn.tid):
                 self._charge_syscall()
                 return self.device.read(lpn)
             return page.data
@@ -818,6 +836,16 @@ class Ext4:
         if data is not None:
             self.cache.put(lpn, data)
         return data
+
+    def read_lpn_as_of(self, lpn: int, snapshot_seq: int) -> Any:
+        """Snapshot (AS-OF) read: the committed copy as of ``snapshot_seq``.
+
+        Bypasses the page cache in both directions — the cache tracks the
+        *current* committed state, not historical versions, so a snapshot
+        reader neither trusts nor populates it.
+        """
+        self._charge_syscall()
+        return self.device.read_as_of(lpn, snapshot_seq)
 
     def write_lpn(self, lpn: int, data: Any, ino: int, txn) -> None:
         """Buffer one file data page write in the cache (dirty, txn-tagged)."""
@@ -875,6 +903,13 @@ class FileHandle:
         """Buffer a page write; ``txn`` tags it for XFTL-mode transactions."""
         lpn = self.fs._ensure_block(self.inode, index)
         self.fs.write_lpn(lpn, data, self.inode.ino, txn)
+
+    def read_page_as_of(self, index: int, snapshot_seq: int) -> Any:
+        """Snapshot read of file page ``index`` (see :meth:`Ext4.read_lpn_as_of`)."""
+        lpn = self.fs._lookup_block(self.inode, index)
+        if lpn is None:
+            return None
+        return self.fs.read_lpn_as_of(lpn, snapshot_seq)
 
     def read_page_tx(self, index: int, txn) -> Any:
         """Tagged read: transaction ``txn`` sees its own stolen writes.

@@ -99,17 +99,47 @@ class PageCache:
             page.dirty = False
             page.txn = None
 
+    def mark_staged(self, lpn: int) -> None:
+        """Clean but still transaction-tagged (group-commit stage window).
+
+        The page's data has been written to the device under its
+        transaction but the transaction has not committed yet, so foreign
+        readers must keep treating the cached copy as uncommitted and read
+        the committed version from the device instead.  The tag is cleared
+        by :meth:`clear_txn_tag` once the group commit lands (or the page
+        is dropped by :meth:`drop_txn` on abort).
+        """
+        page = self._pages.get(lpn)
+        if page is not None:
+            page.dirty = False
+
+    def clear_txn_tag(self, txn: object) -> list[int]:
+        """Untag ``txn``'s staged (clean) pages — its commit landed.
+
+        Their cached data *is* now the committed copy, so they become
+        plain shared pages.  Dirty pages keep their tag: those belong to
+        the transaction's next, not-yet-staged batch of changes.
+        """
+        cleared = []
+        for page in self._pages.values():
+            if not page.dirty and page.txn == txn:
+                page.txn = None
+                cleared.append(page.lpn)
+        return cleared
+
     def drop(self, lpn: int) -> None:
         """Remove a page without write-back (used by abort)."""
         self._pages.pop(lpn, None)
 
     def drop_txn(self, txn: object) -> list[int]:
-        """Drop every dirty page belonging to ``txn``; return their lpns.
+        """Drop every page belonging to ``txn``; return their lpns.
 
         This is how an aborting transaction's cached (not-yet-stolen)
-        changes are undone (§5.2).
+        changes are undone (§5.2).  Both dirty pages and staged (clean but
+        still tagged — see :meth:`mark_staged`) pages are uncommitted, so
+        both are dropped.
         """
-        doomed = [lpn for lpn, page in self._pages.items() if page.dirty and page.txn == txn]
+        doomed = [lpn for lpn, page in self._pages.items() if page.txn == txn]
         for lpn in doomed:
             del self._pages[lpn]
         return doomed

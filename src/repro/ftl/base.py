@@ -94,6 +94,19 @@ class FtlConfig:
             LRU-most dirty resident pages are written back in the same
             overlap region (they stay resident, now clean), amortizing the
             writeback cost the way DFTL batches same-victim updates.
+        retain_versions: Committed versions retained per logical page
+            (multi-version X-L2P).  ``1`` — the default — keeps exactly the
+            current committed copy, bit-identical to the single-version
+            stack (pinned by ``tests/test_mvcc.py``).  A value ``N > 1``
+            keeps up to ``N - 1`` superseded committed copies per lpn in a
+            version chain: commits *publish* a new version instead of
+            invalidating the old one, GC treats retained versions as live
+            (copyback preserves chain order), and snapshot/AS-OF readers
+            resolve reads against a pinned commit sequence number.  Chains
+            older than the bound are released (deferred invalidation), but
+            a version still visible to the oldest active snapshot — the
+            floor the host publishes through ``set_snapshot_floor`` — stays
+            pinned past the bound until its reader ends.
     """
 
     overprovision: float = 0.12
@@ -114,6 +127,7 @@ class FtlConfig:
     map_checkpoint_interval: int = 64
     cmt_pages: int = 0
     cmt_dirty_batch: int = 2
+    retain_versions: int = 1
 
 
 class Ftl(abc.ABC):

@@ -49,8 +49,12 @@ Safety: the job cursor only ever relocates pages through the owning FTL's
 invariant (pages referenced by L2P *or any* X-L2P entry are never
 reclaimed) holds at every preemption point — uncommitted transactional
 copies keep their tid and their X-L2P entry is repointed, exactly as in
-the inline pass.  The ``gc.*`` crash points below are swept by the
-``ftl.gc`` verify layer.
+the inline pass.  With ``retain_versions > 1`` the live union also covers
+version-chain entries (``OWNER_VERSION`` pages): copyback repoints the
+chain entry in place, preserving chain order, and the relocated page keeps
+its original OOB sequence number so replay never resurrects it as the
+current copy.  The ``gc.*`` crash points below are swept by the ``ftl.gc``
+verify layer; the version-chain edges by ``ftl.mvcc``.
 """
 
 from __future__ import annotations
@@ -60,7 +64,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import FtlError, OutOfSpaceError
-from repro.ftl.pagemap import OOB_DATA, OWNER_L2P
+from repro.ftl.pagemap import OOB_DATA, OOB_MAP, OWNER_L2P
 from repro.obs import DEFAULT_SIZE_BOUNDS
 from repro.sim.crash import register_crash_point
 

@@ -55,6 +55,14 @@ OWNER_META = "meta"
 OWNER_XL2P_DATA = "xl2p"  # uncommitted transactional data (used by XFTL)
 OWNER_XL2P_TABLE = "xl2p-table"  # persisted X-L2P table page (used by XFTL)
 OWNER_RETIRED = "retired"  # superseded page still pinned by the durable root
+OWNER_VERSION = "version"  # superseded committed page retained in a version chain
+
+# OOB tid sentinel for GC-relocated retained versions: a relocated version
+# keeps its *original* sequence number (so OOB replay never resurrects it as
+# the current copy) and carries this tid, which by construction is never in
+# any committed-tid set — recovery identifies version pages only through the
+# persisted chains, never through replay.
+VERSION_TID = -1
 
 # OOB kinds.
 OOB_DATA = "data"
@@ -78,6 +86,9 @@ class RootRecord:
     # of tids committed since the last full map checkpoint.
     xl2p_ppns: tuple[int, ...] = ()
     committed_tids: frozenset[int] = frozenset()
+    # Multi-version X-L2P: the commit sequence counter as of the last root
+    # publish.  Stays 0 on the single-version stack (retain_versions=1).
+    commit_seq: int = 0
 
     def clone(self) -> "RootRecord":
         return RootRecord(
@@ -86,6 +97,7 @@ class RootRecord:
             seq=self.seq,
             xl2p_ppns=tuple(self.xl2p_ppns),
             committed_tids=frozenset(self.committed_tids),
+            commit_seq=self.commit_seq,
         )
 
 
@@ -401,20 +413,43 @@ class PageMappingFTL(Ftl):
         for segment, ppn in self._map_dir.items():
             entries = self.chip.read(ppn)
             self._set_owner_raw(ppn, (OWNER_MAP, segment))
-            for lpn, data_ppn in entries:
-                self._l2p[lpn] = data_ppn
+            # Entries are (lpn, ppn) pairs; the multi-version XFTL persists
+            # (lpn, ppn, chain) triples — the chain tail is restored by the
+            # subclass in _finish_remount, after OOB replay settles the
+            # current mapping.
+            for entry in entries:
+                self._l2p[entry[0]] = entry[1]
         for slot, ppn in self._meta_dir.items():
             self._set_owner_raw(ppn, (OWNER_META, slot))
+        stale: list[int] = []
         for lpn, ppn in self._l2p.items():
             # A persisted mapping can be stale: its physical page may have
             # been invalidated, erased and reused — possibly for one of the
             # very map/meta pages claimed above (their programs carry
             # sequence numbers past the published root.seq, so they can
             # postdate the stale mapping's correction).  Never let a stale
-            # claim displace an established owner; the OOB replay below is
-            # guaranteed to carry the fresher mapping for this lpn.
-            if ppn not in self._owner:
-                self._set_owner_raw(ppn, (OWNER_L2P, lpn))
+            # claim displace an established owner; for an overwritten lpn
+            # the OOB replay below is guaranteed to carry the fresher
+            # mapping.  A *trimmed* lpn has no fresher copy to correct it,
+            # so an unowned target is verified against the page itself
+            # before claiming — a mapping whose page is erased (or reused
+            # under a different identity) is dropped, restoring the
+            # trimmed read-as-zeros state instead of claiming dead flash.
+            if ppn in self._owner:
+                continue
+            if self._page_states[ppn] == PAGE_PROGRAMMED:
+                # Kind-agnostic identity check: every data OOB layout in the
+                # FTL family (OOB_DATA, SCC, WAL, ...) carries the lpn in
+                # slot 1, so a programmed page whose OOB names this lpn is a
+                # genuine copy of it.
+                oob = self.chip.read_oob(ppn)
+                if oob is not None and len(oob) >= 2 and oob[1] == lpn:
+                    self._set_owner_raw(ppn, (OWNER_L2P, lpn))
+                    continue
+            stale.append(lpn)
+        for lpn in stale:
+            self._l2p.pop(lpn, None)
+            self._mark_dirty(lpn)
 
         # 2. Replay newer writes found in OOB areas, in sequence order.
         # Dirty tracking restarts here, *before* the replay: each replayed
@@ -868,6 +903,23 @@ class PageMappingFTL(Ftl):
     def _segment_entries(self, segment: int) -> tuple:
         return self._l2p.segment_items(segment)
 
+    def _segment_image(self, segment: int) -> tuple:
+        """The image a translation-page flush of ``segment`` would program.
+
+        The stock FTL programs the raw ``(lpn, ppn)`` entries; the
+        multi-version XFTL overrides this to append version chains.
+        """
+        return self._segment_entries(segment)
+
+    @staticmethod
+    def _translation_images_match(flushed, live) -> bool:
+        """Order-insensitive comparison of two translation-page images.
+
+        Images hold ``(lpn, ppn)`` pairs — or ``(lpn, ppn, chain)`` triples
+        under the multi-version XFTL — keyed by lpn.
+        """
+        return {e[0]: e[1:] for e in flushed} == {e[0]: e[1:] for e in live}
+
     def _retire(self, ppn: int, kind: str, key: object) -> None:
         """Keep a superseded root-referenced page valid until root publish."""
         self._drop_owner(ppn)
@@ -943,7 +995,12 @@ class PageMappingFTL(Ftl):
             seq=seq,
             xl2p_ppns=self._root.xl2p_ppns,
             committed_tids=self._root.committed_tids,
+            commit_seq=self._commit_seq_for_root(),
         )
+
+    def _commit_seq_for_root(self) -> int:
+        """Commit sequence counter published with the root (XFTL overrides)."""
+        return self._root.commit_seq
 
     # -------- recovery helpers ------------------------------------------
 

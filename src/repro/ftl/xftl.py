@@ -44,11 +44,13 @@ from repro.ftl.pagemap import (
     OOB_DATA,
     OOB_XL2P_TABLE,
     OWNER_L2P,
+    OWNER_VERSION,
     OWNER_XL2P_DATA,
     OWNER_XL2P_TABLE,
+    VERSION_TID,
     PageMappingFTL,
 )
-from repro.ftl.xl2p import TxStatus, XL2PTable
+from repro.ftl.xl2p import TxStatus, VersionedL2P, XL2PTable
 from repro.obs import DEFAULT_SIZE_BOUNDS
 from repro.sim.crash import register_crash_point
 
@@ -68,6 +70,16 @@ CP_GROUP_PUBLISH = register_crash_point(
     "ftl.xftl",
     "group commit: shared X-L2P flush durable and root republished, L2P folds pending",
 )
+CP_VERSION_PUBLISH = register_crash_point(
+    "xftl.version.publish",
+    "ftl.mvcc",
+    "superseded committed page re-owned as a retained version, chain push pending",
+)
+CP_VERSION_RELEASE = register_crash_point(
+    "xftl.version.release",
+    "ftl.mvcc",
+    "version released from its chain, deferred invalidation pending",
+)
 
 
 class XFTL(PageMappingFTL):
@@ -86,6 +98,22 @@ class XFTL(PageMappingFTL):
         self._started_tids: set[int] = set()  # tids with >= 1 write_tx this mount
         self._writers_by_lpn: dict[int, int] = {}  # conflict detection only
         self.last_xl2p_recovery_us = 0.0
+        # Multi-version X-L2P (FtlConfig.retain_versions).  ``None`` — the
+        # retain_versions=1 default — keeps every code path bit-identical to
+        # the single-version stack (same discipline as cmt_pages=0).
+        if self.config.retain_versions < 1:
+            raise TransactionError(
+                f"retain_versions must be >= 1, got {self.config.retain_versions}"
+            )
+        if self.config.retain_versions > 1:
+            self._versions: VersionedL2P | None = VersionedL2P(
+                self.config.retain_versions
+            )
+        else:
+            self._versions = None
+        # Commit sequence counter: ticks once per committed transaction
+        # (snapshots pin its value).  Stays 0 on the single-version stack.
+        self._commit_counter = 0
         obs = chip.obs
         self._obs_commits = obs.counter("ftl.commits")
         self._obs_aborts = obs.counter("ftl.aborts")
@@ -97,6 +125,9 @@ class XFTL(PageMappingFTL):
         self._obs_xl2p_flushes = obs.counter("ftl.xl2p.flushes")
         self._obs_group_commits = obs.counter("ftl.group_commits")
         self._obs_group_size = obs.histogram("ftl.group_commit.size", DEFAULT_SIZE_BOUNDS)
+        self._obs_version_publishes = obs.counter("ftl.mvcc.version_publishes")
+        self._obs_version_releases = obs.counter("ftl.mvcc.version_releases")
+        self._obs_asof_reads = obs.counter("ftl.mvcc.asof_reads")
 
     # ------------------------------------------------------ transactional IO
 
@@ -135,6 +166,120 @@ class XFTL(PageMappingFTL):
         self._obs_host_reads.inc()
         return self.chip.read(entry.new_ppn)
 
+    # ------------------------------------------------- multi-version X-L2P
+
+    def write(self, lpn: int, data: Any) -> None:
+        """Non-transactional write; retains the superseded committed copy."""
+        if self._versions is None:
+            super().write(lpn, data)
+            return
+        self._check_power()
+        self._check_lpn(lpn)
+        if self._cmt is not None:
+            self._cmt.access(lpn // self._map_entries_per_page)
+        self._seq += 1
+        ppn = self._program(data, (OOB_DATA, lpn, self._seq, None))
+        old = self._l2p.get(lpn)
+        if old is not None:
+            if self._owner.get(old) == (OWNER_L2P, lpn):
+                # A plain overwrite is its own one-page commit: it ticks
+                # the commit counter so snapshots order it against both
+                # transactional commits and other plain overwrites (two
+                # overwrites sharing a sequence would make a snapshot
+                # between them resolve to the older copy).
+                self._commit_counter += 1
+                self._version_publish(lpn, old, self._commit_counter)
+            else:
+                self._invalidate(old)
+        self._l2p[lpn] = ppn
+        self._set_owner(ppn, (OWNER_L2P, lpn))
+        self._mark_dirty(lpn)
+        self.stats.host_page_writes += 1
+        self._obs_host_writes.inc()
+
+    def trim(self, lpn: int) -> None:
+        super().trim(lpn)
+        if self._versions is not None:
+            for ppn in self._versions.release_lpn(lpn):
+                self._release_version_page(lpn, ppn)
+
+    def read_as_of(self, lpn: int, snap: int) -> Any:
+        """Committed content of ``lpn`` as of commit sequence ``snap``.
+
+        Resolves through the lpn's version chain: the oldest retained copy
+        superseded *after* ``snap``, falling back to the current committed
+        copy.  With ``retain_versions=1`` this degenerates to :meth:`read`.
+        """
+        self._check_power()
+        self._check_lpn(lpn)
+        versions = self._versions
+        if versions is not None:
+            ppn = versions.resolve(lpn, snap)
+            if ppn is not None:
+                self.stats.host_page_reads += 1
+                self._obs_host_reads.inc()
+                self._obs_asof_reads.inc()
+                return self.chip.read(ppn)
+            self._obs_asof_reads.inc()
+        return self.read(lpn)
+
+    def snapshot_seq(self) -> int:
+        """The commit sequence number a snapshot taken right now pins."""
+        self._check_power()
+        return self._commit_counter
+
+    def set_snapshot_floor(self, floor: int | None) -> None:
+        """Publish the oldest active snapshot to drive version reclamation.
+
+        ``None`` means no active snapshots: chains trim purely to the
+        retention bound.  Versions a floor had pinned past the bound are
+        released (deferred invalidation) once the floor moves beyond them.
+        """
+        self._check_power()
+        versions = self._versions
+        if versions is None:
+            return
+        for lpn, ppns in versions.set_floor(floor).items():
+            for ppn in ppns:
+                self._release_version_page(lpn, ppn)
+
+    def version_chain(self, lpn: int) -> tuple:
+        """Retained ``(ppn, sup_seq, oob_seq)`` versions of ``lpn`` (tests/bench)."""
+        if self._versions is None:
+            return ()
+        return self._versions.chain(lpn)
+
+    def retained_version_count(self) -> int:
+        """Total retained version pages across all chains."""
+        return len(self._versions) if self._versions is not None else 0
+
+    def _version_publish(self, lpn: int, old_ppn: int, sup_seq: int) -> None:
+        """Push a superseded committed copy onto the lpn's version chain.
+
+        The page stays valid (GC-live) under an ``(OWNER_VERSION, lpn)``
+        owner; its OOB sequence number is recorded as its stable identity
+        for GC relocation and recovery validation.  Entries that fall off
+        the bounded chain are released with deferred invalidation.
+        """
+        oob = self.chip.read_oob(old_ppn)
+        oob_seq = oob[2] if oob else 0
+        self._drop_owner(old_ppn)
+        self._set_owner_raw(old_ppn, (OWNER_VERSION, lpn))
+        self.chip.crash_plan.hit(CP_VERSION_PUBLISH)
+        self._obs_version_publishes.inc()
+        for released in self._versions.push(lpn, old_ppn, sup_seq, oob_seq):
+            self._release_version_page(lpn, released)
+
+    def _release_version_page(self, lpn: int, ppn: int) -> None:
+        """Deferred invalidation of a released version (may still be
+        referenced by the durable root's translation pages until the next
+        publish)."""
+        self.chip.crash_plan.hit(CP_VERSION_RELEASE)
+        self._retire(ppn, OWNER_VERSION, lpn)
+        self._obs_version_releases.inc()
+        # The chain shrank, so the segment's durable image is stale.
+        self._mark_dirty(lpn)
+
     def commit(self, tid: int) -> None:
         """Durably commit ``tid`` (Figure 4). Cheap: flushes only the X-L2P."""
         self._check_power()
@@ -162,13 +307,24 @@ class XFTL(PageMappingFTL):
             # In demand-paged (CMT) mode the flush also pins the
             # transaction's translation pages under the same drain barrier.
             self._committed_tids.add(tid)
+            if self._versions is not None:
+                # Tick before the flush so the published root carries the
+                # post-commit counter (a post-crash snapshot must never pin
+                # a sequence below a durably committed transaction's).
+                self._commit_counter += 1
+            commit_seq = self._commit_counter
             self._flush_xl2p(pin_entries=entries if self._cmt is not None else None)
             self.chip.crash_plan.hit(CP_COMMIT_AFTER_FLUSH)
             # Step 4: remap the LPNs in the main L2P table (DRAM; idempotent).
+            # Multi-version mode publishes the superseded committed copy
+            # into the lpn's version chain instead of invalidating it.
             for entry in entries:
                 old = self._l2p.get(entry.lpn)
                 if old is not None:
-                    self._invalidate(old)
+                    if self._versions is not None:
+                        self._version_publish(entry.lpn, old, commit_seq)
+                    else:
+                        self._invalidate(old)
                 self._drop_owner(entry.new_ppn)
                 self._l2p[entry.lpn] = entry.new_ppn
                 self._set_owner(entry.new_ppn, (OWNER_L2P, entry.lpn))
@@ -232,6 +388,14 @@ class XFTL(PageMappingFTL):
                 self.xl2p.set_status(tid, TxStatus.COMMITTED)
             self.chip.crash_plan.hit(CP_GROUP_FLUSH)
             self._committed_tids.update(live)
+            # One commit sequence per member, assigned in fold order and
+            # ticked before the flush so the root publishes the post-batch
+            # counter atomically with the batch's committed-tid set.
+            commit_seqs: dict[int, int] = {}
+            if self._versions is not None:
+                for tid in live:
+                    self._commit_counter += 1
+                    commit_seqs[tid] = self._commit_counter
             # Pin the whole batch's translation pages (CMT mode): later
             # members' folds overlay earlier ones, matching the fold order.
             group_entries = (
@@ -245,7 +409,10 @@ class XFTL(PageMappingFTL):
                 for entry in self.xl2p.entries_of(tid):
                     old = self._l2p.get(entry.lpn)
                     if old is not None:
-                        self._invalidate(old)
+                        if self._versions is not None:
+                            self._version_publish(entry.lpn, old, commit_seqs[tid])
+                        else:
+                            self._invalidate(old)
                     self._drop_owner(entry.new_ppn)
                     self._l2p[entry.lpn] = entry.new_ppn
                     self._set_owner(entry.new_ppn, (OWNER_L2P, entry.lpn))
@@ -338,9 +505,11 @@ class XFTL(PageMappingFTL):
                 # the page labelled OOB_XL2P_TABLE (not misfiled as meta).
                 self._retire(old, OWNER_XL2P_TABLE, index)
         self._xl2p_page_ppns = new_ppns
-        # Atomic meta-block update: new X-L2P location + committed tid set.
+        # Atomic meta-block update: new X-L2P location + committed tid set
+        # (+ the commit sequence counter; constant 0 when retain_versions=1).
         self._root.xl2p_ppns = tuple(new_ppns)
         self._root.committed_tids = frozenset(self._committed_tids)
+        self._root.commit_seq = self._commit_counter
         if self._cmt is not None:
             # Demand-paged mode repoints translation pages outside barriers
             # (CMT writebacks, commit pinning); retired old copies become
@@ -387,7 +556,9 @@ class XFTL(PageMappingFTL):
             ppn = self._map_dir.get(segment)
             if ppn is None:
                 continue
-            if dict(self.chip.peek(ppn)) == dict(self._segment_entries(segment)):
+            if self._translation_images_match(
+                self.chip.peek(ppn), self._segment_image(segment)
+            ):
                 self._dirty_segments.discard(segment)
 
     def _checkpoint_map(self) -> None:
@@ -396,6 +567,24 @@ class XFTL(PageMappingFTL):
         self._committed_tids.clear()
         self._root.committed_tids = frozenset()
         self._commits_since_checkpoint = 0
+
+    def _segment_image(self, segment: int) -> tuple:
+        entries = self._segment_entries(segment)
+        if self._versions is not None:
+            entries = self._versions.augment(entries)
+        return entries
+
+    def _write_translation_page(self, segment: int, entries: tuple | None = None) -> int:
+        # Multi-version mode persists (lpn, ppn, chain) triples so retained
+        # versions survive power loss; chain durability rides the existing
+        # flush points (barriers, CMT writebacks, commit pinning) — a crash
+        # can cost retention depth, never integrity (recovery validates
+        # every restored entry against its page's OOB identity).
+        if self._versions is not None:
+            if entries is None:
+                entries = self._segment_entries(segment)
+            entries = self._versions.augment(entries)
+        return super()._write_translation_page(segment, entries)
 
     # ------------------------------------------------- GC integration hooks
 
@@ -407,6 +596,19 @@ class XFTL(PageMappingFTL):
             return (OOB_DATA, lpn, self._seq, tid)
         if kind == OWNER_XL2P_TABLE:
             return (OOB_XL2P_TABLE, owner[1], self._seq, None)
+        if kind == OWNER_VERSION:
+            # A relocated retained version keeps its *original* sequence
+            # number — the chain entry's stored identity — so OOB replay
+            # never resurrects it as the current copy, and recovery can
+            # still match it against the persisted chain.  VERSION_TID
+            # marks it untouchable for replay even above the root horizon.
+            lpn = owner[1]
+            oob_seq = self._versions.oob_seq_of(lpn, old_ppn)
+            if oob_seq is None:
+                raise TransactionError(
+                    f"version-owned ppn {old_ppn} missing from lpn {lpn}'s chain"
+                )
+            return (OOB_DATA, lpn, oob_seq, VERSION_TID)
         return super()._gc_oob_extra(owner, old_ppn)
 
     def _apply_relocation_extra(self, owner: tuple, old_ppn: int, new_ppn: int) -> None:
@@ -414,6 +616,12 @@ class XFTL(PageMappingFTL):
         if kind == OWNER_XL2P_DATA:
             _, tid, lpn = owner
             self.xl2p.update_ppn(tid, lpn, new_ppn)
+            return
+        if kind == OWNER_VERSION:
+            lpn = owner[1]
+            self._versions.relocate(lpn, old_ppn, new_ppn)
+            # The chain's durable image now names a stale ppn; re-flush it.
+            self._mark_dirty(lpn)
             return
         if kind == OWNER_XL2P_TABLE:
             index = owner[1]
@@ -429,7 +637,13 @@ class XFTL(PageMappingFTL):
     # ------------------------------------------------------------- recovery
 
     def _replay_applies(self, tid: int | None) -> bool:
-        """OOB replay rule: untagged writes and durably committed tids apply."""
+        """OOB replay rule: untagged writes and durably committed tids apply.
+
+        ``VERSION_TID`` marks GC-relocated retained versions: never current,
+        never replayed (belt-and-braces — it can also never be committed).
+        """
+        if tid == VERSION_TID:
+            return False
         return tid is None or tid in self._root.committed_tids
 
     def power_fail(self) -> None:
@@ -444,6 +658,9 @@ class XFTL(PageMappingFTL):
         self._started_tids = set()
         self._commits_since_checkpoint = 0
         self._writers_by_lpn = {}
+        self._commit_counter = 0
+        if self._versions is not None:
+            self._versions.clear()
 
     def _finish_remount(self) -> None:
         """Load the persisted X-L2P and reflect committed entries (§5.4).
@@ -470,7 +687,64 @@ class XFTL(PageMappingFTL):
             capacity=self.config.xl2p_capacity,
             entry_bytes=self.config.xl2p_entry_bytes,
         )
+        # Snapshots pinned before the crash are gone; the counter resumes
+        # from the durable root so new snapshots sit above every durably
+        # committed transaction.
+        self._commit_counter = self._root.commit_seq
+        if self._versions is not None:
+            self._restore_version_chains()
         self.last_xl2p_recovery_us = self.chip.clock.now_us - t0
+
+    def _commit_seq_for_root(self) -> int:
+        return self._commit_counter
+
+    def _restore_version_chains(self) -> None:
+        """Re-validate and re-own persisted version chains (recovery).
+
+        Runs after OOB replay and the committed X-L2P reflect, so every
+        *current* page is already owned.  A persisted chain entry can be
+        stale — released and reclaimed, its block erased or reused since
+        the map page flushed — so each entry is validated against the
+        physical page's OOB identity (programmed, data kind, same lpn,
+        same sequence number) and against the owner map (an entry may
+        never claim a page something else keeps alive).  Failures are
+        dropped: an unowned page is simply reclaimed by the space-state
+        rebuild, so a crash anywhere between version publish and release
+        can lose retention depth but never orphan or double-free a page.
+        """
+        versions = self._versions
+        versions.clear()
+        page_states = self.chip.state.page_states
+        owners = self._owner
+        for segment in sorted(self._map_dir):
+            # The map pages were already read (and charged) by the base
+            # remount; peek re-decodes the persisted image for free.
+            image = self.chip.peek(self._map_dir[segment])
+            for entry in image:
+                if len(entry) < 3:
+                    continue
+                lpn, chain = entry[0], entry[2]
+                restored = []
+                for ppn, sup_seq, oob_seq in chain:
+                    if page_states[ppn] != PAGE_PROGRAMMED:
+                        continue
+                    oob = self.chip.read_oob(ppn)
+                    if not oob or oob[0] != OOB_DATA or oob[1] != lpn or oob[2] != oob_seq:
+                        continue
+                    if ppn in owners:
+                        continue
+                    restored.append((ppn, sup_seq, oob_seq))
+                    self._set_owner_raw(ppn, (OWNER_VERSION, lpn))
+                if restored:
+                    versions.restore(lpn, restored)
+                    if len(restored) != len(chain):
+                        # The durable chain shrank: persist the repair.
+                        self._mark_dirty(lpn)
+        # Snapshot pins died with the power; re-trim chains a floor had
+        # held past the retention bound.
+        for lpn, ppns in versions.set_floor(None).items():
+            for ppn in ppns:
+                self._release_version_page(lpn, ppn)
 
     def _reflect_committed(self, durable: XL2PTable) -> None:
         """Idempotently fold durably-committed X-L2P entries into L2P."""
@@ -524,3 +798,48 @@ class XFTL(PageMappingFTL):
                         f"X-L2P entry (tid={tid}, lpn={entry.lpn}) points at "
                         f"non-programmed ppn {entry.new_ppn}"
                     )
+        versions = self._versions
+        if versions is None:
+            return
+        # Version-chain invariants: every chain entry is a programmed page
+        # owned as this lpn's retained version (the live-union GC preserves
+        # now includes chains), chains never alias the current copy, commit
+        # order is monotone, and no OWNER_VERSION owner is orphaned.
+        chained = 0
+        for lpn, chain in versions.chains():
+            if not chain:
+                raise TransactionError(f"empty version chain for lpn {lpn}")
+            if versions.floor is None and len(chain) > versions.bound:
+                raise TransactionError(
+                    f"version chain for lpn {lpn} exceeds bound with no snapshot "
+                    f"floor: {len(chain)} > {versions.bound}"
+                )
+            current = self._l2p.get(lpn)
+            prev_seq = None
+            for ppn, sup_seq, _oob_seq in chain:
+                chained += 1
+                owner = self._owner.get(ppn)
+                if owner != (OWNER_VERSION, lpn):
+                    raise TransactionError(
+                        f"version chain entry (lpn={lpn}, ppn={ppn}) owned by "
+                        f"{owner!r}; live-union broken"
+                    )
+                if self.chip.state.page_states[ppn] != PAGE_PROGRAMMED:
+                    raise TransactionError(
+                        f"version chain entry (lpn={lpn}) points at "
+                        f"non-programmed ppn {ppn}"
+                    )
+                if ppn == current:
+                    raise TransactionError(
+                        f"ppn {ppn} is both current and retained for lpn {lpn}"
+                    )
+                if prev_seq is not None and sup_seq < prev_seq:
+                    raise TransactionError(
+                        f"version chain for lpn {lpn} lost commit order"
+                    )
+                prev_seq = sup_seq
+        owned = sum(1 for owner in self._owner.values() if owner[0] == OWNER_VERSION)
+        if owned != chained:
+            raise TransactionError(
+                f"{owned} pages owned as versions but {chained} chain entries"
+            )

@@ -4,6 +4,19 @@ One entry per (transaction, logical page) pair that the transaction has
 updated: ``(tid, lpn, new_ppn, status)``.  Entries are 16 bytes in the paper;
 the whole table is 500-1000 entries (8-16 KB), small enough to be flushed
 copy-on-write to flash in one or two page programs at every commit.
+
+Multi-version extension
+-----------------------
+:class:`VersionedL2P` relaxes the one-committed-ppn-per-lpn contract: when
+``FtlConfig.retain_versions > 1``, a commit *publishes* a new current copy
+and pushes the superseded one onto the lpn's version chain instead of
+invalidating it.  Chains hold ``(ppn, superseded_commit_seq, oob_seq)``
+entries, oldest first; a snapshot pinned at commit sequence ``snap``
+resolves to the oldest entry superseded *after* it (``sup_seq > snap``), or
+to the current copy when no retained entry qualifies.  The chain depth is
+bounded by ``retain_versions - 1``; the oldest entries are released —
+handed back to the FTL for deferred invalidation — unless the host-supplied
+snapshot floor (the oldest active snapshot) still pins them.
 """
 
 from __future__ import annotations
@@ -146,3 +159,146 @@ class XL2PTable:
                 table._entries[(entry.tid, entry.lpn)] = entry
                 table._by_tid.setdefault(entry.tid, set()).add(entry.lpn)
         return table
+
+
+class VersionedL2P:
+    """Superseded-version chains for the multi-version X-L2P (module docstring).
+
+    The FTL owns the side effects: this class only tracks chain membership
+    and order.  A chain entry is ``(ppn, sup_seq, oob_seq)`` — the physical
+    page, the commit sequence number that superseded it, and the flash OOB
+    sequence number the page was programmed with (its stable identity for
+    GC relocation and crash-recovery validation).  Entries are oldest first
+    and ``sup_seq`` is non-decreasing along a chain.
+
+    Release protocol: :meth:`push` and :meth:`set_floor` return the physical
+    pages that fell off a chain; the caller retires them (deferred
+    invalidation at the next root publish).  An entry whose ``sup_seq`` lies
+    above the floor — the oldest active snapshot's pinned sequence — is
+    never released, even past the depth bound: some active reader may still
+    resolve through it.
+    """
+
+    __slots__ = ("bound", "floor", "_chains")
+
+    def __init__(self, retain_versions: int) -> None:
+        if retain_versions < 2:
+            raise ValueError("VersionedL2P requires retain_versions >= 2")
+        self.bound = retain_versions - 1
+        self.floor: int | None = None  # oldest active snapshot (None: no readers)
+        self._chains: dict[int, list[tuple[int, int, int]]] = {}
+
+    def __len__(self) -> int:
+        """Total retained version pages across all chains."""
+        return sum(len(chain) for chain in self._chains.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._chains)
+
+    def chain(self, lpn: int) -> tuple[tuple[int, int, int], ...]:
+        """This lpn's retained versions, oldest first (empty when none)."""
+        return tuple(self._chains.get(lpn, ()))
+
+    def chains(self):
+        """Live ``(lpn, chain_list)`` view for invariant checks."""
+        return self._chains.items()
+
+    def push(self, lpn: int, ppn: int, sup_seq: int, oob_seq: int) -> list[int]:
+        """Retain a superseded committed copy; return released ppns."""
+        chain = self._chains.get(lpn)
+        if chain is None:
+            chain = self._chains[lpn] = []
+        elif chain and sup_seq < chain[-1][1]:
+            raise TransactionError(
+                f"version chain for lpn {lpn} would lose commit order: "
+                f"{sup_seq} after {chain[-1][1]}"
+            )
+        chain.append((ppn, sup_seq, oob_seq))
+        return self._trim(lpn, chain)
+
+    def _trim(self, lpn: int, chain: list[tuple[int, int, int]]) -> list[int]:
+        released: list[int] = []
+        floor = self.floor
+        while len(chain) > self.bound:
+            sup_seq = chain[0][1]
+            if floor is not None and sup_seq > floor:
+                break  # still (conservatively) visible to an active snapshot
+            released.append(chain.pop(0)[0])
+        if not chain:
+            del self._chains[lpn]
+        return released
+
+    def set_floor(self, floor: int | None) -> dict[int, list[int]]:
+        """Publish the oldest active snapshot; re-trim previously pinned chains."""
+        self.floor = floor
+        released: dict[int, list[int]] = {}
+        for lpn in [l for l, chain in self._chains.items() if len(chain) > self.bound]:
+            out = self._trim(lpn, self._chains[lpn])
+            if out:
+                released[lpn] = out
+        return released
+
+    def release_lpn(self, lpn: int) -> list[int]:
+        """Drop the whole chain (the host trimmed the logical page)."""
+        chain = self._chains.pop(lpn, None)
+        if not chain:
+            return []
+        return [entry[0] for entry in chain]
+
+    def resolve(self, lpn: int, snap: int) -> int | None:
+        """Physical page a snapshot pinned at ``snap`` reads for ``lpn``.
+
+        ``None`` means the snapshot reads the current committed copy.
+        """
+        chain = self._chains.get(lpn)
+        if chain is None:
+            return None
+        for ppn, sup_seq, _oob_seq in chain:
+            if sup_seq > snap:
+                return ppn
+        return None
+
+    def oob_seq_of(self, lpn: int, ppn: int) -> int | None:
+        """The stored OOB sequence identity of a retained version page."""
+        for entry_ppn, _sup_seq, oob_seq in self._chains.get(lpn, ()):
+            if entry_ppn == ppn:
+                return oob_seq
+        return None
+
+    def relocate(self, lpn: int, old_ppn: int, new_ppn: int) -> None:
+        """Repoint a chain entry after GC copyback (chain order preserved)."""
+        chain = self._chains.get(lpn)
+        if chain is not None:
+            for index, (ppn, sup_seq, oob_seq) in enumerate(chain):
+                if ppn == old_ppn:
+                    chain[index] = (new_ppn, sup_seq, oob_seq)
+                    return
+        raise TransactionError(f"no retained version of lpn {lpn} at ppn {old_ppn}")
+
+    def restore(self, lpn: int, entries) -> None:
+        """Install a recovery-validated chain (oldest first)."""
+        if entries:
+            self._chains[lpn] = [tuple(entry) for entry in entries]
+
+    def augment(self, entries) -> tuple:
+        """Extend ``(lpn, ppn)`` translation entries with their chains.
+
+        Entries whose lpn has no retained versions stay 2-tuples, so the
+        persisted image only grows where chains exist.
+        """
+        chains = self._chains
+        if not chains:
+            return tuple(entries)
+        out = []
+        for entry in entries:
+            chain = chains.get(entry[0])
+            if chain:
+                out.append((entry[0], entry[1], tuple(chain)))
+            else:
+                out.append(entry)
+        return tuple(out)
+
+    def clear(self) -> None:
+        """Forget everything (power loss: chains are rebuilt from flash)."""
+        self._chains.clear()
+        self.floor = None

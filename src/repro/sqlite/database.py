@@ -103,6 +103,37 @@ class Connection:
         self.pager.begin()
         self._explicit_txn = True
 
+    def begin_snapshot(self, snapshot_seq: int | None = None) -> int:
+        """Start a read-only snapshot transaction (``BEGIN SNAPSHOT``).
+
+        Pins the device's current commit-sequence epoch (or an explicit
+        historical ``snapshot_seq``) and resolves every read through the
+        X-FTL's retained version chains at that epoch until COMMIT or
+        ROLLBACK ends the transaction.  OFF journal mode only — versioned
+        reads live in the transactional FTL.  Returns the pinned sequence.
+        """
+        if self._explicit_txn:
+            raise DatabaseError("cannot start a transaction within a transaction")
+        seq = self.pager.begin_snapshot(snapshot_seq)
+        self._explicit_txn = True
+        return seq
+
+    def read_as_of(self, snapshot_seq: int):
+        """Context manager running a block inside an AS-OF snapshot::
+
+            with conn.read_as_of(seq):
+                rows = conn.execute("SELECT ...")
+
+        The snapshot transaction commits (read-only bookkeeping) on normal
+        exit and rolls back if the block raises.
+        """
+        return _AsOfRead(self, snapshot_seq)
+
+    @property
+    def snapshot_seq(self) -> int | None:
+        """The pinned epoch of the open snapshot transaction, if any."""
+        return self.pager.snapshot_seq
+
     def begin_with_txn(self, txn) -> None:
         """Join a shared device transaction (multi-file commit, §4.3).
 
@@ -201,7 +232,10 @@ class Connection:
         self._obs_statements.inc()
         self._clock.advance(self._profile.host_cpu_statement_us)
         if isinstance(statement, ast.Begin):
-            self.begin()
+            if statement.snapshot:
+                self.begin_snapshot()
+            else:
+                self.begin()
             return []
         if isinstance(statement, ast.Commit):
             self.commit()
@@ -614,6 +648,28 @@ class Connection:
         if not isinstance(value, int):
             raise SqlError("LIMIT/OFFSET must be integers")
         return value
+
+
+class _AsOfRead:
+    """Context manager behind :meth:`Connection.read_as_of`."""
+
+    __slots__ = ("conn", "snapshot_seq")
+
+    def __init__(self, conn: Connection, snapshot_seq: int) -> None:
+        self.conn = conn
+        self.snapshot_seq = snapshot_seq
+
+    def __enter__(self) -> Connection:
+        self.conn.begin_snapshot(self.snapshot_seq)
+        return self.conn
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        if self.conn.in_transaction:
+            if exc_type is None:
+                self.conn.commit()
+            else:
+                self.conn.rollback()
+        return False
 
 
 def _all_bindings(bindings: list[tuple[str, Table]]) -> set[str]:

@@ -115,6 +115,12 @@ class Pager:
         self._cache: OrderedDict[int, _Entry] = OrderedDict()
         self.in_txn = False
         self._txn = None  # TransactionContext (OFF mode / X-FTL)
+        # Snapshot (AS-OF) read transactions: pinned commit-sequence epoch
+        # and its TxnManager pin token.  Non-None means the open transaction
+        # is a read-only snapshot resolving every page through the device's
+        # version chains instead of the current committed state.
+        self._snapshot_seq: int | None = None
+        self._snapshot_token: int | None = None
         self._stage_start_us = 0.0  # commit latency anchor for staged commits
         self._journal: FileHandle | None = None
         self._journaled: dict[int, tuple | None] = {}  # pno -> original image
@@ -200,10 +206,51 @@ class Pager:
         # modification — read-only transactions never touch the journal
         # (SQLite defers journal creation the same way).
 
+    def begin_snapshot(self, snapshot_seq: int | None = None) -> int:
+        """Start a read-only snapshot transaction (OFF mode / X-FTL only).
+
+        Pins a commit-sequence epoch with the transaction manager — the
+        device's current sequence for ``BEGIN SNAPSHOT``, or a caller-
+        supplied historical sequence for AS-OF reads — and resolves every
+        page read through the device's version chains at that epoch until
+        the transaction ends.  Returns the pinned sequence.
+
+        The pager cache is cleared on entry and exit: its pages track the
+        *current* committed state, which a snapshot must neither see nor
+        pollute with historical images.
+        """
+        if self.mode is not SqliteJournalMode.OFF:
+            raise DatabaseError("snapshot transactions require OFF mode (X-FTL)")
+        if self.in_txn:
+            raise DatabaseError("transaction already active")
+        token, seq = self.fs.txn_manager.pin_snapshot(snapshot_seq)
+        self.in_txn = True
+        self._journaled = {}
+        self._txn_frames = []
+        self._txn_wrote = False
+        self._snapshot_token = token
+        self._snapshot_seq = seq
+        self._cache.clear()
+        header_image = self._read_page_image(0)
+        if header_image is not None:
+            self.header = DbHeader.from_image(header_image)
+        return seq
+
+    @property
+    def snapshot_seq(self) -> int | None:
+        """The pinned epoch of the open snapshot transaction, if any."""
+        return self._snapshot_seq
+
     def commit(self) -> None:
         """Commit: force dirty pages out per the journal mode's protocol."""
         if not self.in_txn:
             raise DatabaseError("no active transaction")
+        if self._snapshot_seq is not None:
+            # Snapshot transactions are read-only: ending one is pure
+            # host-side bookkeeping (release the pin, drop the epoch cache).
+            self._obs_commits.inc()
+            self._end_txn()
+            return
         dirty = [(pno, entry) for pno, entry in self._cache.items() if entry.dirty]
         start_us = self.fs.device.clock.now_us
         with self.obs.tracer.span(
@@ -226,6 +273,10 @@ class Pager:
         """Abort: drop cached changes and undo stolen writes."""
         if not self.in_txn:
             raise DatabaseError("no active transaction")
+        if self._snapshot_seq is not None:
+            self._obs_rollbacks.inc()
+            self._end_txn()
+            return
         self._obs_rollbacks.inc()
         # Drop all uncommitted in-memory changes.
         for pno in [pno for pno, entry in self._cache.items() if entry.dirty]:
@@ -245,6 +296,12 @@ class Pager:
         self._end_txn()
 
     def _end_txn(self) -> None:
+        if self._snapshot_seq is not None:
+            self.fs.txn_manager.release_snapshot(self._snapshot_token)
+            self._snapshot_seq = None
+            self._snapshot_token = None
+            self._cache.clear()  # historical images must not outlive the epoch
+            self.header = self._read_header_from_disk()
         if self._txn is not None:
             # Idempotent: commit/abort paths already released the context;
             # this catches read-only transactions that never reached the fs.
@@ -279,6 +336,8 @@ class Pager:
         """Declare that ``page`` (at ``pno``) was modified by this txn."""
         if not self.in_txn:
             raise DatabaseError("page modified outside a transaction")
+        if self._snapshot_seq is not None:
+            raise DatabaseError("snapshot transactions are read-only")
         if self.mode is SqliteJournalMode.ROLLBACK and pno not in self._journaled:
             self._journal_original(pno)
         entry = self._cache.get(pno)
@@ -312,6 +371,8 @@ class Pager:
         """Declare the database header (page 0) modified by this txn."""
         if not self.in_txn:
             raise DatabaseError("page modified outside a transaction")
+        if self._snapshot_seq is not None:
+            raise DatabaseError("snapshot transactions are read-only")
         if self.mode is SqliteJournalMode.ROLLBACK and 0 not in self._journaled:
             self._journal_original(0)
         entry = self._cache.get(0)
@@ -330,6 +391,10 @@ class Pager:
 
     def _read_page_image(self, pno: int) -> tuple | None:
         """Storage-level read honouring the WAL (newest committed frame wins)."""
+        if self._snapshot_seq is not None:
+            # Snapshot epoch: resolve through the device's version chains,
+            # bypassing every current-state cache along the way.
+            return self.file.read_page_as_of(pno, self._snapshot_seq)
         if self.mode is SqliteJournalMode.WAL:
             slot = self._wal_index.get(pno)
             if slot is not None:

@@ -216,9 +216,14 @@ class DropIndex:
 
 @dataclass
 class Begin:
-    """BEGIN [TRANSACTION]."""
+    """BEGIN [SNAPSHOT] [TRANSACTION].
 
-    pass
+    ``snapshot`` starts a read-only snapshot transaction: reads resolve
+    through the device's retained version chains at the commit-sequence
+    epoch pinned when the transaction began (OFF journal mode / X-FTL).
+    """
+
+    snapshot: bool = False
 
 
 @dataclass

@@ -100,8 +100,9 @@ class _Parser:
         if self.accept_keyword("DROP"):
             return self.drop()
         if self.accept_keyword("BEGIN"):
+            snapshot = bool(self.accept_keyword("SNAPSHOT"))
             self.accept_keyword("TRANSACTION")
-            return ast.Begin()
+            return ast.Begin(snapshot=snapshot)
         if self.accept_keyword("COMMIT"):
             self.accept_keyword("TRANSACTION")
             return ast.Commit()

@@ -15,7 +15,8 @@ KEYWORDS = {
     "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
     "DELETE", "CREATE", "DROP", "TABLE", "INDEX", "UNIQUE", "ON", "JOIN",
     "INNER", "LEFT", "AND", "OR", "NOT", "NULL", "PRIMARY", "KEY", "AS",
-    "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "BEGIN", "COMMIT",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "BEGIN", "SNAPSHOT",
+    "COMMIT",
     "ROLLBACK", "TRANSACTION", "IN", "BETWEEN", "LIKE", "IS", "DISTINCT",
     "COUNT", "SUM", "MIN", "MAX", "AVG", "IF", "EXISTS", "INTEGER", "INT",
     "TEXT", "REAL", "BLOB",

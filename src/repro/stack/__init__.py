@@ -146,6 +146,10 @@ class StackConfig:
     # sets the eviction dirty-batching width.
     cmt_pages: int | None = None
     cmt_dirty_batch: int | None = None
+    # Multi-version X-L2P: committed versions retained per lpn (1 =
+    # seed-identical single-version mapping; N > 1 enables snapshot /
+    # AS-OF reads through the retained chains).  XFTL mode only.
+    retain_versions: int | None = None
     journal_pages: int = 256
     fs_cache_pages: int = 8192
     max_inodes: int = 128
@@ -261,6 +265,7 @@ def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
             ("gc_wear_spread_threshold", config.gc_wear_spread_threshold),
             ("cmt_pages", config.cmt_pages),
             ("cmt_dirty_batch", config.cmt_dirty_batch),
+            ("retain_versions", config.retain_versions),
         )
         if value is not None
     }
@@ -312,6 +317,7 @@ def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
         obs.annotate("queue_depth", config.queue_depth)
         obs.annotate("gc_mode", config.ftl.gc_mode)
         obs.annotate("cmt_pages", config.ftl.cmt_pages)
+        obs.annotate("retain_versions", config.ftl.retain_versions)
     return BenchStack(
         config=config,
         clock=clock,

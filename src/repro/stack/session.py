@@ -73,6 +73,26 @@ class Session:
         self.rollbacks += 1
         self._obs_rollbacks.inc()
 
+    # ------------------------------------------------------------ snapshots
+
+    def snapshot_seq(self) -> int:
+        """The device's current commit sequence — the pin a snapshot takes."""
+        return self.stack.device.snapshot_seq()
+
+    def read_as_of(self, connection: Connection, snapshot_seq: int):
+        """Open an AS-OF read block on one of this session's connections::
+
+            with session.read_as_of(conn, seq):
+                rows = conn.execute("SELECT ...")
+
+        The snapshot's pin registers with the shared TxnManager, so the
+        oldest pin across *all* sessions drives the FTL's version-
+        reclamation floor while writers keep group-committing.
+        """
+        if connection not in self.connections:
+            raise DatabaseError("connection does not belong to this session")
+        return connection.read_as_of(snapshot_seq)
+
 
 class SessionScheduler:
     """Interleave session tasks and coalesce their commits.

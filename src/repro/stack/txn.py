@@ -133,9 +133,16 @@ class TxnManager:
         self.fs = fs
         self.obs = fs.obs
         self._live: dict[int, TransactionContext] = {}
+        # Active snapshot pins (multi-version X-L2P): token -> pinned commit
+        # sequence.  The *oldest* pinned sequence is the reclamation floor
+        # pushed down to the device so the FTL never releases a retained
+        # version some snapshot reader could still resolve through.
+        self._snapshots: dict[int, int] = {}
+        self._next_snapshot_token = 1
         self._obs_begins = self.obs.counter("txn.begins")
         self._obs_releases = self.obs.counter("txn.releases")
         self._obs_lifetime_us = self.obs.histogram("txn.lifetime_us")
+        self._obs_snapshot_pins = self.obs.counter("txn.snapshot_pins")
 
     # ---------------------------------------------------------- lifecycle
 
@@ -180,6 +187,39 @@ class TxnManager:
             self._obs_releases.inc()
             self._obs_lifetime_us.observe(self._now_us() - ctx.start_us)
             self.obs.tracer.event("txn.end", "stack", tid=ctx.tid)
+
+    # ---------------------------------------------------------- snapshots
+
+    def pin_snapshot(self, snapshot_seq: int | None = None) -> tuple[int, int]:
+        """Pin a snapshot; returns ``(token, pinned_seq)``.
+
+        Without an explicit ``snapshot_seq`` the device's current commit
+        sequence is pinned (a ``BEGIN SNAPSHOT`` read view); with one, an
+        historical AS-OF view is pinned.  The oldest pin across all tokens
+        becomes the device's version-reclamation floor.
+        """
+        if snapshot_seq is None:
+            snapshot_seq = self.fs.device.snapshot_seq()
+        token = self._next_snapshot_token
+        self._next_snapshot_token += 1
+        self._snapshots[token] = snapshot_seq
+        self._obs_snapshot_pins.inc()
+        self.obs.tracer.event("txn.snapshot.pin", "stack", tid=snapshot_seq)
+        self._push_snapshot_floor()
+        return token, snapshot_seq
+
+    def release_snapshot(self, token: int) -> None:
+        """Release a pin (idempotent); may advance the reclamation floor."""
+        if self._snapshots.pop(token, None) is not None:
+            self.obs.tracer.event("txn.snapshot.release", "stack")
+            self._push_snapshot_floor()
+
+    def oldest_snapshot(self) -> int | None:
+        """The oldest pinned commit sequence, or None with no active pins."""
+        return min(self._snapshots.values()) if self._snapshots else None
+
+    def _push_snapshot_floor(self) -> None:
+        self.fs.device.set_snapshot_floor(self.oldest_snapshot())
 
     # ------------------------------------------------------- group commit
 

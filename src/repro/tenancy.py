@@ -29,6 +29,7 @@ service — lands there.
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable
 
 from repro.obs import NULL_OBS, Observability
@@ -125,7 +126,12 @@ class TenantRegistry:
         self.enabled = False
         self.cross_collisions = 0
         self._by_name: dict[str, int] = {}
-        self._owner_of: dict[int, int] = {}  # lpn -> tenant id, set on host write
+        # lpn-indexed tenant ids, set on host write.  A flat typed array
+        # (4 bytes/slot, grown lazily to the highest written lpn) instead
+        # of a dict: page ownership is dense once a workload warms up, and
+        # the dict's ~100 bytes/entry dominated the registry's footprint
+        # on large devices.  Unwritten slots read as UNATTRIBUTED (0).
+        self._owner_of = array("i")
 
     # ------------------------------------------------------------ identity
 
@@ -161,11 +167,15 @@ class TenantRegistry:
     # --------------------------------------------------------- attribution
 
     def owner_of(self, lpn: int) -> int:
-        return self._owner_of.get(lpn, UNATTRIBUTED)
+        owners = self._owner_of
+        return owners[lpn] if lpn < len(owners) else UNATTRIBUTED
 
     def note_write(self, lpn: int) -> None:
         current = self.current
-        self._owner_of[lpn] = current
+        owners = self._owner_of
+        if lpn >= len(owners):
+            owners.extend([UNATTRIBUTED] * (lpn + 1 - len(owners)))
+        owners[lpn] = current
         account = self.accounts[current]
         account.writes += 1
         account._obs_writes.inc()
@@ -187,7 +197,7 @@ class TenantRegistry:
 
     def note_copyback(self, lpn: int) -> None:
         """Attribute one GC copyback to the tenant owning ``lpn``."""
-        account = self.accounts[self._owner_of.get(lpn, UNATTRIBUTED)]
+        account = self.accounts[self.owner_of(lpn)]
         account.gc_copybacks += 1
         account._obs_copybacks.inc()
 

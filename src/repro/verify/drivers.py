@@ -34,7 +34,11 @@ Layers (bottom to top):
   only layer where ``sqlite.commit.mid`` is reachable;
 - ``sqlite.concurrent`` — two sessions, each with its own OFF-mode
   database, interleaved through the SessionScheduler with deferred
-  commits coalescing into group commits on one X-FTL device.
+  commits coalescing into group commits on one X-FTL device;
+- ``ftl.mvcc``    — multi-version X-L2P retention: four writer lanes
+  group-committing over background GC while a pinned AS-OF reader holds
+  its snapshot; crashes land between version publish and release, which
+  must never orphan or double-free a retained version page.
 """
 
 from __future__ import annotations
@@ -412,6 +416,122 @@ def _run_gc(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]]:
     ftl.remount()
     ftl.check_invariants()
     return fired, op, oracle.check(ftl.read)
+
+
+# ----------------------------------------------------------------- mvcc
+
+# Background GC over the same tight two-channel device, plus multi-version
+# retention: superseded committed copies stay live under version chains, a
+# pinned snapshot holds its floor across the armed window, and the
+# ``ftl.mvcc`` points land power loss between a version's publish (chain
+# push pending) and its release (deferred invalidation pending).
+_MVCC_CONFIG = FtlConfig(
+    overprovision=0.25,
+    map_entries_per_page=32,
+    barrier_meta_pages=1,
+    xl2p_capacity=64,
+    gc_mode="background",
+    gc_policy="cost-benefit",
+    gc_background_watermark=3,
+    gc_copyback_pages_per_step=2,
+    gc_hot_write_threshold=2,
+    gc_wear_spread_threshold=2,
+    gc_wear_check_interval=4,
+    retain_versions=3,
+)
+
+
+def _run_mvcc(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]]:
+    """A pinned AS-OF reader against grouped writers and background GC.
+
+    Four writer lanes group-commit per round while a snapshot pinned
+    before the armed window keeps reading its frozen view — which must
+    not move no matter how many commits land on top of it or how far GC
+    relocates its retained version pages.  Crashes at the ``ftl.mvcc``
+    points (and every lower layer's) must never orphan a version page
+    (owned but absent from every chain) or double-free one (released yet
+    still chained): ``check_invariants`` cross-checks owner records
+    against chain membership one-for-one after remount, and the
+    transaction oracle holds the current state to the usual
+    all-or-nothing contract.  A crash may shrink retention depth (the
+    floor is host DRAM state), but never snapshot integrity.
+    """
+    plan = CrashPlan()
+    ftl = XFTL(FlashArray(_GC_GEOMETRY, crash_plan=plan), _MVCC_CONFIG)
+    rng = make_rng(seed, "verify.ftl.mvcc")
+    hot = min(ftl.exported_pages // 2, 24)
+
+    oracle = TransactionOracle()
+    committed: dict = {}
+    tid = 0
+    for lpn in range(hot):
+        value = ("base", lpn)
+        ftl.write(lpn, value)
+        committed[lpn] = value
+    ftl.barrier()
+    # Warm-up group commits grow version chains before the point arms, so
+    # GC already has retained versions to relocate in the armed window.
+    for round_ in range(2):
+        group: list[int] = []
+        for _ in range(4):
+            tid += 1
+            lpn = rng.randrange(hot)
+            value = ("warm", round_, tid)
+            ftl.write_tx(tid, lpn, value)
+            committed[lpn] = value
+            group.append(tid)
+        ftl.commit_group(group)
+    ftl.barrier()
+    for lpn, value in committed.items():
+        oracle.note_baseline(lpn, value)
+
+    # The AS-OF reader: pin the pre-window epoch and freeze its view.
+    snap = ftl.snapshot_seq()
+    frozen = dict(committed)
+    ftl.set_snapshot_floor(snap)
+
+    plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    op = 0
+    stale: list[str] = []
+    try:
+        while op < ops_limit:
+            group = []
+            for _ in range(4):  # >= 4 concurrent writer lanes per group
+                tid += 1
+                for _ in range(rng.randrange(1, 3)):
+                    op += 1
+                    lpn = rng.randrange(hot)
+                    value = ("t", tid, op)
+                    oracle.note_tx_write(tid, lpn, value)
+                    ftl.write_tx(tid, lpn, value)
+                if rng.random() < 0.15:
+                    ftl.abort(tid)
+                    oracle.note_aborted(tid)
+                else:
+                    group.append(tid)
+            for member in group:
+                oracle.note_commit_started(member)
+            ftl.commit_group(group)
+            for member in group:
+                oracle.note_committed(member)
+            for _ in range(2):
+                lpn = rng.randrange(hot)
+                seen = ftl.read_as_of(lpn, snap)
+                if seen != frozen.get(lpn):
+                    stale.append(
+                        f"snapshot {snap} moved: lpn {lpn} read {seen!r}, "
+                        f"pinned {frozen.get(lpn)!r}"
+                    )
+    except PowerFailure:
+        fired = True
+    else:
+        plan.disarm_all()
+        ftl.power_fail()
+
+    ftl.remount()
+    ftl.check_invariants()
+    return fired, op, stale + oracle.check(ftl.read)
 
 
 # ------------------------------------------------------------ device queue
@@ -872,6 +992,11 @@ LAYERS: dict[str, Layer] = {
             "stack.tenant",
             ("flash", "ftl.pagemap", "ftl.xftl", "fs.ext4"),
             _run_tenant_stack,
+        ),
+        Layer(
+            "ftl.mvcc",
+            ("flash", "ftl.pagemap", "ftl.xftl", "ftl.gc", "ftl.mvcc"),
+            _run_mvcc,
         ),
     )
 }

@@ -106,6 +106,20 @@ class TestExperimentFunctions:
         for fraction in (0.05, 0.2, 1.0):
             assert wa[f"demand-paged/{fraction}"] > wa[f"in-RAM map/{fraction}"]
 
+    def test_mvcc_structure(self):
+        result = experiments.mvcc_retention(
+            retain_values=(1, 3), transactions=200, probe_ages=(2, 16)
+        )
+        assert len(result.rows) == 2  # one per retention depth
+        ratios = result.extras["fresh_ratio"]
+        # retain=1 has no commit epochs: probes never run.
+        assert ratios["1/2"] is None and ratios["1/16"] is None
+        # With retention, young snapshots must be at least as fresh as old.
+        assert ratios["3/2"] >= ratios["3/16"]
+        assert ratios["3/2"] > 0.5
+        # Retained versions are live pages the deeper run must report.
+        assert result.rows[1][-1] > 0
+
     def test_throughput_structure(self, tmp_path):
         path = tmp_path / "bench.json"
         result = experiments.throughput(
@@ -153,7 +167,7 @@ class TestExperimentFunctions:
         assert set(experiments.ALL_EXPERIMENTS) == {
             "fig5", "table1", "fig6", "table2", "fig7", "table4",
             "fig8", "fig9", "table5", "channels", "concurrency", "gc",
-            "mapping", "tenants", "throughput",
+            "mapping", "mvcc", "tenants", "throughput",
         }
 
 

@@ -210,6 +210,47 @@ class TestAbort:
         assert handle.read_page(0) == ("base", 0)
 
 
+class TestGroupCommitStaging:
+    """Snapshot-read staleness at the page-cache boundary (regression).
+
+    ``stage_tx`` leaves the writer's pages *clean but txn-tagged* in the
+    cache.  A foreign reader must not be handed such a page (clean used
+    to mean shared): it gets the committed copy from the device instead —
+    and once the writer's group commit lands, the same read must
+    re-resolve to the newly committed data, not keep serving the old
+    committed copy.
+    """
+
+    def _staged(self):
+        _dev, fs = make_fs(JournalMode.XFTL)
+        handle = fs.create("a")
+        base = fs.txn_manager.begin()
+        handle.write_page(0, ("committed",), txn=base)
+        fs.fsync(handle, txn=base)
+        txn = fs.txn_manager.begin()
+        handle.write_page(0, ("pending",), txn=txn)
+        fs.stage_tx(handle, txn)
+        return fs, handle, txn
+
+    def test_foreign_reader_isolated_then_refreshed_across_group_commit(self):
+        fs, handle, txn = self._staged()
+        # Staged window: the new copy is on the device under the writer's
+        # tid, the cache holds it clean-but-tagged.  Foreign reads get the
+        # committed copy (twice: the bypass must not poison the cache).
+        assert handle.read_page(0) == ("committed",)
+        assert handle.read_page(0) == ("committed",)
+        # The writer still reads its own staged page.
+        assert handle.read_page_tx(0, txn) == ("pending",)
+        fs.commit_tx_group([txn])
+        # The group commit landed: the foreign read re-resolves.
+        assert handle.read_page(0) == ("pending",)
+
+    def test_abort_after_stage_drops_staged_pages(self):
+        fs, handle, txn = self._staged()
+        fs.ioctl_abort(txn.tid)
+        assert handle.read_page(0) == ("committed",)
+
+
 class TestMountAndRecovery:
     @pytest.mark.parametrize("mode", ALL_MODES)
     def test_remount_preserves_synced_files(self, mode):

@@ -109,6 +109,33 @@ class TestAttribution:
         with pytest.raises(ValueError):
             stack.open_tenant("bad", weight=0)
 
+    def test_owner_map_is_array_backed_and_compact(self):
+        """The per-lpn owner map is a flat typed array, not a dict.
+
+        Footprint regression for the compaction: the array must undercut
+        the dict it replaced by a wide margin on a dense ownership map
+        (the dict paid ~100 bytes per entry; the array pays 4 plus slack).
+        Unwritten lpns must still read as UNATTRIBUTED without growing it.
+        """
+        import sys
+
+        from repro.tenancy import UNATTRIBUTED
+
+        registry = TenantRegistry()
+        tenant = registry.register("alice")
+        registry.activate(tenant)
+        lpns = 20_000
+        for lpn in range(lpns):
+            registry.note_write(lpn)
+        for lpn in (0, lpns // 2, lpns - 1):
+            assert registry.owner_of(lpn) == tenant
+        assert registry.owner_of(lpns + 10_000) == UNATTRIBUTED
+
+        array_bytes = sys.getsizeof(registry._owner_of)
+        dict_equivalent = {lpn: tenant for lpn in range(lpns)}
+        dict_bytes = sys.getsizeof(dict_equivalent)
+        assert array_bytes < dict_bytes / 4, (array_bytes, dict_bytes)
+
     def test_unknown_fairness_policy_rejected(self):
         stack = _stack()
         with pytest.raises(ValueError):
