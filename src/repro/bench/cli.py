@@ -123,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="tenant count for the tenants experiment (sets REPRO_TENANTS; default 4)",
     )
+    parser.add_argument(
+        "--barrier-mode",
+        choices=("drain", "barrier"),
+        default=None,
+        help="durability-point style for every stack built "
+        "(sets REPRO_BARRIER_MODE; default drain; the barrier experiment "
+        "sweeps both itself)",
+    )
     return parser
 
 
@@ -168,6 +176,8 @@ def _device_env(args: argparse.Namespace):
         overrides["REPRO_SESSIONS"] = str(args.sessions)
     if args.tenants is not None:
         overrides["REPRO_TENANTS"] = str(args.tenants)
+    if args.barrier_mode is not None:
+        overrides["REPRO_BARRIER_MODE"] = args.barrier_mode
     saved = {name: os.environ.get(name) for name in overrides}
     os.environ.update(overrides)
     try:

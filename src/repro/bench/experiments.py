@@ -65,6 +65,17 @@ def _tenants() -> int:
     return int(os.environ.get("REPRO_TENANTS", "4"))
 
 
+def _barrier_mode() -> str:
+    """Durability-point style for every stack (``--barrier-mode``).
+
+    ``drain`` (the default) keeps the classic flush-and-wait device; the
+    ``barrier`` setting re-runs any experiment on the barrier-enabled IO
+    stack (order-only epoch barriers, fbarrier/fdatabarrier, commit pages
+    on BARRIER_WRITE).  :func:`barrier_comparison` sweeps both explicitly.
+    """
+    return os.environ.get("REPRO_BARRIER_MODE", "drain")
+
+
 @dataclass
 class ExperimentResult:
     """Formatted result of one experiment."""
@@ -96,6 +107,7 @@ def _sqlite_stack(mode: Mode, num_blocks: int = 512) -> BenchStack:
             channels=_channels(),
             queue_depth=_queue_depth(),
             ftl=FtlConfig(gc_policy="fifo"),
+            barrier_mode=_barrier_mode(),
         )
     )
 
@@ -381,6 +393,7 @@ def _fio_stack(
             queue_depth=queue_depth if queue_depth is not None else _queue_depth(),
             profile=profile,
             journal_pages=512,
+            barrier_mode=_barrier_mode(),
         )
     )
 
@@ -1450,6 +1463,122 @@ def tenant_fairness(
     )
 
 
+# ------------------------------------------------ barrier-enabled IO stack
+
+
+def barrier_comparison(
+    channels: int | None = None,
+    queue_depth: int | None = None,
+    transactions: int | None = None,
+    rows: int | None = None,
+) -> ExperimentResult:
+    """Rival design: drain-and-wait vs barrier-enabled durability points.
+
+    Not a paper figure — it runs the "Barrier Enabled IO Stack" rival
+    (ROADMAP open item 3) head to head against the drain-based stack.
+    Every SQLite journaling mode executes the identical commit-heavy
+    synthetic workload twice on a parallel device (channels>=4 behind an
+    NCQ queue): once with classic drain-and-wait durability points
+    (``barrier_mode=drain``) and once order-only (``barrier_mode=
+    barrier``), where fsync on the commit path becomes fbarrier and
+    journal commit pages ride BARRIER_WRITE commands.
+
+    The drain runs count the commit-path stalls they actually waited out
+    (``barrier_stalls``/``barrier_stall_us``: queue still busy when the
+    durability point drained it); the barrier runs count the same stalls
+    *avoided* (``stalls_avoided``/``stall_avoided_us``) plus the epochs
+    their ordering points closed.  Expected shape: with channels>=4 the
+    drain runs stall on every fsync that catches in-flight commands, the
+    barrier runs convert all of those into order-only epoch closes
+    (zero drain stalls) and finish no slower.
+    """
+    channels = channels or max(4, _channels())
+    queue_depth = queue_depth or max(4, _queue_depth())
+    transactions = transactions or int(50 * _scale())
+    rows = rows or int(2_000 * _scale())
+
+    def _run(mode: Mode, barrier_mode: str) -> dict[str, Any]:
+        stack = build_stack(
+            StackConfig(
+                mode=mode,
+                num_blocks=512,
+                pages_per_block=128,
+                channels=channels,
+                queue_depth=queue_depth,
+                ftl=FtlConfig(gc_policy="fifo"),
+                barrier_mode=barrier_mode,
+            )
+        )
+        db = stack.open_database("test.db")
+        workload = SyntheticWorkload(db, rows=rows)
+        workload.load()
+        run = workload.run(transactions=transactions, updates_per_txn=2)
+        device = stack.device
+        queue = device.queue
+        return {
+            "elapsed_s": run.elapsed_s,
+            "commits": transactions,
+            "flushes": device.counters.flushes,
+            "barriers": device.counters.barriers,
+            "barrier_writes": device.counters.barrier_writes,
+            "drain_stalls": device.barrier_stalls,
+            "drain_stall_us": device.barrier_stall_us,
+            "stalls_avoided": device.stalls_avoided,
+            "stall_avoided_us": device.stall_avoided_us,
+            "epochs_closed": queue.epochs_closed if queue is not None else 0,
+        }
+
+    result_rows = []
+    extras: dict[str, Any] = {
+        "channels": channels,
+        "queue_depth": queue_depth,
+        "runs": {},
+    }
+    stall_notes = []
+    for mode in SQLITE_MODES:
+        runs = {}
+        for barrier_mode in ("drain", "barrier"):
+            run = runs[barrier_mode] = _run(mode, barrier_mode)
+            extras["runs"][f"{mode.value}/{barrier_mode}"] = run
+            result_rows.append(
+                [
+                    mode.value,
+                    barrier_mode,
+                    round(run["elapsed_s"], 2),
+                    run["flushes"],
+                    run["barriers"] + run["barrier_writes"],
+                    f"{run['drain_stalls']} ({run['drain_stall_us'] / 1e3:.1f} ms)",
+                    f"{run['stalls_avoided']} ({run['stall_avoided_us'] / 1e3:.1f} ms)",
+                    run["epochs_closed"],
+                ]
+            )
+        drain, barrier = runs["drain"], runs["barrier"]
+        stall_notes.append(
+            f"{mode.value}: drain stalled {drain['drain_stalls']}x "
+            f"({drain['drain_stall_us'] / 1e3:.1f} ms); barrier stalled "
+            f"{barrier['drain_stalls']}x, avoided {barrier['stalls_avoided']} "
+            f"({barrier['stall_avoided_us'] / 1e3:.1f} ms), "
+            f"{drain['elapsed_s'] / max(barrier['elapsed_s'], 1e-9):.2f}x faster."
+        )
+    return ExperimentResult(
+        name=(
+            f"Barrier-enabled IO stack vs drain: {channels} channels, "
+            f"queue depth {queue_depth}, {transactions} txns of 2 updates"
+        ),
+        headers=[
+            "mode", "durability", "elapsed (s)", "flushes",
+            "barrier cmds", "drain stalls", "stalls avoided", "epochs",
+        ],
+        rows=result_rows,
+        notes=(
+            "Expected shape: barrier mode turns every commit-path drain "
+            "stall into an order-only epoch close (zero drain stalls) "
+            "and commits no slower.\n" + "\n".join(stall_notes)
+        ),
+        extras=extras,
+    )
+
+
 ALL_EXPERIMENTS = {
     "fig5": fig5_synthetic_elapsed,
     "table1": table1_io_counts,
@@ -1460,6 +1589,7 @@ ALL_EXPERIMENTS = {
     "fig8": fig8_fio_single_thread,
     "fig9": fig9_fio_s830,
     "table5": table5_recovery,
+    "barrier": barrier_comparison,
     "channels": channel_scaling,
     "concurrency": concurrency_scaling,
     "gc": gc_comparison,

@@ -24,6 +24,8 @@ class CommandKind(enum.Enum):
     WRITE_TX = "write(t,p)"  # extended: tagged write
     COMMIT = "commit(t)"  # extended: via trim parameter set
     ABORT = "abort(t)"  # extended: via trim parameter set
+    BARRIER_WRITE = "barrier-write"  # barrier-enabled stack: ordered, no drain
+    BARRIER = "barrier"  # barrier-enabled stack: order-only durability point
 
 
 @dataclass
@@ -38,6 +40,8 @@ class DeviceCounters:
     tagged_writes: int = 0
     commits: int = 0
     aborts: int = 0
+    barrier_writes: int = 0
+    barriers: int = 0
 
     def snapshot(self) -> "DeviceCounters":
         return DeviceCounters(**{f.name: getattr(self, f.name) for f in fields(self)})

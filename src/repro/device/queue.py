@@ -25,10 +25,19 @@ Mechanics:
   state effects stand or fall with the crash oracle's rules, exactly like
   acknowledged-but-unflushed writes always have).
 
-Two crash points make power loss with a non-empty queue reachable from the
-verification sweep: ``dev.queue.dispatch`` (a new command about to enter a
-non-empty queue) and ``dev.queue.barrier`` (a barrier arriving while
-commands are still in flight).
+Three crash points make power loss with a non-empty queue reachable from
+the verification sweep: ``dev.queue.dispatch`` (a new command about to
+enter a non-empty queue), ``dev.queue.barrier`` (a drain barrier arriving
+while commands are still in flight) and ``dev.queue.epoch`` (an order-only
+barrier closing an epoch over in-flight commands — the barrier-enabled
+stack's analogue of the drain barrier).
+
+Barrier-enabled devices construct the queue with ``epochs=True``: every
+dispatched command is tagged with the current *epoch*, and an order
+barrier closes the epoch instead of draining.  The chip's dispatch floor
+guarantees no command of a later epoch ever completes before a command of
+an earlier one; the queue records the per-epoch completion envelopes so
+tests and the crash sweep can check exactly that.
 """
 
 from __future__ import annotations
@@ -49,6 +58,11 @@ CP_QUEUE_BARRIER = register_crash_point(
     "device.queue",
     "flush/commit barrier issued with commands still in flight",
 )
+CP_QUEUE_EPOCH = register_crash_point(
+    "dev.queue.epoch",
+    "device.queue",
+    "order-only barrier (epoch close) issued with commands still in flight",
+)
 
 
 class CommandQueue:
@@ -66,7 +80,12 @@ class CommandQueue:
     """
 
     def __init__(
-        self, clock: SimClock, depth: int, obs: Observability, tenants=None
+        self,
+        clock: SimClock,
+        depth: int,
+        obs: Observability,
+        tenants=None,
+        epochs: bool = False,
     ) -> None:
         if depth < 1:
             raise ValueError(f"queue depth must be >= 1, got {depth}")
@@ -82,10 +101,21 @@ class CommandQueue:
         self._tenant_of: dict[int, int] = {}  # command id -> tenant id
         self._live_by_tenant: dict[int, int] = {}
         self.share_stalls = 0  # plain counter; obs may be disabled
+        # Epoch bookkeeping (barrier-enabled devices only): every dispatched
+        # command is tagged with the current epoch, and an order barrier
+        # closes the epoch instead of draining.  Dispatch never reorders
+        # across epochs — the chip's dispatch floor enforces the timing,
+        # this records it for introspection and the crash sweep.
+        self.epochs_enabled = epochs
+        self._epoch = 0
+        self._epoch_of: dict[int, int] = {}  # command id -> epoch
+        self._epoch_bounds: dict[int, tuple[float, float]] = {}  # epoch -> (min, max) end
+        self.epochs_closed = 0  # plain counter; obs may be disabled
         self._obs_depth = obs.gauge("dev.queue.depth")
         self._obs_dispatch_depth = obs.histogram("dev.queue.dispatch_depth")
         self._obs_admit_stalls = obs.counter("dev.queue.admit_stalls")
         self._obs_share_stalls = obs.counter("dev.queue.share_stalls")
+        self._obs_epochs = obs.counter("dev.queue.epochs")
 
     def set_shares(self, shares: dict[int, int] | None) -> None:
         """Install (or clear) per-tenant in-flight caps.
@@ -105,6 +135,22 @@ class CommandQueue:
         self._retire_due()
         return len(self._live_ids)
 
+    @property
+    def current_epoch(self) -> int:
+        """The epoch new dispatches are tagged with (0 until a barrier)."""
+        return self._epoch
+
+    def epoch_bounds(self) -> list[tuple[int, float, float]]:
+        """Per-epoch completion-time envelope since the last reset.
+
+        Returns ``(epoch, min_end_us, max_end_us)`` rows in epoch order —
+        the order-preservation invariant the property test asserts is
+        ``min_end(E) >= max_end(E')`` for every ``E' < E``.
+        """
+        return [
+            (epoch, lo, hi) for epoch, (lo, hi) in sorted(self._epoch_bounds.items())
+        ]
+
     # ------------------------------------------------------------ lifecycle
 
     def admit(self) -> None:
@@ -118,17 +164,36 @@ class CommandQueue:
                 self._retire_due()
         shares = self._shares
         if shares is not None:
-            cap = shares.get(self.tenants.current)
-            if cap is not None:
+            tenant_id = self.tenants.current
+            cap = shares.get(tenant_id)
+            if cap is not None and self._live_by_tenant.get(tenant_id, 0) >= cap:
+                # One stall per capped admit, however many completions it
+                # takes to free a slot (the loop must not re-count).
+                self.share_stalls += 1
+                self._obs_share_stalls.inc()
                 live = self._live_by_tenant
-                tenant_id = self.tenants.current
-                if live.get(tenant_id, 0) >= cap:
-                    self.share_stalls += 1
-                    self._obs_share_stalls.inc()
-                    while self._in_flight and live.get(tenant_id, 0) >= cap:
-                        end_us, _ = self._in_flight[0]
-                        self.clock.wait_until(end_us)
-                        self._retire_due()
+                while live.get(tenant_id, 0) >= cap:
+                    # Wait on the stalled tenant's *own* earliest in-flight
+                    # completion: a foreign command finishing can never
+                    # lower this tenant's live count, so waiting on the
+                    # global head would drain other tenants' work for
+                    # nothing (and spin forever on a stale count with an
+                    # empty share).  No own command in flight means the
+                    # count cannot drop by waiting — bail out rather than
+                    # wedge (cap of 0, or bookkeeping gone stale).
+                    own_earliest = min(
+                        (
+                            end_us
+                            for end_us, command_id in self._in_flight
+                            if command_id in self._live_ids
+                            and self._tenant_of.get(command_id) == tenant_id
+                        ),
+                        default=None,
+                    )
+                    if own_earliest is None:
+                        break
+                    self.clock.wait_until(own_earliest)
+                    self._retire_due()
         self._obs_dispatch_depth.observe(float(len(self._live_ids)))
 
     def push(self, end_us: float) -> None:
@@ -137,12 +202,24 @@ class CommandQueue:
         Commands whose work already finished (``end_us`` not in the future)
         never enter the queue — they completed synchronously.
         """
+        if self.epochs_enabled:
+            # Record the envelope for every dispatched command (even ones
+            # that completed synchronously): the order-preservation property
+            # test checks the full per-epoch completion-time bounds.
+            bounds = self._epoch_bounds.get(self._epoch)
+            if bounds is None:
+                self._epoch_bounds[self._epoch] = (end_us, end_us)
+            else:
+                lo, hi = bounds
+                self._epoch_bounds[self._epoch] = (min(lo, end_us), max(hi, end_us))
         if end_us <= self.clock.now_us:
             return
         self._next_id += 1
         command_id = self._next_id
         heapq.heappush(self._in_flight, (end_us, command_id))
         self._live_ids.add(command_id)
+        if self.epochs_enabled:
+            self._epoch_of[command_id] = self._epoch
         tenants = self.tenants
         if tenants is not None and tenants.enabled:
             tenant_id = tenants.current
@@ -153,6 +230,22 @@ class CommandQueue:
         self._obs_depth.set(float(len(self._live_ids)))
         self.clock.schedule_at(end_us, lambda: self._complete(command_id))
 
+    def close_epoch(self) -> None:
+        """Seal the current epoch: later dispatches are ordered after it.
+
+        The timing half of the guarantee lives in the chip's dispatch
+        floor (raised by ``chip.order_barrier()``); this is the queue-side
+        bookkeeping.  Closing an empty epoch is a no-op — there is nothing
+        to order against, and barriers must stay idempotent.
+        """
+        if not self.epochs_enabled:
+            return
+        if self._epoch not in self._epoch_bounds:
+            return
+        self._epoch += 1
+        self.epochs_closed += 1
+        self._obs_epochs.inc()
+
     def drain(self) -> None:
         """Barrier: the host waits for every in-flight command to complete."""
         while self._in_flight:
@@ -162,11 +255,21 @@ class CommandQueue:
         self._obs_depth.set(0.0)
 
     def reset(self) -> None:
-        """Power loss: forget all in-flight commands without waiting."""
+        """Power loss: forget all in-flight commands without waiting.
+
+        Everything keyed by command id must go in one step — the in-flight
+        heap, the live set, the per-tenant live counts (a stale count would
+        wedge share-capped dispatch forever) and the epoch tags.  Only
+        ``_next_id`` survives, so stale completion events can never collide
+        with post-recovery commands.
+        """
         self._in_flight.clear()
         self._live_ids.clear()
         self._tenant_of.clear()
         self._live_by_tenant.clear()
+        self._epoch = 0
+        self._epoch_of.clear()
+        self._epoch_bounds.clear()
         self._obs_depth.set(0.0)
 
     # ------------------------------------------------------------ internals
@@ -175,6 +278,7 @@ class CommandQueue:
         """Drop a command from the live set exactly once (tenant count too)."""
         if command_id in self._live_ids:
             self._live_ids.remove(command_id)
+            self._epoch_of.pop(command_id, None)
             tenant_id = self._tenant_of.pop(command_id, None)
             if tenant_id is not None:
                 self._live_by_tenant[tenant_id] -= 1

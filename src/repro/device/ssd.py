@@ -11,6 +11,14 @@
   seed's fully synchronous device, bit for bit;
 - the extended command set when the FTL is an :class:`~repro.ftl.XFTL`
   (tagged reads/writes, commit/abort — carried over trim in the prototype);
+- an optional **barrier-enabled** mode ("Barrier Enabled IO Stack for
+  Flash Storage"): ordering points become order-only *epoch closes* on the
+  queue plus a dispatch-floor barrier on the chip, instead of
+  drain-and-wait.  ``write_barrier`` dispatches an order-guaranteed write
+  and ``barrier`` is an order-only durability point; flush/commit/abort
+  keep their durability meaning but stop stalling the host on in-flight
+  commands.  With ``barrier_mode=False`` (the default) every code path is
+  bit-identical to the drain-based device;
 - power-off / power-on with FTL recovery, used by crash experiments.
 """
 
@@ -20,7 +28,12 @@ from typing import Any, Callable
 
 from repro.errors import DeviceError
 from repro.device.commands import DeviceCounters
-from repro.device.queue import CP_QUEUE_BARRIER, CP_QUEUE_DISPATCH, CommandQueue
+from repro.device.queue import (
+    CP_QUEUE_BARRIER,
+    CP_QUEUE_DISPATCH,
+    CP_QUEUE_EPOCH,
+    CommandQueue,
+)
 from repro.ftl.base import Ftl
 from repro.ftl.xftl import XFTL
 
@@ -28,7 +41,9 @@ from repro.ftl.xftl import XFTL
 class StorageDevice:
     """A SATA-attached SSD built from a flash chip and an FTL."""
 
-    def __init__(self, ftl: Ftl, queue_depth: int = 1) -> None:
+    def __init__(
+        self, ftl: Ftl, queue_depth: int = 1, barrier_mode: bool = False
+    ) -> None:
         self.ftl = ftl
         self.chip = ftl.chip
         self.clock = ftl.chip.clock
@@ -43,16 +58,40 @@ class StorageDevice:
                 "(FlashArray); the serial FlashChip cannot overlap commands"
             )
         self.queue_depth = queue_depth
+        # Barrier-enabled IO stack: ordering points are order-only (epoch
+        # closes + dispatch-floor barriers) instead of drain-and-wait, and
+        # FTL-internal drains degrade to order barriers via the chip flag.
+        self.barrier_mode = bool(barrier_mode)
+        if self.barrier_mode:
+            self.chip.order_only_drains = True
         # Tenant attribution rides the chip's registry (inert without
         # tenants); the queue needs it for per-tenant in-flight shares.
         self.tenants = ftl.chip.tenants
         # Depth 1 keeps the seed's synchronous command paths untouched (no
         # queue object at all), which the channel-equivalence test pins.
         self.queue = (
-            CommandQueue(self.clock, queue_depth, self.obs, tenants=self.tenants)
+            CommandQueue(
+                self.clock,
+                queue_depth,
+                self.obs,
+                tenants=self.tenants,
+                epochs=self.barrier_mode,
+            )
             if queue_depth > 1
             else None
         )
+        # Barrier accounting, plain attributes first (obs may be disabled):
+        # stalls the order-only path avoided vs. what a drain would have
+        # waited, and the symmetric drain-mode measurement for the rival
+        # comparison (`barrier` bench experiment).
+        self.stalls_avoided = 0
+        self.stall_avoided_us = 0.0
+        self.barrier_stalls = 0
+        self.barrier_stall_us = 0.0
+        # Whether anything was written/trimmed since the last full flush —
+        # lets the file system skip a durability point that would order
+        # nothing (the double-barrier bug in the directory-fsync path).
+        self._mutated_since_flush = False
         obs = self.obs
         self._obs_reads = obs.counter("dev.reads")
         self._obs_writes = obs.counter("dev.writes")
@@ -62,6 +101,12 @@ class StorageDevice:
         self._obs_tagged_writes = obs.counter("dev.tagged_writes")
         self._obs_commits = obs.counter("dev.commits")
         self._obs_aborts = obs.counter("dev.aborts")
+        self._obs_barrier_writes = obs.counter("dev.barrier_writes")
+        self._obs_barriers = obs.counter("dev.barriers")
+        self._obs_stalls_avoided = obs.counter("dev.queue.stalls_avoided")
+        self._obs_stall_avoided_us = obs.histogram("dev.queue.stall_avoided_us")
+        self._obs_barrier_stalls = obs.counter("dev.queue.barrier_stalls")
+        self._obs_barrier_stall_us = obs.histogram("dev.queue.barrier_stall_us")
         self._obs_flush_us = obs.histogram("dev.flush.latency_us")
         self._obs_commit_us = obs.histogram("dev.commit.latency_us")
         self._on = True
@@ -74,6 +119,10 @@ class StorageDevice:
         self._on = False
         if self.queue is not None:
             self.queue.reset()
+        # Ordering state is device DRAM too: the dispatch floor dies with
+        # the power (per-channel busy horizons persist, so per-channel
+        # serialization still holds through recovery).
+        self.chip.dispatch_floor_us = 0.0
 
     # --------------------------------------------------------------- state
 
@@ -94,6 +143,15 @@ class StorageDevice:
     def is_on(self) -> bool:
         return self._on
 
+    @property
+    def dirty_since_flush(self) -> bool:
+        """Whether any write/trim has been acknowledged since the last flush.
+
+        False means the last durability point still covers everything the
+        host ever wrote — a flush issued now would be pure overhead.
+        """
+        return self._mutated_since_flush
+
     def power_off(self) -> None:
         """Cut power: all device DRAM state is lost (in-flight queue included)."""
         if self._on:
@@ -101,6 +159,7 @@ class StorageDevice:
             self._on = False
             if self.queue is not None:
                 self.queue.reset()
+            self.chip.dispatch_floor_us = 0.0
 
     def power_on(self) -> None:
         """Restore power and run FTL mount-time recovery."""
@@ -141,7 +200,46 @@ class StorageDevice:
         queue = self.queue
         if queue is not None and queue.in_flight:
             self.chip.crash_plan.hit(CP_QUEUE_BARRIER)
+            before_us = self.clock.now_us
             queue.drain()
+            stalled = self.clock.now_us - before_us
+            if stalled > 0.0:
+                # The transfer-and-flush overhead the barrier-enabled rival
+                # eliminates; measured here so drain vs. barrier runs report
+                # symmetric numbers.
+                self.barrier_stalls += 1
+                self.barrier_stall_us += stalled
+                self._obs_barrier_stalls.inc()
+                self._obs_barrier_stall_us.observe(stalled)
+
+    def _order_barrier(self) -> None:
+        """Order-only ordering point: close the epoch, raise the floor.
+
+        The barrier-enabled replacement for :meth:`_drain_barrier`: nothing
+        waits — the queue seals the current epoch and the chip's dispatch
+        floor rises to the horizon, so no later command can complete before
+        anything already issued.  The stall a drain would have cost right
+        now is recorded as avoided.
+        """
+        queue = self.queue
+        if queue is not None:
+            if queue.in_flight:
+                self.chip.crash_plan.hit(CP_QUEUE_EPOCH)
+                avoided = self.chip.busy_horizon_us() - self.clock.now_us
+                if avoided > 0.0:
+                    self.stalls_avoided += 1
+                    self.stall_avoided_us += avoided
+                    self._obs_stalls_avoided.inc()
+                    self._obs_stall_avoided_us.observe(avoided)
+            queue.close_epoch()
+        self.chip.order_barrier()
+
+    def _barrier_point(self) -> None:
+        """The pre-durability ordering point flush/commit/abort go through."""
+        if self.barrier_mode:
+            self._order_barrier()
+        else:
+            self._drain_barrier()
 
     # ---------------------------------------------------- standard commands
 
@@ -158,6 +256,7 @@ class StorageDevice:
         self._check_on()
         self.counters.writes += 1
         self._obs_writes.inc()
+        self._mutated_since_flush = True
         if self.tenants.enabled:
             self.tenants.note_write(lpn)
         with self.obs.tracer.span("write", "dev", lpn=lpn):
@@ -171,6 +270,7 @@ class StorageDevice:
         self._check_on()
         self.counters.trims += 1
         self._obs_trims.inc()
+        self._mutated_since_flush = True
         self._charge()
         self.ftl.trim(lpn)
 
@@ -184,9 +284,63 @@ class StorageDevice:
         start_us = self.clock.now_us
         with self.obs.tracer.span("flush", "dev"):
             self._charge()
-            self._drain_barrier()
+            self._barrier_point()
             self.ftl.barrier()
+        self._mutated_since_flush = False
         self._obs_flush_us.observe(self.clock.now_us - start_us)
+
+    def barrier(self) -> None:
+        """Order-only durability point (the barrier-enabled ``fdatabarrier``).
+
+        Everything issued before is ordered before everything issued after
+        — on every channel — but the host does not wait and the FTL does
+        not publish a new root.  Durability of the ordered writes follows
+        from the device's crash recovery (OOB replay), exactly like
+        acknowledged-but-unflushed writes always have.  On a drain-mode
+        device the only ordering primitive is a full flush, so it degrades
+        to one.
+        """
+        self._check_on()
+        if not self.barrier_mode:
+            self.flush()
+            return
+        self.counters.barriers += 1
+        self._obs_barriers.inc()
+        if self.tenants.enabled:
+            self.tenants.note_flush()
+        with self.obs.tracer.span("barrier", "dev"):
+            self._charge()
+            self._order_barrier()
+
+    def write_barrier(self, lpn: int, data: Any) -> None:
+        """BARRIER_WRITE: an order-guaranteed write, no drain (barrier mode).
+
+        The queue closes the current epoch, the write dispatches into an
+        epoch of its own, and that epoch is closed too: every earlier write
+        completes before this page and every later write after it, with no
+        host stall.  This is what lets the journal drop both of its
+        commit-page barriers — the commit page *is* the barrier.
+        """
+        self._check_on()
+        if not self.barrier_mode:
+            raise DeviceError(
+                "barrier-write requires a barrier-enabled device "
+                "(StorageDevice(..., barrier_mode=True))"
+            )
+        self.counters.barrier_writes += 1
+        self._obs_barrier_writes.inc()
+        self._mutated_since_flush = True
+        if self.tenants.enabled:
+            self.tenants.note_write(lpn)
+        with self.obs.tracer.span("write_barrier", "dev", lpn=lpn):
+            self._charge(transfers=1)
+            if self.queue is None:
+                self.ftl.write(lpn, data)
+                self.chip.order_barrier()
+            else:
+                self._order_barrier()
+                self._dispatch(lambda: self.ftl.write(lpn, data))
+                self._order_barrier()
 
     # ---------------------------------------------------- extended commands
 
@@ -235,6 +389,7 @@ class StorageDevice:
         ftl = self._require_tx()
         self.counters.tagged_writes += 1
         self._obs_tagged_writes.inc()
+        self._mutated_since_flush = True
         if self.tenants.enabled:
             self.tenants.note_write(lpn)
         with self.obs.tracer.span("write_tx", "dev", lpn=lpn, tid=tid):
@@ -253,7 +408,7 @@ class StorageDevice:
         start_us = self.clock.now_us
         with self.obs.tracer.span("commit", "dev", tid=tid):
             self._charge()
-            self._drain_barrier()
+            self._barrier_point()
             ftl.commit(tid)
         self._obs_commit_us.observe(self.clock.now_us - start_us)
 
@@ -279,7 +434,7 @@ class StorageDevice:
         with self.obs.tracer.span("commit_group", "dev"):
             for _ in tids:
                 self._charge()
-            self._drain_barrier()
+            self._barrier_point()
             ftl.commit_group(tids)
         self._obs_commit_us.observe(self.clock.now_us - start_us)
 
@@ -290,5 +445,5 @@ class StorageDevice:
         self.counters.aborts += 1
         self._obs_aborts.inc()
         self._charge()
-        self._drain_barrier()
+        self._barrier_point()
         ftl.abort(tid)

@@ -99,6 +99,10 @@ class FlashArray(FlashChip):
             for die in range(geo.dies_per_channel)
         )
         self._regions: list[OverlapRegion] = []
+        # Order-barrier floor: no reservation may start before this time.
+        # Stays 0.0 (inert, bit-identical arithmetic) until a barrier-enabled
+        # device issues order barriers.
+        self.dispatch_floor_us = 0.0
         # Per-channel busy-time histograms: one observation per operation,
         # so ``total`` is the channel's accumulated busy time and ``count``
         # its operation count.
@@ -127,6 +131,9 @@ class FlashArray(FlashChip):
         now = clock._now_us
         busy = timeline.busy_until_us
         start = busy if busy > now else now
+        floor = self.dispatch_floor_us
+        if floor > start:  # order barrier pending: start after it
+            start = floor
         end = start + duration_us
         timeline.busy_until_us = end
         timeline.busy_us += duration_us
@@ -165,9 +172,27 @@ class FlashArray(FlashChip):
 
         This is the device-level meaning of flush/commit ordering: nothing
         after the barrier may be considered started until everything before
-        it has finished on every channel.
+        it has finished on every channel.  A barrier-enabled device sets
+        ``order_only_drains`` so the same call sites keep the ordering
+        guarantee without the host stall (the barrier-enabled IO stack's
+        whole point).
         """
+        if self.order_only_drains:
+            self.order_barrier()
+            return
         self.clock.wait_until(self.scheduler.horizon_us())
+
+    def order_barrier(self) -> None:
+        """Order-only cross-channel barrier: raise the dispatch floor.
+
+        Every reservation made after this call starts at or after the
+        current horizon — nothing issued later can complete before anything
+        issued earlier, on any channel — but the clock does not join the
+        horizon, so the host keeps running.
+        """
+        horizon = self.scheduler.horizon_us()
+        if horizon > self.dispatch_floor_us:
+            self.dispatch_floor_us = horizon
 
     def busy_horizon_us(self) -> float:
         """Latest completion time currently reserved on any channel."""

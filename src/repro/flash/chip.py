@@ -176,6 +176,16 @@ class FlashChip:
     #: Whether deferred (overlapping) charging is meaningful on this chip.
     supports_overlap = False
 
+    #: When True, :meth:`drain` degrades to :meth:`order_barrier` — the
+    #: barrier-enabled device sets this so FTL-internal drains keep their
+    #: ordering meaning without stalling the host clock.
+    order_only_drains = False
+
+    #: Earliest start time for new reservations (an order barrier raises it
+    #: to the current horizon).  Class attribute so power-loss resets can
+    #: assign it unconditionally; :class:`FlashArray` shadows it per device.
+    dispatch_floor_us = 0.0
+
     @property
     def num_channels(self) -> int:
         """Channels this chip can overlap across (1: strictly serial)."""
@@ -196,6 +206,12 @@ class FlashChip:
 
     def drain(self) -> None:
         """Cross-channel barrier: wait until all channels are idle (no-op here)."""
+
+    def order_barrier(self) -> None:
+        """Order-only barrier: later operations may not start (or complete)
+        before anything already issued.  The serial chip executes strictly
+        in issue order, so ordering is free — no clock effect.
+        """
 
     def channel_backlog_us(self, channel: int = 0) -> float:
         """Reserved-but-unelapsed work on ``channel``.

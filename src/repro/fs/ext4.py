@@ -214,6 +214,9 @@ class Ext4:
         return fs
 
     def _make_journal(self) -> Jbd2Journal:
+        # On a barrier-enabled device the journal writes its commit pages
+        # and superblocks through BARRIER_WRITE: the ordering the two flush
+        # barriers used to buy comes from the write itself, with no drain.
         return Jbd2Journal(
             region_start=self.journal_start,
             region_pages=self.journal_pages,
@@ -222,6 +225,11 @@ class Ext4:
             barrier=self.device.flush,
             write_home=self._journal_write_home,
             obs=self.obs,
+            write_barrier_page=(
+                self._device_write_journal_barrier
+                if self.device.barrier_mode
+                else None
+            ),
         )
 
     # ---------------------------------------------------------- namespaces
@@ -400,6 +408,60 @@ class Ext4:
                 self._fsync_none(dirty)
         self._obs_fsync_us.observe(self._clock.now_us - start_us)
 
+    def fbarrier(self, handle: "FileHandle", txn=None) -> None:
+        """Order-only fsync (the barrier-enabled stack's ``fbarrier``).
+
+        Issues the same writes in the same order as :meth:`fsync` — data,
+        then the journal frame or ``commit(t)`` — but every durability
+        point is order-only: the call returns without waiting for the
+        writes to reach flash, and no mapping root is force-published.
+        Epoch ordering guarantees a crash can never surface the commit
+        record without the writes it covers.  On a drain-mode device the
+        only ordering primitive is a full flush, so this degrades to
+        :meth:`fsync`.
+        """
+        if not self.device.barrier_mode:
+            self.fsync(handle, txn=txn)
+            return
+        txn = self._coerce_txn(txn)
+        self.stats.fsync_calls += 1
+        self._obs_fsyncs.inc()
+        start_us = self._clock.now_us
+        with self.obs.tracer.span(
+            "fbarrier", "fs", tid=None if txn is None else txn.tid
+        ):
+            self._clock.advance(self._profile.host_fsync_us)
+            dirty = self._drain_dirty_data(handle.inode.ino)
+            if self.mode is JournalMode.ORDERED:
+                self._fsync_ordered(dirty, order_only=True)
+            elif self.mode is JournalMode.FULL:
+                self._fsync_full(dirty)
+            elif self.mode is JournalMode.XFTL:
+                # commit(t) is already order-only on a barrier device; the
+                # X-L2P root update stays the atomicity anchor.
+                self._fsync_xftl(dirty, txn)
+            else:
+                self._fsync_none(dirty)
+        self._obs_fsync_us.observe(self._clock.now_us - start_us)
+
+    def fdatabarrier(self, handle: "FileHandle") -> None:
+        """Order-only data barrier (``fdatabarrier``): no metadata, no wait.
+
+        Pushes the file's dirty data pages down to the device and issues an
+        order-only barrier — everything written before this call is ordered
+        before everything written after it.  On a drain-mode device the
+        barrier degrades to a flush (the device's fallback).
+        """
+        self.stats.fsync_calls += 1
+        self._obs_fsyncs.inc()
+        start_us = self._clock.now_us
+        with self.obs.tracer.span("fdatabarrier", "fs", tid=None):
+            self._clock.advance(self._profile.host_fsync_us)
+            for lpn, data in self._drain_dirty_data(handle.inode.ino):
+                self._device_write_data(lpn, data)
+            self.device.barrier()
+        self._obs_fsync_us.observe(self._clock.now_us - start_us)
+
     def fsync_group(self, handles: list["FileHandle"], txn) -> None:
         """Atomically force several files' dirty data under one transaction.
 
@@ -489,14 +551,19 @@ class Ext4:
             txn.mark_committed()
             self.txn_manager.release(txn)
 
-    def sync_metadata(self, txn=None) -> None:
-        """Directory-style fsync: flush only metadata (after create/unlink)."""
+    def sync_metadata(self, txn=None, order_only: bool = False) -> None:
+        """Directory-style fsync: flush only metadata (after create/unlink).
+
+        ``order_only=True`` is the fdatabarrier-style variant: on a
+        barrier-enabled device the durability point becomes order-only
+        (no drain); elsewhere it has no effect.
+        """
         txn = self._coerce_txn(txn)
         self.stats.fsync_calls += 1
         self._obs_fsyncs.inc()
         self._clock.advance(self._profile.host_fsync_us)
         if self.mode is JournalMode.ORDERED or self.mode is JournalMode.FULL:
-            self._journal_metadata()
+            self._journal_metadata(order_only)
         elif self.mode is JournalMode.XFTL:
             self._fsync_xftl([], txn)
         else:
@@ -526,7 +593,20 @@ class Ext4:
 
     # ----------------------------------------------------- fsync mode paths
 
-    def _fsync_ordered(self, dirty: list[tuple[int, Any]]) -> None:
+    def _durability_point(self, order_only: bool = False) -> None:
+        """One durability point: a drain flush, or an order-only barrier.
+
+        ``order_only`` is the ``fbarrier`` contract — callers that only
+        need ordering (not wait-for-durable) pass True and the device pays
+        no drain stall.  On a drain-mode device ``device.barrier()`` falls
+        back to a flush, so this is always at least as strong as ordering.
+        """
+        if order_only:
+            self.device.barrier()
+        else:
+            self.device.flush()
+
+    def _fsync_ordered(self, dirty: list[tuple[int, Any]], order_only: bool = False) -> None:
         """Data home first, then the metadata journal frame.
 
         The journal's pre-commit-record barrier orders the data writes and
@@ -538,9 +618,9 @@ class Ext4:
         self.device.chip.crash_plan.hit(CP_FSYNC_MID)
         if dirty and not self._dirty_meta:
             # No metadata to journal: the data itself still needs a barrier.
-            self.device.flush()
+            self._durability_point(order_only)
             return
-        self._journal_metadata()
+        self._journal_metadata(order_only)
 
     def _fsync_full(self, dirty: list[tuple[int, Any]]) -> None:
         """Everything through the journal: data is written twice overall."""
@@ -588,14 +668,20 @@ class Ext4:
         self._dirty_meta.clear()
         self.device.flush()
 
-    def _journal_metadata(self) -> None:
+    def _journal_metadata(self, order_only: bool = False) -> None:
         records = self._render_dirty_meta()
         if records:
             assert self.journal is not None
             self.journal.commit(records)
             self.stats.journal_page_writes += len(records) + 2
-        else:
-            self.device.flush()  # nothing to journal, still a durability point
+        elif self.device.dirty_since_flush:
+            # Nothing to journal, but writes landed since the last flush:
+            # this is still a durability point for them.
+            self._durability_point(order_only)
+        # else: the device is clean since its last flush — the durability
+        # point is already satisfied, a second flush would be pure stall
+        # (it showed up as inflated flushes/commit in the pager's
+        # journal-sync path).
         self._dirty_meta.clear()
 
     def _drain_dirty_data(self, ino: int, staged: bool = False) -> list[tuple[int, Any]]:
@@ -641,6 +727,12 @@ class Ext4:
         self.stats.journal_page_writes += 1
         self._obs_journal_writes.inc()
         self.device.write(lpn, image)
+
+    def _device_write_journal_barrier(self, lpn: int, image: Any) -> None:
+        """Journal commit page / superblock as an order-guaranteed write."""
+        self.stats.journal_page_writes += 1
+        self._obs_journal_writes.inc()
+        self.device.write_barrier(lpn, image)
 
     def _journal_write_home(self, lpn: int, image: Any) -> None:
         """Checkpoint write-back: journaled image to its home location."""

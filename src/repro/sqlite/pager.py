@@ -412,6 +412,24 @@ class Pager:
             return DbHeader()
         return DbHeader.from_image(image)
 
+    # --------------------------------------------------------- sync helpers
+
+    def _sync_file(self, handle: FileHandle) -> None:
+        """One durability point on ``handle``: fbarrier when the device is
+        barrier-enabled, a full fsync otherwise.
+
+        Every ordering point in the commit protocols (journal before db
+        writes before journal delete, WAL frames before the index update)
+        only needs *order*, which the barrier-enabled stack provides
+        without draining; on a drain device this is a plain fsync bit for
+        bit.  Recovery paths call ``fs.fsync`` directly — after replaying
+        a journal the restored state must actually be on flash.
+        """
+        if self.fs.device.barrier_mode:
+            self.fs.fbarrier(handle)
+        else:
+            self.fs.fsync(handle)
+
     # ------------------------------------------------------- steal eviction
 
     def _enforce_capacity(self) -> None:
@@ -466,7 +484,9 @@ class Pager:
 
     def _open_journal(self) -> None:
         self._journal = self.fs.create(self.journal_name)
-        self.fs.sync_metadata()  # journal file must exist durably
+        # The journal file must exist (durably ordered) before any original
+        # lands in it; order-only suffices on a barrier device.
+        self.fs.sync_metadata(order_only=True)
         self._journal_pages_written = 0
 
     def _journal_original(self, pno: int) -> None:
@@ -483,7 +503,7 @@ class Pager:
 
     def _sync_journal(self) -> None:
         assert self._journal is not None
-        self.fs.fsync(self._journal)
+        self._sync_file(self._journal)
 
     def _commit_rollback(self, dirty: list[tuple[int, _Entry]]) -> None:
         if self._journal is None:
@@ -492,26 +512,26 @@ class Pager:
             if dirty:
                 for pno, entry in dirty:
                     self.file.write_page(pno, entry.page.to_image())
-                self.fs.fsync(self.file)
+                self._sync_file(self.file)
             return
-        # 1. Journal data pages durable.
-        self.fs.fsync(self._journal)
+        # 1. Journal data pages durable (ordered before the header).
+        self._sync_file(self._journal)
         # 2. Journal header (page 0 of the journal) + separate fsync: the
         #    header is what marks the journal "hot" (valid for rollback).
         count = len([v for v in self._journaled.values() if v is not None])
         self._txn_counter += 1
         self._journal.write_page(0, ("jhdr", count, self._txn_counter))
-        self.fs.fsync(self._journal)
+        self._sync_file(self._journal)
         # The journal is now "hot": a crash from here until the journal is
         # deleted must roll the database back from it.
         self.fs.device.chip.crash_plan.hit(CP_COMMIT_MID)
         # 3. Force dirty pages into the database file, one more fsync.
         for pno, entry in dirty:
             self.file.write_page(pno, entry.page.to_image())
-        self.fs.fsync(self.file)
+        self._sync_file(self.file)
         # 4. Transaction complete: delete the journal (atomic, §2.1).
         self.fs.unlink(self.journal_name)
-        self.fs.sync_metadata()
+        self.fs.sync_metadata(order_only=True)
         self._journal = None
 
     def _rollback_journal(self) -> None:
@@ -524,7 +544,7 @@ class Pager:
             self.fs.fsync(self.file)
         if self._journal is not None:
             self.fs.unlink(self.journal_name)
-            self.fs.sync_metadata()
+            self.fs.sync_metadata(order_only=True)
             self._journal = None
 
     def _recover_rollback(self) -> None:
@@ -568,7 +588,7 @@ class Pager:
                 self._wal = self.fs.open(self.wal_name)
             else:
                 self._wal = self.fs.create(self.wal_name)
-                self.fs.sync_metadata()
+                self.fs.sync_metadata(order_only=True)
 
     def _append_wal_frame(self, pno: int, image: tuple, commit_size: int) -> int:
         self._ensure_wal()
@@ -596,7 +616,7 @@ class Pager:
             frame = self._wal.read_page(self._txn_frames[-1][1])
             slots[pno] = self._append_wal_frame(pno, frame[2], self.header.page_count)
         assert self._wal is not None
-        self.fs.fsync(self._wal)
+        self._sync_file(self._wal)
         self._wal_index.update(slots)
         self._wal_committed_frames = self._wal_frames
         if self._wal_committed_frames >= self.checkpoint_interval:
@@ -611,10 +631,10 @@ class Pager:
         for pno, slot in sorted(self._wal_index.items()):
             frame = self._wal.read_page(slot)
             self.file.write_page(pno, frame[2])
-        self.fs.fsync(self.file)
+        self._sync_file(self.file)
         assert self._wal is not None
         self._wal.truncate(0)
-        self.fs.sync_metadata()
+        self.fs.sync_metadata(order_only=True)
         self._wal_index = {}
         self._wal_frames = 0
         self._wal_committed_frames = 0

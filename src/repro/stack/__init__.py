@@ -130,6 +130,11 @@ class StackConfig:
     channels: int = 1
     dies_per_channel: int = 1
     queue_depth: int = 1
+    # Barrier-enabled IO stack ("Barrier Enabled IO Stack for Flash
+    # Storage"): "barrier"/"on"/True turns ordering points into order-only
+    # epoch barriers end to end (device, ext4, SQLite pager); None/"off"/
+    # "drain"/False keeps the drain-based stack, bit for bit.
+    barrier_mode: "str | bool | None" = None
     profile: LatencyProfile = OPENSSD_PROFILE
     ftl: FtlConfig = field(default_factory=FtlConfig)
     # Garbage-collection knobs, plumbed into ``ftl`` at build time when set
@@ -161,6 +166,22 @@ class StackConfig:
     metrics: bool = False
     trace: bool = False
     obs: Observability | None = None
+
+    def barrier_enabled(self) -> bool:
+        """Coerce the ``barrier_mode`` knob to a bool (strings accepted)."""
+        mode = self.barrier_mode
+        if mode is None or mode is False:
+            return False
+        if mode is True:
+            return True
+        text = str(mode).strip().lower()
+        if text in ("", "off", "drain", "0", "false", "no"):
+            return False
+        if text in ("barrier", "on", "1", "true", "yes"):
+            return True
+        raise ValueError(
+            f"unknown barrier_mode {mode!r}; expected 'barrier'/'on' or 'off'/'drain'"
+        )
 
 
 @dataclass
@@ -295,7 +316,11 @@ def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
         ftl: PageMappingFTL = XFTL(chip, config.ftl)
     else:
         ftl = PageMappingFTL(chip, config.ftl)
-    device = StorageDevice(ftl, queue_depth=config.queue_depth)
+    device = StorageDevice(
+        ftl,
+        queue_depth=config.queue_depth,
+        barrier_mode=config.barrier_enabled(),
+    )
     fs = Ext4.mkfs(
         device,
         config.mode.fs_journal_mode(),
@@ -315,6 +340,7 @@ def build_stack(config: StackConfig | None = None, **overrides) -> BenchStack:
         )
         obs.annotate("channels", config.channels)
         obs.annotate("queue_depth", config.queue_depth)
+        obs.annotate("barrier_mode", "barrier" if device.barrier_mode else "drain")
         obs.annotate("gc_mode", config.ftl.gc_mode)
         obs.annotate("cmt_pages", config.ftl.cmt_pages)
         obs.annotate("retain_versions", config.ftl.retain_versions)

@@ -25,6 +25,15 @@ Layers (bottom to top):
   two-channel flash array: crashes land with commands in flight;
 - ``device.queue.xftl`` — the transactional command set through the same
   queued device, exercising commit barriers against a non-empty queue;
+- ``dev.queue.epoch`` — the same queued device in **barrier mode**:
+  ordering points are order-only epoch closes (no drain), barrier writes
+  interleave with plain ones, and crashes land on ``dev.queue.epoch``
+  with commands in flight; the driver additionally samples the per-epoch
+  completion envelopes for the no-reorder-across-epochs invariant;
+- ``fs.barrier`` — ordered-journal ext4 driven by ``fbarrier`` over a
+  queued barrier-mode device (journal commit pages ride BARRIER_WRITE):
+  only explicit flushes raise the durable floor, everything else is
+  order-only, and recovery must still expose floor-or-later values;
 - ``fs.ext4``      — file page writes + fsync on ordered-journal ext4
   over the stock FTL;
 - ``sqlite.xftl``  — SQL transactions on the full paper stack (SQLite
@@ -586,6 +595,76 @@ def _run_device_queue(point, after, tear, seed, ops_limit) -> tuple[bool, int, l
     return fired, op, violations
 
 
+def _run_device_queue_epoch(
+    point, after, tear, seed, ops_limit
+) -> tuple[bool, int, list[str]]:
+    """Barrier-enabled NCQ device: order-only barriers with commands in flight.
+
+    Plain writes, barrier writes and order-only barriers interleave so the
+    ``dev.queue.epoch`` point fires against a live queue; only the explicit
+    flushes raise the oracle's durable floor (everything in between is
+    acknowledged-but-unflushed, exactly like the drain-mode contract).  The
+    per-epoch completion envelopes are sampled along the way: a command of
+    epoch N completing before the end of epoch N-1 would be the reordering
+    the dispatch floor exists to prevent.
+    """
+    plan = CrashPlan()
+    ftl = PageMappingFTL(FlashArray(_QUEUE_GEOMETRY, crash_plan=plan), _FTL_CONFIG)
+    device = StorageDevice(ftl, queue_depth=_QUEUE_DEPTH, barrier_mode=True)
+    rng = make_rng(seed, "verify.device.queue.epoch")
+    oracle = PlainWriteOracle()
+    hot = min(ftl.exported_pages, 24)
+    violations: list[str] = []
+
+    def check_epoch_order() -> None:
+        bounds = device.queue.epoch_bounds()
+        for (e1, _lo1, hi1), (e2, lo2, _hi2) in zip(bounds, bounds[1:]):
+            if lo2 < hi1:
+                violations.append(
+                    f"epoch order violated: epoch {e2} completes at {lo2} "
+                    f"before epoch {e1} ends at {hi1}"
+                )
+
+    for lpn in range(hot):
+        device.write(lpn, ("base", lpn))
+        oracle.note_write(lpn, ("base", lpn))
+    device.flush()
+    oracle.note_durable()
+
+    plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    op = 0
+    try:
+        for op in range(1, ops_limit + 1):
+            lpn = rng.randrange(hot)
+            value = ("v", op)
+            oracle.note_write(lpn, value)  # attempted: may survive the crash
+            if op % 5 == 0:
+                device.write_barrier(lpn, value)  # ordered, no drain
+            else:
+                device.write(lpn, value)
+            if op % 3 == 0:
+                device.barrier()  # order-only: the floor does NOT move
+            if op % 11 == 0:
+                check_epoch_order()
+                device.flush()  # the layer's only real durability points
+                oracle.note_durable()
+    except PowerFailure:
+        fired = True
+    else:
+        plan.disarm_all()
+        check_epoch_order()
+        device.power_off()
+
+    device.power_on()
+    ftl.check_invariants()
+    violations.extend(oracle.check(ftl.read))
+    for lpn in range(hot, min(hot + 4, ftl.exported_pages)):
+        if ftl.read(lpn) is not None:
+            violations.append(f"lpn {lpn}: never written but reads {ftl.read(lpn)!r}")
+    return fired, op, violations
+
+
 def _run_xftl_queue(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]]:
     """Transactions through an NCQ device: commit barriers vs. a live queue."""
     plan = CrashPlan()
@@ -689,6 +768,72 @@ def _run_ext4(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]
         return page
 
     violations.extend(oracle.check(read))
+    return fired, op, violations
+
+
+# Same file-system stack, but barrier-enabled over a queued two-channel
+# device: ordering points become order-only epoch closes and the journal's
+# commit pages ride BARRIER_WRITE.
+_FS_BARRIER_STACK = dict(
+    _FS_STACK,
+    channels=2,
+    queue_depth=_QUEUE_DEPTH,
+    barrier_mode="barrier",
+)
+
+
+def _run_ext4_barrier(point, after, tear, seed, ops_limit) -> tuple[bool, int, list[str]]:
+    """fbarrier-driven ext4 on a barrier-mode device: order-only fsyncs.
+
+    Data and journal frames are only *ordered* (epoch closes, barrier
+    writes) — nothing waits — so the durable floor moves only at the
+    explicit device flushes.  A crash anywhere (``dev.queue.epoch``,
+    ``fs.fsync.mid``, every flash point) must remount to floor-or-later
+    values: the commit page being order-guaranteed after its frame body is
+    exactly what keeps the journal replayable without the two drains.
+    """
+    stack = build_stack(StackConfig(mode=Mode.FS_ORDERED, **_FS_BARRIER_STACK))
+    rng = make_rng(seed, "verify.ext4.barrier")
+    oracle = PlainWriteOracle()
+    n_pages = 12
+
+    handle = stack.fs.create("data.bin")
+    for index in range(n_pages):
+        handle.write_page(index, ("base", index))
+        oracle.note_write(index, ("base", index))
+    stack.fs.fsync(handle)
+    stack.device.flush()  # the fsync above is order-only; force a floor
+    oracle.note_durable()
+
+    stack.crash_plan.arm(point, after=after, tear_page=tear)
+    fired = False
+    op = 0
+    try:
+        for op in range(1, ops_limit + 1):
+            index = rng.randrange(n_pages)
+            value = ("v", op)
+            oracle.note_write(index, value)  # attempted: may survive the crash
+            handle.write_page(index, value)
+            if op % 4 == 0:
+                stack.fs.fbarrier(handle)  # order-only: floor unchanged
+            if op % 9 == 0:
+                stack.fs.fsync(handle)
+                stack.device.flush()
+                oracle.note_durable()
+    except PowerFailure:
+        fired = True
+    else:
+        stack.crash_plan.disarm_all()
+        stack.device.power_off()
+
+    stack.remount_after_crash()
+    stack.ftl.check_invariants()
+    violations: list[str] = []
+    if not stack.fs.exists("data.bin"):
+        violations.append("data.bin vanished: flushed file lost by recovery")
+        return fired, op, violations
+    recovered = stack.fs.open("data.bin")
+    violations.extend(oracle.check(recovered.read_page))
     return fired, op, violations
 
 
@@ -972,7 +1117,17 @@ LAYERS: dict[str, Layer] = {
             ("flash", "ftl.pagemap", "ftl.xftl", "device.queue"),
             _run_xftl_queue,
         ),
+        Layer(
+            "dev.queue.epoch",
+            ("flash", "ftl.pagemap", "device.queue"),
+            _run_device_queue_epoch,
+        ),
         Layer("fs.ext4", ("flash", "ftl.pagemap", "fs.ext4"), _run_ext4),
+        Layer(
+            "fs.barrier",
+            ("flash", "ftl.pagemap", "device.queue", "fs.ext4"),
+            _run_ext4_barrier,
+        ),
         Layer(
             "sqlite.xftl",
             ("flash", "ftl.pagemap", "ftl.xftl", "fs.ext4"),

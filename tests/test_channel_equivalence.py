@@ -128,13 +128,16 @@ def baseline() -> dict:
 def test_serial_config_matches_seed_baseline(name: str, baseline: dict) -> None:
     expected = baseline[name]
     actual = SCENARIOS[name]()
-    # Compare over the baseline's keys: FlashStats may gain *new* fields
-    # (e.g. group-commit counters) without a baseline bump, but every
-    # counter the seed recorded must stay bit-identical.
+    # Compare over the baseline's keys: FlashStats and DeviceCounters may
+    # gain *new* fields (e.g. group-commit or barrier counters) without a
+    # baseline bump, but every counter the seed recorded must stay
+    # bit-identical.
     actual_stats = actual["flash_stats"]
     expected_stats = expected["flash_stats"]
     assert {k: actual_stats[k] for k in expected_stats} == expected_stats, name
-    assert actual["device_counters"] == expected["device_counters"], name
+    actual_dev = actual["device_counters"]
+    expected_dev = expected["device_counters"]
+    assert {k: actual_dev[k] for k in expected_dev} == expected_dev, name
     # Exact float equality on purpose: the degenerate single-channel path
     # must perform the *same arithmetic* as the seed's serial clock.
     assert actual["elapsed_us"] == expected["elapsed_us"], name

@@ -277,7 +277,7 @@ class TestQueueCrashInjection:
         from repro.sim.crash import registered_crash_points
 
         names = {spec.name for spec in registered_crash_points("device.queue")}
-        assert names == {"dev.queue.dispatch", "dev.queue.barrier"}
+        assert names == {"dev.queue.dispatch", "dev.queue.barrier", "dev.queue.epoch"}
 
 
 class TestInFlightBatchPowerLoss:

@@ -74,6 +74,21 @@ class TestExperimentFunctions:
         for channels in (1, 4):
             assert elapsed[f"X-FTL/{channels}"] < elapsed[f"RBJ/{channels}"]
 
+    def test_barrier_structure(self):
+        result = experiments.barrier_comparison(transactions=8, rows=200)
+        assert len(result.rows) == 6  # 3 SQLite modes x (drain, barrier)
+        runs = result.extras["runs"]
+        for mode in ("RBJ", "WAL", "X-FTL"):
+            drain = runs[f"{mode}/drain"]
+            barrier = runs[f"{mode}/barrier"]
+            # The tentpole claim: order-only epoch barriers eliminate the
+            # commit-path drain stalls on a parallel (channels>=4) device.
+            assert drain["drain_stalls"] > 0
+            assert barrier["drain_stalls"] == 0
+            assert barrier["stalls_avoided"] > 0
+            assert barrier["epochs_closed"] > 0
+            assert barrier["elapsed_s"] <= drain["elapsed_s"]
+
     def test_render_produces_text(self):
         result = experiments.table2_trace_characteristics(trace_scale=0.01)
         text = result.render()
@@ -166,8 +181,8 @@ class TestExperimentFunctions:
     def test_registry_complete(self):
         assert set(experiments.ALL_EXPERIMENTS) == {
             "fig5", "table1", "fig6", "table2", "fig7", "table4",
-            "fig8", "fig9", "table5", "channels", "concurrency", "gc",
-            "mapping", "mvcc", "tenants", "throughput",
+            "fig8", "fig9", "table5", "barrier", "channels", "concurrency",
+            "gc", "mapping", "mvcc", "tenants", "throughput",
         }
 
 

@@ -184,6 +184,71 @@ class TestQueueShares:
         assert clock.now_us == 0.0
         assert queue.share_stalls == 0
 
+    def _capped_queue(self, depth=8):
+        clock = SimClock()
+        registry = TenantRegistry()
+        hot = registry.register("hot", weight=1)
+        cold = registry.register("cold", weight=1)
+        queue = CommandQueue(clock, depth=depth, obs=NULL_OBS, tenants=registry)
+        queue.set_shares(registry.queue_shares(depth))
+        return clock, registry, queue, hot, cold
+
+    def test_share_stall_waits_on_own_completion_not_global_head(self):
+        """The stalled tenant's wait target is its *own* earliest command.
+
+        The cold tenant's command is the global queue head; waiting on it
+        cannot lower the hot tenant's live count.  The capped admit must
+        join the hot tenant's own earliest completion (300), count exactly
+        one stall, and leave the cold command untouched in flight.
+        """
+        clock, registry, queue, hot, cold = self._capped_queue(depth=2)  # 1 each
+        registry.current = cold
+        queue.admit()
+        queue.push(50.0)  # global head, foreign to the hot tenant
+        registry.current = hot
+        queue.admit()
+        queue.push(300.0)
+        queue.admit()  # hot share (1) exhausted
+        assert clock.now_us == 300.0
+        assert queue.share_stalls == 1
+
+    def test_empty_share_does_not_wedge(self):
+        """A cap the tenant cannot satisfy must bail out, not spin forever.
+
+        With no own command in flight the live count can never drop by
+        waiting; the admit loop must break (and make no clock progress)
+        instead of wedging on completions that cannot help.
+        """
+        clock, registry, queue, hot, _cold = self._capped_queue(depth=2)
+        queue.set_shares({hot: 0})
+        registry.current = hot
+        queue.admit()  # capped at 0 with nothing in flight: returns
+        assert clock.now_us == 0.0
+        assert queue.share_stalls == 1
+
+    def test_reset_clears_tenant_bookkeeping(self):
+        """Power loss forgets per-tenant live counts along with the heap.
+
+        A stale ``_live_by_tenant`` count would make every post-recovery
+        capped admit stall (or spuriously bail) against commands that no
+        longer exist.  After ``reset()`` the bookkeeping is empty and a
+        share-capped admit proceeds without waiting or counting a stall.
+        """
+        clock, registry, queue, hot, _cold = self._capped_queue(depth=4)  # 2 each
+        registry.current = hot
+        for end in (100.0, 200.0):
+            queue.admit()
+            queue.push(end)
+        queue.reset()
+        assert queue._live_by_tenant == {}
+        assert queue._tenant_of == {}
+        assert queue.in_flight == 0
+        queue.admit()  # share is free again: no wait, no stall
+        assert clock.now_us == 0.0
+        assert queue.share_stalls == 0
+        queue.push(clock.now_us + 50.0)
+        assert queue.in_flight == 1
+
 
 class TestAndroidTenants:
     """Android trace mixes driven through the tenant API (satellite #3)."""
